@@ -1,0 +1,90 @@
+"""Shared fixtures for the benchmark harness.
+
+Every bench prints its reproduction of the corresponding paper table (so
+EXPERIMENTS.md can be assembled from the bench output) and times a
+representative kernel via pytest-benchmark.
+
+Corpus scale: the paper used ~500 test pages and ~1,500 experimental pages
+(Table 23).  Benches run at full scale by default; set
+``REPRO_BENCH_PAGES=N`` to cap pages per site for a quick pass.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.baselines import byu_heuristics
+from repro.corpus import (
+    CorpusGenerator,
+    EXPERIMENTAL_SITES,
+    HARD_SITES,
+    TEST_SITES,
+)
+from repro.core.separator import (
+    IPSHeuristic,
+    PPHeuristic,
+    RPHeuristic,
+    SBHeuristic,
+    SDHeuristic,
+)
+from repro.eval import estimate_profiles, evaluate_pages
+
+
+def _page_cap() -> int | None:
+    raw = os.environ.get("REPRO_BENCH_PAGES")
+    return int(raw) if raw else None
+
+
+def omini_heuristics():
+    return [SDHeuristic(), RPHeuristic(), IPSHeuristic(), PPHeuristic(), SBHeuristic()]
+
+
+@pytest.fixture(scope="session")
+def generator():
+    return CorpusGenerator(max_pages_per_site=_page_cap())
+
+
+@pytest.fixture(scope="session")
+def test_pages(generator):
+    """The Table 9 split (~500 pages over 15 sites)."""
+    return generator.generate(TEST_SITES)
+
+
+@pytest.fixture(scope="session")
+def experimental_pages(generator):
+    """The Table 12 split (~1,500 pages over 25 sites)."""
+    return generator.generate(EXPERIMENTAL_SITES)
+
+
+@pytest.fixture(scope="session")
+def hard_pages(generator):
+    """The Table 18 split (the five BYU-hostile sites)."""
+    return generator.generate(HARD_SITES)
+
+
+@pytest.fixture(scope="session")
+def test_evaluated(test_pages):
+    return evaluate_pages(test_pages)
+
+
+@pytest.fixture(scope="session")
+def experimental_evaluated(experimental_pages):
+    return evaluate_pages(experimental_pages)
+
+
+@pytest.fixture(scope="session")
+def hard_evaluated(hard_pages):
+    return evaluate_pages(hard_pages)
+
+
+@pytest.fixture(scope="session")
+def omini_profiles(test_evaluated):
+    """Rank-probability profiles trained on the test split (Section 6.1)."""
+    return estimate_profiles(omini_heuristics(), test_evaluated)
+
+
+@pytest.fixture(scope="session")
+def byu_profiles(test_evaluated):
+    return estimate_profiles(byu_heuristics(), test_evaluated)

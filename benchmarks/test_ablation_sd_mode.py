@@ -1,0 +1,42 @@
+"""Ablation: the two readings of the paper's ambiguous SD formula.
+
+Section 5.1 defines sigma over "the size of the subtree anchored at the
+i-th appearance" while calling mu "the average distance between two
+consecutive occurrences".  We implement both:
+
+* ``distance`` (default) -- gaps in content bytes between occurrences;
+* ``subtree_size``       -- each occurrence's own subtree size.
+
+Expected: both work on container-style separators (tr/li sizes ARE the
+distances, roughly); the distance mode is more robust for content-free
+separators like ``hr``, whose subtree sizes are all zero (degenerate ties).
+"""
+
+from repro.core.separator import SDHeuristic
+from repro.eval import score_outcomes, separator_outcomes
+from repro.eval.report import format_table
+
+
+def reproduce(evaluated):
+    return {
+        mode: score_outcomes(
+            separator_outcomes(SDHeuristic(mode=mode), evaluated)
+        )
+        for mode in ("distance", "subtree_size")
+    }
+
+
+def test_ablation_sd_mode(benchmark, experimental_evaluated):
+    scores = benchmark.pedantic(
+        reproduce, args=(experimental_evaluated,), rounds=1, iterations=1
+    )
+
+    print()
+    print(format_table(
+        ["SD mode", "Success", "Precision", "Recall"],
+        [[m, s.success, s.precision, s.recall] for m, s in scores.items()],
+        title="Ablation: SD formula interpretation (experimental split)",
+    ))
+
+    # Both are viable; the distance reading must not be worse.
+    assert scores["distance"].success >= scores["subtree_size"].success - 0.05

@@ -1,0 +1,65 @@
+"""Ablation: subtree-combination strategies (Section 4.4 design choice).
+
+Compares, on subtree-identification accuracy over the experimental split:
+
+* each single heuristic (HF / GSI / LTC),
+* the literal value-product "volume" of Section 4.4,
+* our rank-product default,
+* rank-product without the ancestor re-ranking pass.
+
+Expected: HF worst (the navigation trap); rank-product with re-ranking best;
+removing the re-rank costs accuracy on pages whose region nests deep.
+"""
+
+from repro.core.subtree import (
+    CombinedSubtreeFinder,
+    GSIHeuristic,
+    HFHeuristic,
+    LTCHeuristic,
+)
+from repro.eval.report import format_table
+from repro.tree.paths import path_of
+
+
+def subtree_accuracy(finder, evaluated) -> float:
+    by_site = {}
+    for ep in evaluated:
+        if ep.page.truth.object_count <= 1:
+            continue
+        chosen = finder.choose(ep.root)
+        # Correct when the chosen subtree IS the labeled region, or an
+        # ancestor/descendant shift that still exposes the separator as a
+        # child is NOT counted -- strict identity, as in the manual check.
+        hit = 1.0 if path_of(chosen) == ep.page.truth.subtree_path else 0.0
+        by_site.setdefault(ep.page.truth.site, []).append(hit)
+    means = [sum(v) / len(v) for v in by_site.values()]
+    return sum(means) / len(means) if means else 0.0
+
+
+def reproduce(evaluated):
+    contenders = {
+        "HF only": HFHeuristic(),
+        "GSI only": GSIHeuristic(),
+        "LTC only": LTCHeuristic(),
+        "volume (4.4 literal)": CombinedSubtreeFinder(mode="volume"),
+        "rank-product (default)": CombinedSubtreeFinder(),
+        "rank-product, no rerank": CombinedSubtreeFinder(rerank_window=0),
+    }
+    return {name: subtree_accuracy(f, evaluated) for name, f in contenders.items()}
+
+
+def test_ablation_subtree(benchmark, experimental_evaluated):
+    rates = benchmark.pedantic(
+        reproduce, args=(experimental_evaluated,), rounds=1, iterations=1
+    )
+
+    print()
+    print(format_table(
+        ["Combiner", "Region accuracy"],
+        list(rates.items()),
+        title="Ablation: object-rich subtree identification",
+    ))
+
+    assert rates["rank-product (default)"] >= rates["HF only"]
+    assert rates["rank-product (default)"] >= rates["volume (4.4 literal)"]
+    assert rates["rank-product (default)"] > rates["rank-product, no rerank"]

@@ -1,0 +1,70 @@
+"""Ablation: the occurrence thresholds of Section 6.5.
+
+"Both RP and IPS reject tags that occur below a given threshold."  The
+paper never prints the value; this bench sweeps it and shows the trade:
+
+* threshold 1 -- heuristics answer everywhere: recall up, precision down
+  (they now commit on the separator-less pages);
+* threshold 2 (default) -- the balance we ship;
+* threshold 4 -- abstains on small result lists: precision 1.0, recall sags.
+
+The same sweep covers the combined finder's min_separator_count floor.
+"""
+
+from conftest import omini_heuristics
+
+from repro.core.separator import (
+    CombinedSeparatorFinder,
+    IPSHeuristic,
+    RPHeuristic,
+)
+from repro.eval import score_outcomes, separator_outcomes
+from repro.eval.report import format_table
+
+
+def reproduce(evaluated, profiles):
+    rows = []
+    for threshold in (1, 2, 4):
+        rp = score_outcomes(
+            separator_outcomes(RPHeuristic(min_pair_count=threshold), evaluated)
+        )
+        ips = score_outcomes(
+            separator_outcomes(IPSHeuristic(min_count=threshold), evaluated)
+        )
+        rows.append((threshold, rp, ips))
+    combo_rows = []
+    for floor in (1, 3, 6):
+        combined = CombinedSeparatorFinder(
+            omini_heuristics(), profiles=dict(profiles), min_separator_count=floor
+        )
+        combo_rows.append(
+            (floor, score_outcomes(separator_outcomes(combined, evaluated)))
+        )
+    return rows, combo_rows
+
+
+def test_ablation_thresholds(benchmark, experimental_evaluated, omini_profiles):
+    rows, combo_rows = benchmark.pedantic(
+        reproduce, args=(experimental_evaluated, omini_profiles), rounds=1, iterations=1
+    )
+
+    print()
+    print(format_table(
+        ["Threshold", "RP prec", "RP rec", "IPS prec", "IPS rec"],
+        [[t, rp.precision, rp.recall, ips.precision, ips.recall] for t, rp, ips in rows],
+        title="Ablation: RP/IPS occurrence threshold",
+    ))
+    print()
+    print(format_table(
+        ["min_separator_count", "RSIPB prec", "RSIPB rec"],
+        [[f, s.precision, s.recall] for f, s in combo_rows],
+        title="Ablation: combined finder's separator-count floor",
+    ))
+
+    # Lower thresholds can only lose precision; higher can only lose recall.
+    t1, t2, t4 = (r for _, r, _ in rows)
+    assert t1.precision <= t2.precision + 1e-9
+    assert t4.recall <= t2.recall + 1e-9
+    floor1 = combo_rows[0][1]
+    floor3 = combo_rows[1][1]
+    assert floor3.precision >= floor1.precision

@@ -1,0 +1,70 @@
+"""The paper's complexity claim: "The entire process is O(n)".
+
+Section 1: "Our algorithms for automatically learning object extraction
+rules are fast.  The entire process is O(n), where n is the size (length in
+characters) of an input web page."
+
+This bench grows a result page from ~60 to ~2,000 records (~30 KB to
+~1 MB) and fits the end-to-end extraction time against page size.  Linear
+behaviour means time-per-byte stays flat; the assertion allows 2.5x drift
+across a 32x size range (log-n factors and cache effects), which a
+quadratic component would blow through immediately.
+"""
+
+import random
+import time
+
+from repro.core.pipeline import OminiExtractor
+from repro.corpus.templates import ChromeConfig, TEMPLATES, make_records
+from repro.eval.report import format_table
+
+SIZES = (60, 250, 1000, 2000)
+
+
+def build_page(records: int) -> str:
+    rng = random.Random(records)
+    template = TEMPLATES["table_rows"]
+    recs = make_records(rng, records, site="big.example", query="scale")
+    html, _ = template.render_page(
+        recs, rng, ChromeConfig(nav_links=20), site="big.example", query="scale"
+    )
+    return html
+
+
+def reproduce():
+    extractor = OminiExtractor()
+    rows = []
+    for count in SIZES:
+        page = build_page(count)
+        # Best of three: complexity measurements take the minimum so a GC
+        # pause or scheduler hiccup on one run cannot fake superlinearity.
+        best = None
+        for _ in range(3):
+            start = time.perf_counter()
+            result = extractor.extract(page)
+            elapsed = time.perf_counter() - start
+            best = elapsed if best is None else min(best, elapsed)
+        rows.append((count, len(page), best, len(result.objects)))
+    return rows
+
+
+def test_linear_scaling(benchmark):
+    rows = benchmark.pedantic(reproduce, rounds=1, iterations=1)
+
+    print()
+    print(format_table(
+        ["Records", "Bytes", "Seconds", "us/KB", "Objects"],
+        [
+            [count, size, elapsed, elapsed / (size / 1024) * 1e6, objects]
+            for count, size, elapsed, objects in rows
+        ],
+        title="O(n) check: end-to-end time vs page size",
+        float_format="{:.4f}",
+    ))
+
+    # Extraction keeps up with page growth: all records found...
+    for count, _, _, objects in rows:
+        assert objects >= count * 0.9
+    # ...and time-per-byte stays flat within 2.5x across a 32x size range.
+    per_byte = [elapsed / size for _, size, elapsed, _ in rows]
+    assert max(per_byte) / min(per_byte) < 2.5

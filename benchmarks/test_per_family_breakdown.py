@@ -1,0 +1,78 @@
+"""Extension bench: per-layout-family results breakdown.
+
+The paper reports only aggregate rates; with an automated, labeled corpus
+we can break the combined algorithm's separator success and the end-to-end
+object scores down by layout family -- which is how a maintainer would
+locate a regression (e.g. "definition lists broke").
+"""
+
+from collections import defaultdict
+
+from conftest import omini_heuristics
+
+from repro.core.pipeline import OminiExtractor
+from repro.core.separator import CombinedSeparatorFinder
+from repro.eval import separator_outcomes
+from repro.eval.objects import score_page
+from repro.eval.report import format_table
+
+
+def reproduce(experimental_evaluated, experimental_pages, profiles):
+    combined = CombinedSeparatorFinder(omini_heuristics(), profiles=dict(profiles))
+    outcomes = separator_outcomes(combined, experimental_evaluated)
+
+    separator_by_family: dict[str, list[float]] = defaultdict(list)
+    for ep, outcome in zip(experimental_evaluated, outcomes):
+        if not outcome.has_separator:
+            continue
+        credit = outcome.tie_credit if outcome.rank == 1 else 0.0
+        separator_by_family[ep.page.truth.layout].append(credit)
+
+    extractor = OminiExtractor(separator_finder=combined)
+    objects_by_family: dict[str, list] = defaultdict(list)
+    for page in experimental_pages:
+        if page.truth.object_count == 0:
+            continue
+        objects_by_family[page.truth.layout].append(score_page(page, extractor))
+
+    rows = []
+    for family in sorted(separator_by_family):
+        separator_rate = sum(separator_by_family[family]) / len(
+            separator_by_family[family]
+        )
+        page_scores = objects_by_family[family]
+        extracted = sum(o.extracted for o in page_scores)
+        tp = sum(o.true_positives for o in page_scores)
+        records = sum(o.records for o in page_scores)
+        matched = sum(o.matched_records for o in page_scores)
+        rows.append(
+            (
+                family,
+                len(page_scores),
+                separator_rate,
+                tp / extracted if extracted else 1.0,
+                matched / records if records else 1.0,
+            )
+        )
+    return rows
+
+
+def test_per_family(benchmark, experimental_evaluated, experimental_pages, omini_profiles):
+    rows = benchmark.pedantic(
+        reproduce,
+        args=(experimental_evaluated, experimental_pages, omini_profiles),
+        rounds=1,
+        iterations=1,
+    )
+
+    print()
+    print(format_table(
+        ["Layout family", "Pages", "Separator ok", "Obj precision", "Obj recall"],
+        rows,
+        title="Extension: per-layout-family breakdown (experimental split)",
+    ))
+
+    for family, _pages, separator_rate, precision, recall in rows:
+        assert separator_rate >= 0.75, family
+        assert precision >= 0.97, family
+        assert recall >= 0.85, family

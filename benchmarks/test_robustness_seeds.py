@@ -1,0 +1,61 @@
+"""Extension bench: result stability across corpus re-draws.
+
+Section 7 names "the automation of evaluation process" as future work.
+With a generative corpus the whole evaluation *is* automated, so we can do
+what the paper could not: re-draw the corpus under different master seeds
+and check that the conclusions are properties of the algorithms, not of one
+particular page sample.
+
+For three independent corpus draws: train profiles on the draw's test
+split, evaluate RSIPB and the individual heuristics on its experimental
+split.  The conclusions must hold in every draw and the combined rate must
+be stable to a few points.
+"""
+
+from conftest import omini_heuristics
+
+from repro.core.separator import CombinedSeparatorFinder
+from repro.corpus import CorpusGenerator, EXPERIMENTAL_SITES, TEST_SITES
+from repro.eval import estimate_profiles, evaluate_pages, separator_outcomes
+from repro.eval.metrics import success_rate
+from repro.eval.report import format_table
+
+SEEDS = (2000, 7, 424242)
+
+
+def reproduce():
+    rows = []
+    for seed in SEEDS:
+        generator = CorpusGenerator(master_seed=seed, max_pages_per_site=10)
+        test_eval = evaluate_pages(generator.generate(TEST_SITES))
+        exp_eval = evaluate_pages(generator.generate(EXPERIMENTAL_SITES))
+        profiles = estimate_profiles(omini_heuristics(), test_eval)
+        rates = {
+            h.name: success_rate(separator_outcomes(h, exp_eval))
+            for h in omini_heuristics()
+        }
+        combined = CombinedSeparatorFinder(
+            omini_heuristics(), profiles=dict(profiles)
+        )
+        rates["RSIPB"] = success_rate(separator_outcomes(combined, exp_eval))
+        rows.append((seed, rates))
+    return rows
+
+
+def test_seed_robustness(benchmark):
+    rows = benchmark.pedantic(reproduce, rounds=1, iterations=1)
+
+    print()
+    names = ["SD", "RP", "IPS", "PP", "SB", "RSIPB"]
+    print(format_table(
+        ["Seed"] + names,
+        [[seed] + [rates[n] for n in names] for seed, rates in rows],
+        title="Extension: experimental-split success across corpus re-draws",
+    ))
+
+    combined_rates = [rates["RSIPB"] for _, rates in rows]
+    assert max(combined_rates) - min(combined_rates) < 0.06  # stable
+    for _, rates in rows:
+        individuals = [v for k, v in rates.items() if k != "RSIPB"]
+        assert rates["RSIPB"] >= max(individuals) - 0.02  # conclusion holds
+        assert rates["RSIPB"] >= 0.90

@@ -1,0 +1,49 @@
+"""Table 1: top-5 subtrees by HF, GSI and LTC on the canoe.com tag tree.
+
+Paper (canoe.com, Figure 5):
+
+    Rank  HF                                    GSI / LTC #1
+    1     ...table[5].tr[1].td[2].font[1]       html[1].body[2].form[4]
+    2     html[1].body[2].form[4]
+    3     html[1].body[2]
+
+Reproduced exactly on the bundled fixture; the timed kernel is the full
+three-heuristic ranking pass over the page.
+"""
+
+from repro.core.subtree import CombinedSubtreeFinder, GSIHeuristic, HFHeuristic, LTCHeuristic
+from repro.corpus.fixtures import canoe_page
+from repro.eval.report import format_table
+from repro.tree.builder import parse_document
+
+
+def reproduce() -> dict:
+    tree = parse_document(canoe_page())
+    heuristics = [HFHeuristic(), GSIHeuristic(), LTCHeuristic(), CombinedSubtreeFinder()]
+    return {h.name: h.rank(tree, limit=5) for h in heuristics}
+
+
+def test_table01(benchmark):
+    rankings = benchmark(reproduce)
+
+    rows = []
+    for rank in range(5):
+        row = [rank + 1]
+        for name in ("HF", "GSI", "LTC"):
+            entries = rankings[name]
+            row.append(entries[rank].path if rank < len(entries) else "-")
+        rows.append(row)
+    print()
+    print(format_table(["Rank", "HF", "GSI", "LTC"], rows,
+                       title="Table 1 reproduction (canoe.com fixture)"))
+
+    # Paper-pinned facts.
+    assert rankings["HF"][0].path == (
+        "html[1].body[2].form[4].table[5].tr[1].td[2].font[1]"
+    )
+    assert rankings["HF"][1].path == "html[1].body[2].form[4]"
+    assert rankings["HF"][2].path == "html[1].body[2]"
+    assert rankings["GSI"][0].path == "html[1].body[2].form[4]"
+    assert rankings["GSI"][1].path == "html[1].body[2]"
+    assert rankings["LTC"][0].path == "html[1].body[2].form[4]"
+    assert rankings["rank_product"][0].path == "html[1].body[2].form[4]"

@@ -1,0 +1,35 @@
+"""Table 2: standard deviation per candidate tag on the Library of Congress page.
+
+Paper:  hr 114 < pre 117 < a 122 (rank order hr, pre, a).
+
+Absolute deviations depend on the page's record sizes; the reproduced
+invariant is the ordering -- the deliberate separator ``hr`` has the most
+regular spacing.
+"""
+
+from repro.core.separator import SDHeuristic
+from repro.core.separator.base import build_context
+from repro.corpus.fixtures import library_of_congress_page
+from repro.eval.report import format_table
+from repro.tree.builder import parse_document
+from repro.tree.paths import node_at_path
+
+
+def reproduce():
+    tree = parse_document(library_of_congress_page())
+    context = build_context(node_at_path(tree, "html[1].body[2]"))
+    return SDHeuristic().rank(context)
+
+
+def test_table02(benchmark):
+    ranking = benchmark(reproduce)
+
+    print()
+    print(format_table(
+        ["Rank", "Tag", "Standard Deviation"],
+        [[i + 1, r.tag, r.score] for i, r in enumerate(ranking)],
+        title="Table 2 reproduction (LoC fixture; paper: hr 114, pre 117, a 122)",
+        float_format="{:.1f}",
+    ))
+
+    assert [r.tag for r in ranking] == ["hr", "pre", "a"]

@@ -1,0 +1,40 @@
+"""Table 3: the repeating-pattern pair table on canoe's form[4].
+
+Paper (exact reproduction):
+
+    (table,tr) 13/0   (img,br) 2/0   (map,table) 1/0
+    (form,table) 1/0  (br,img) 1/1   (br,table) 1/1
+"""
+
+from repro.core.separator import RPHeuristic
+from repro.core.separator.base import build_context
+from repro.corpus.fixtures import canoe_page
+from repro.eval.report import format_table
+from repro.tree.builder import parse_document
+from repro.tree.paths import node_at_path
+
+
+def reproduce():
+    tree = parse_document(canoe_page())
+    context = build_context(node_at_path(tree, "html[1].body[2].form[4]"))
+    return RPHeuristic().pair_scores(context)
+
+
+def test_table03(benchmark):
+    scores = benchmark(reproduce)
+
+    print()
+    print(format_table(
+        ["Tag Pair", "Pair Count", "Difference"],
+        [[f"{s.pair[0]}, {s.pair[1]}", s.pair_count, s.difference] for s in scores],
+        title="Table 3 reproduction (canoe fixture) -- matches the paper exactly",
+    ))
+
+    assert [(s.pair, s.pair_count, s.difference) for s in scores] == [
+        (("table", "tr"), 13, 0),
+        (("img", "br"), 2, 0),
+        (("map", "table"), 1, 0),
+        (("form", "table"), 1, 0),
+        (("br", "img"), 1, 1),
+        (("br", "table"), 1, 1),
+    ]

@@ -1,0 +1,46 @@
+"""Table 6: sibling-tag pair rankings for canoe.com and the Library of Congress.
+
+Paper (exact reproduction on both fixtures):
+
+    canoe:  (table,table) 11, (img,br) 2, then five singleton pairs
+    LoC:    (hr,pre) 20, (pre,a) 20, (a,hr) 20, then six singleton pairs
+"""
+
+from repro.core.separator import SBHeuristic
+from repro.core.separator.base import build_context
+from repro.corpus.fixtures import canoe_page, library_of_congress_page
+from repro.eval.report import format_table
+from repro.tree.builder import parse_document
+from repro.tree.paths import node_at_path
+
+
+def reproduce():
+    canoe_ctx = build_context(
+        node_at_path(parse_document(canoe_page()), "html[1].body[2].form[4]")
+    )
+    loc_ctx = build_context(
+        node_at_path(parse_document(library_of_congress_page()), "html[1].body[2]")
+    )
+    heuristic = SBHeuristic()
+    return heuristic.sibling_pairs(canoe_ctx), heuristic.sibling_pairs(loc_ctx)
+
+
+def test_table06(benchmark):
+    canoe_pairs, loc_pairs = benchmark(reproduce)
+
+    print()
+    width = max(len(canoe_pairs), len(loc_pairs))
+    rows = []
+    for i in range(width):
+        row = [i + 1]
+        row.append(f"{canoe_pairs[i].pair} x{canoe_pairs[i].count}" if i < len(canoe_pairs) else "")
+        row.append(f"{loc_pairs[i].pair} x{loc_pairs[i].count}" if i < len(loc_pairs) else "")
+        rows.append(row)
+    print(format_table(["Rank", "Canoe.com", "Library of Congress"], rows,
+                       title="Table 6 reproduction -- matches the paper exactly"))
+
+    assert (canoe_pairs[0].pair, canoe_pairs[0].count) == (("table", "table"), 11)
+    assert (canoe_pairs[1].pair, canoe_pairs[1].count) == (("img", "br"), 2)
+    assert [(p.pair, p.count) for p in loc_pairs[:3]] == [
+        (("hr", "pre"), 20), (("pre", "a"), 20), (("a", "hr"), 20),
+    ]

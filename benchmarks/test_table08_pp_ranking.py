@@ -1,0 +1,66 @@
+"""Tables 7 and 8: partial paths and PP tag rankings on both fixtures.
+
+Paper (exact reproduction):
+
+    Table 7 (canoe): table.tr.td 26, ...font.b 24, ...font.br 24, table.tr 13, ...
+    Table 8: canoe -> table 26, form 2, img 2, br 2
+             LoC   -> hr 21, a 21, pre 20, form 8
+"""
+
+from repro.core.separator import PPHeuristic
+from repro.core.separator.base import build_context
+from repro.corpus.fixtures import canoe_page, library_of_congress_page
+from repro.eval.report import format_table
+from repro.tree.builder import parse_document
+from repro.tree.paths import node_at_path
+
+
+def reproduce():
+    pp = PPHeuristic()
+    canoe_ctx = build_context(
+        node_at_path(parse_document(canoe_page()), "html[1].body[2].form[4]")
+    )
+    loc_ctx = build_context(
+        node_at_path(parse_document(library_of_congress_page()), "html[1].body[2]")
+    )
+    return (
+        pp.path_counts(canoe_ctx),
+        pp.rank(canoe_ctx),
+        pp.rank(loc_ctx),
+    )
+
+
+def test_tables07_08(benchmark):
+    paths, canoe_rank, loc_rank = benchmark(reproduce)
+
+    print()
+    print(format_table(
+        ["Path", "Count"],
+        [[r.dotted, r.count] for r in paths if r.count >= 2],
+        title="Table 7 reproduction (canoe partial paths with count >= 2)",
+    ))
+    print()
+    print(format_table(
+        ["Rank", "Canoe tag", "count", "LoC tag", "count"],
+        [
+            [
+                i + 1,
+                canoe_rank[i].tag if i < len(canoe_rank) else "",
+                int(canoe_rank[i].score) if i < len(canoe_rank) else "",
+                loc_rank[i].tag if i < len(loc_rank) else "",
+                int(loc_rank[i].score) if i < len(loc_rank) else "",
+            ]
+            for i in range(max(len(canoe_rank), len(loc_rank)))
+        ],
+        title="Table 8 reproduction",
+    ))
+
+    counts = {r.dotted: r.count for r in paths}
+    assert counts["table.tr.td"] == 26
+    assert counts["table.tr.td.table.tr.td.font.b"] == 24
+    assert [(r.tag, int(r.score)) for r in canoe_rank[:4]] == [
+        ("table", 26), ("form", 2), ("img", 2), ("br", 2),
+    ]
+    assert [(r.tag, int(r.score)) for r in loc_rank] == [
+        ("hr", 21), ("a", 21), ("pre", 20), ("form", 8),
+    ]

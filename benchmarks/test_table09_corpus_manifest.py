@@ -1,0 +1,62 @@
+"""Tables 9, 12, 18, 21-23: the web-site manifest and corpus scale.
+
+The paper's splits: 15 test sites (~500 pages), 25 experimental sites
+(~1,500 pages), 5 BYU-hostile sites.  The timed kernel is full corpus
+generation -- the substitute for the paper's crawl.
+"""
+
+from repro.corpus import (
+    CorpusGenerator,
+    EXPERIMENTAL_SITES,
+    HARD_SITES,
+    TEST_SITES,
+    all_sites,
+)
+from repro.corpus.sites import EXTRA_SITES
+from repro.eval.report import format_table
+
+
+def reproduce():
+    generator = CorpusGenerator(max_pages_per_site=2)
+    return generator.generate(TEST_SITES + EXPERIMENTAL_SITES)
+
+
+def test_manifest(benchmark, test_pages, experimental_pages):
+    benchmark(reproduce)  # timed kernel: 2-page/site generation
+
+    print()
+    rows = [
+        [spec.name, spec.date, spec.template, spec.pages]
+        for spec in TEST_SITES
+    ]
+    print(format_table(["Website", "Date", "Layout family", "Pages"], rows,
+                       title="Table 9/21 reproduction: test sites"))
+    print()
+    rows = [
+        [spec.name, spec.date, spec.template, spec.pages]
+        for spec in EXPERIMENTAL_SITES
+    ]
+    print(format_table(["Website", "Date", "Layout family", "Pages"], rows,
+                       title="Table 12/22 reproduction: experimental sites"))
+    print()
+    rows = [
+        [spec.name, spec.date, spec.template, spec.pages]
+        for spec in EXTRA_SITES
+    ]
+    print(format_table(["Website", "Date", "Layout family", "Pages"], rows,
+                       title="Table 23 extras: cached but outside both splits"))
+    print()
+    print(f"generated test pages:         {len(test_pages)}")
+    print(f"generated experimental pages: {len(experimental_pages)}")
+    print(f"total manifest:               {len(all_sites())} sites, "
+          f"{sum(s.pages for s in all_sites())} pages")
+
+    assert len(TEST_SITES) == 15
+    assert len(EXPERIMENTAL_SITES) == 25
+    assert len(HARD_SITES) == 5
+    assert len(all_sites()) == 48  # Table 23's row count
+    assert sum(s.pages for s in all_sites()) >= 2000  # "more than 2,000 pages"
+    import os
+    if not os.environ.get("REPRO_BENCH_PAGES"):
+        assert 450 <= len(test_pages) <= 750        # paper: "500 web pages"
+        assert 1400 <= len(experimental_pages) <= 1600  # paper: "1,500"

@@ -1,0 +1,54 @@
+"""Table 10: rank-probability distribution of the five heuristics (test split).
+
+Paper (15 sites / ~500 pages):
+
+    SD  .78 .18 .10 -  -      RP  .73 .13 -  -  -
+    IPS .40 .46 .13 .07 -     PP  .85 .06 .02 -  -
+    SB  .63 .17 .12 .06 .03
+
+Reproduced shape: every heuristic concentrates its mass at rank 1 with a
+rank-2 tail; PP is the strongest individual.  (Known deviation: our IPS is
+stronger at rank 1 than the paper's 0.40 because the Table 4 lists match
+the synthetic anchors cleanly; see EXPERIMENTS.md.)
+"""
+
+from conftest import omini_heuristics
+
+from repro.eval import rank_distribution
+from repro.eval.report import format_table
+
+PAPER = {
+    "SD": (0.78, 0.18, 0.10, 0.00, 0.00),
+    "RP": (0.73, 0.13, 0.00, 0.00, 0.00),
+    "IPS": (0.40, 0.46, 0.13, 0.07, 0.00),
+    "PP": (0.85, 0.06, 0.02, 0.00, 0.00),
+    "SB": (0.63, 0.17, 0.12, 0.06, 0.03),
+}
+
+
+def reproduce(evaluated):
+    return {h.name: rank_distribution(h, evaluated) for h in omini_heuristics()}
+
+
+def test_table10(benchmark, test_evaluated):
+    distributions = benchmark.pedantic(
+        reproduce, args=(test_evaluated,), rounds=1, iterations=1
+    )
+
+    print()
+    rows = []
+    for name, dist in distributions.items():
+        rows.append([name] + [f"{v:.2f}" for v in dist]
+                    + ["paper:"] + [f"{v:.2f}" for v in PAPER[name]])
+    print(format_table(
+        ["Heuristic", "R1", "R2", "R3", "R4", "R5", "", "p1", "p2", "p3", "p4", "p5"],
+        rows,
+        title=f"Table 10 reproduction ({len(test_evaluated)} test pages)",
+    ))
+
+    # Shape assertions.
+    for name, dist in distributions.items():
+        assert dist[0] >= 0.45, name          # rank 1 carries the mass
+        assert sum(dist) <= 1.0 + 1e-9
+    assert distributions["PP"][0] == max(d[0] for d in distributions.values())
+    assert distributions["SB"][0] <= distributions["PP"][0] - 0.1  # SB weakest band

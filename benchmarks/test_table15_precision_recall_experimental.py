@@ -1,0 +1,51 @@
+"""Table 15: success / precision / recall on the experimental split.
+
+Paper:
+
+    SD  .77 / 1.00 / .77      RP  .77 / .97 / .77
+    IPS .88 / .94 / .88       PP  .93 / 1.00 / .93
+    SB  .71 / .97 / .71       RSIPB .94 / 1.00 / .94
+"""
+
+from conftest import omini_heuristics
+
+from repro.core.separator import CombinedSeparatorFinder
+from repro.eval import score_outcomes, separator_outcomes
+from repro.eval.report import format_table
+
+PAPER = {
+    "SD": (0.77, 1.00), "RP": (0.77, 0.97), "IPS": (0.88, 0.94),
+    "PP": (0.93, 1.00), "SB": (0.71, 0.97), "RSIPB": (0.94, 1.00),
+}
+
+
+def reproduce(evaluated, profiles):
+    rows = {}
+    for h in omini_heuristics():
+        rows[h.name] = score_outcomes(separator_outcomes(h, evaluated))
+    combined = CombinedSeparatorFinder(omini_heuristics(), profiles=dict(profiles))
+    rows["RSIPB"] = score_outcomes(separator_outcomes(combined, evaluated))
+    return rows
+
+
+def test_table15(benchmark, experimental_evaluated, omini_profiles):
+    scores = benchmark.pedantic(
+        reproduce, args=(experimental_evaluated, omini_profiles), rounds=1, iterations=1
+    )
+
+    print()
+    print(format_table(
+        ["Heuristic", "Success", "Precision", "Recall", "paper (succ, prec)"],
+        [
+            [name, s.success, s.precision, s.recall, str(PAPER[name])]
+            for name, s in scores.items()
+        ],
+        title=f"Table 15 reproduction ({len(experimental_evaluated)} experimental pages)",
+    ))
+
+    assert scores["SD"].precision == 1.0
+    assert scores["RSIPB"].precision == 1.0
+    assert scores["RSIPB"].success >= 0.90
+    for name, s in scores.items():
+        paper_success, _ = PAPER[name]
+        assert abs(s.success - paper_success) < 0.15, (name, s.success)

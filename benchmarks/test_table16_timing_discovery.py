@@ -1,0 +1,63 @@
+"""Table 16: per-phase execution time with full discovery on every page.
+
+Paper (milliseconds, averaged, 10 runs/page):
+
+    split         read  parse  subtree  separator  combine  construct  total
+    Test           8.5   95.9   32.8     64.9       0.31     0.08      203
+    Experimental  13.2  131.0   46.2     58.1       0.25     0.21      249
+
+Absolute numbers reflect 2000-era JVMs; the reproduced *shape* is the cost
+ordering: parse dominates, subtree+separator discovery are the significant
+algorithmic costs, combination and construction are negligible.
+"""
+
+import pytest
+
+from repro.corpus import CorpusGenerator, EXPERIMENTAL_SITES, PageCache, TEST_SITES
+from repro.eval.report import format_table
+from repro.eval.timing import PHASE_COLUMNS, TimingBreakdown, time_pipeline
+
+
+@pytest.fixture(scope="module")
+def cache(tmp_path_factory):
+    root = tmp_path_factory.mktemp("timing-corpus")
+    cache = PageCache(root)
+    generator = CorpusGenerator(max_pages_per_site=3)
+    cache.populate(TEST_SITES + EXPERIMENTAL_SITES, generator)
+    return cache
+
+
+def test_table16(benchmark, cache):
+    def run() -> list[TimingBreakdown]:
+        test_sites = {s.name for s in TEST_SITES}
+        parts = []
+        for label, members in (("Test", TEST_SITES), ("Experimental", EXPERIMENTAL_SITES)):
+            rows = [
+                time_pipeline(cache, label=label, site=s.name, repetitions=2)
+                for s in members[:6]
+            ]
+            parts.append(TimingBreakdown.merge(label, rows))
+        parts.append(TimingBreakdown.merge("Combined", parts))
+        return parts
+
+    breakdowns = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print()
+    rows = []
+    for part in breakdowns:
+        averages = part.averages()
+        rows.append([part.label] + [averages[c] for c in PHASE_COLUMNS])
+    print(format_table(
+        ["Split", "Read", "Parse", "Subtree", "Separator", "Combine", "Construct", "Total"],
+        rows,
+        title="Table 16 reproduction: per-phase time (ms, full discovery)",
+        float_format="{:.2f}",
+    ))
+
+    combined = breakdowns[-1].averages()
+    # Shape: parse dominates I/O; discovery phases cost real time;
+    # combination + construction are negligible (paper: < 1 ms).
+    assert combined["parse_page"] > combined["read_file"]
+    assert combined["choose_subtree"] + combined["object_separator"] > combined["combine_heuristics"]
+    assert combined["combine_heuristics"] < combined["total"] * 0.2
+    assert combined["total"] < 1000  # well under a second per page (paper: ~0.2 s)

@@ -1,0 +1,73 @@
+"""Table 17: per-phase time with cached extraction rules (Section 6.6).
+
+Paper: with rules, choose-subtree drops from ~41 ms to ~7 ms, separator
+discovery disappears, construction stays small -- total nearly halves, and
+extraction time becomes dominated by read+parse.
+
+Reproduced shape: the choose+separator+combine cost drops by an order of
+magnitude versus Table 16's discovery path, and total time is read+parse
+dominated.
+"""
+
+import pytest
+
+from repro.corpus import CorpusGenerator, EXPERIMENTAL_SITES, PageCache, TEST_SITES
+from repro.eval.report import format_table
+from repro.eval.timing import PHASE_COLUMNS, TimingBreakdown, time_pipeline
+
+
+@pytest.fixture(scope="module")
+def cache(tmp_path_factory):
+    root = tmp_path_factory.mktemp("timing-corpus-rules")
+    cache = PageCache(root)
+    generator = CorpusGenerator(max_pages_per_site=3)
+    cache.populate(TEST_SITES + EXPERIMENTAL_SITES, generator)
+    return cache
+
+
+def test_table17(benchmark, cache):
+    def run():
+        discovery_parts, cached_parts = [], []
+        for label, members in (("Test", TEST_SITES), ("Experimental", EXPERIMENTAL_SITES)):
+            discovery_rows = [
+                time_pipeline(cache, label=label, site=s.name, repetitions=2)
+                for s in members[:6]
+            ]
+            cached_rows = [
+                time_pipeline(
+                    cache, label=label, site=s.name, repetitions=2, use_rules=True
+                )
+                for s in members[:6]
+            ]
+            discovery_parts.append(TimingBreakdown.merge(label, discovery_rows))
+            cached_parts.append(TimingBreakdown.merge(label, cached_rows))
+        return (
+            TimingBreakdown.merge("Combined/discovery", discovery_parts),
+            TimingBreakdown.merge("Combined/cached", cached_parts),
+            cached_parts,
+        )
+
+    discovery, cached, per_split = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print()
+    rows = []
+    for part in per_split + [cached]:
+        averages = part.averages()
+        rows.append([part.label] + [averages[c] for c in PHASE_COLUMNS])
+    print(format_table(
+        ["Split", "Read", "Parse", "Subtree", "Separator", "Combine", "Construct", "Total"],
+        rows,
+        title="Table 17 reproduction: per-phase time (ms, cached rules)",
+        float_format="{:.3f}",
+    ))
+    d, c = discovery.averages(), cached.averages()
+    print(f"\ndiscovery total {d['total']:.2f} ms vs cached {c['total']:.2f} ms "
+          f"({d['total'] / c['total']:.2f}x)")
+
+    # Shape assertions from the paper's conclusion.
+    discovery_choose = d["choose_subtree"] + d["object_separator"] + d["combine_heuristics"]
+    cached_choose = c["choose_subtree"] + c["object_separator"] + c["combine_heuristics"]
+    assert cached_choose < discovery_choose / 5  # "an order of magnitude faster"
+    assert c["object_separator"] == 0.0          # discovery skipped entirely
+    assert c["read_file"] + c["parse_page"] > 0.5 * c["total"]  # I/O dominated
+    assert c["total"] < d["total"]

@@ -1,0 +1,59 @@
+"""Tables 18/19: the BYU system versus Omini on the five hard sites.
+
+Paper (bookpool, ebay, goto, powells, signpost):
+
+    Embley:   RP 19, SD 23, IT 40, HC 40  ->  HTRS 59
+    Extended: RP 19, SD 23, IPS 76, SB 56, PP 78  ->  RSIPB 93
+
+Reproduced shape: every BYU heuristic collapses well below its global rate;
+Omini's IPS/PP stay high; the combined gap (RSIPB - HTRS) is >= 20 points.
+"""
+
+from conftest import omini_heuristics
+
+from repro.baselines import byu_heuristics
+from repro.core.separator import CombinedSeparatorFinder
+from repro.eval import score_outcomes, separator_outcomes
+from repro.eval.metrics import success_rate
+from repro.eval.report import format_table
+
+PAPER = {
+    "RP": 0.19, "SD": 0.23, "IT": 0.40, "HC": 0.40,
+    "IPS": 0.76, "SB": 0.56, "PP": 0.78,
+    "HTRS": 0.59, "RSIPB": 0.93,
+}
+
+
+def reproduce(hard_evaluated, omini_profiles, byu_profiles):
+    rates = {}
+    for h in byu_heuristics() + omini_heuristics():
+        rates.setdefault(h.name, success_rate(separator_outcomes(h, hard_evaluated)))
+    byu = CombinedSeparatorFinder(byu_heuristics(), profiles=dict(byu_profiles))
+    omini = CombinedSeparatorFinder(omini_heuristics(), profiles=dict(omini_profiles))
+    rates["HTRS"] = success_rate(separator_outcomes(byu, hard_evaluated))
+    rates["RSIPB"] = success_rate(separator_outcomes(omini, hard_evaluated))
+    return rates
+
+
+def test_table19(benchmark, hard_evaluated, omini_profiles, byu_profiles):
+    rates = benchmark.pedantic(
+        reproduce,
+        args=(hard_evaluated, omini_profiles, byu_profiles),
+        rounds=1,
+        iterations=1,
+    )
+
+    print()
+    print(format_table(
+        ["Heuristic", "Success", "Paper"],
+        [[name, rate, PAPER.get(name, float("nan"))] for name, rate in rates.items()],
+        title=f"Table 19 reproduction ({len(hard_evaluated)} hard-site pages)",
+    ))
+
+    assert rates["RSIPB"] >= rates["HTRS"] + 0.20  # the paper's 93 vs 59
+    assert rates["RSIPB"] >= 0.85
+    assert rates["HTRS"] <= 0.75
+    assert rates["SD"] <= 0.35   # paper: 23%
+    assert rates["IT"] <= 0.60   # paper: 40%
+    assert rates["IPS"] >= 0.60  # paper: 76%
+    assert rates["PP"] >= 0.60   # paper: 78%

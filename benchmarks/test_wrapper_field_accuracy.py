@@ -1,0 +1,83 @@
+"""Extension bench: field-level accuracy of the wrapper layer.
+
+Not a paper table (the paper stops at whole-object extraction); this bench
+covers the Section 7 integration layer we built on top: for every layout
+family, generate a wrapper from samples, wrap fresh pages, and score
+
+* title accuracy  -- wrapped records whose title matches a ground-truth
+  record title exactly;
+* url coverage    -- records carrying a non-empty url;
+* price coverage  -- records carrying a money-shaped price.
+"""
+
+from conftest import omini_heuristics
+
+from repro.core.pipeline import OminiExtractor
+from repro.core.separator import CombinedSeparatorFinder
+from repro.corpus import CorpusGenerator, site_by_name
+from repro.eval.report import format_table
+from repro.wrapper import generate_wrapper
+
+SITES = (
+    "www.bn.com",          # table rows
+    "www.canoe.com",       # nested tables
+    "www.loc.gov",         # hr/pre
+    "www.google.com",      # bullet list
+    "www.gamelan.com",     # definition list
+    "www.vnunet.com",      # paragraphs
+)
+
+
+def reproduce(profiles):
+    extractor = OminiExtractor(
+        separator_finder=CombinedSeparatorFinder(
+            omini_heuristics(), profiles=dict(profiles)
+        )
+    )
+    generator = CorpusGenerator(max_pages_per_site=8)
+    rows = []
+    for name in SITES:
+        pages = [
+            p
+            for p in generator.pages_for_site(site_by_name(name))
+            if p.truth.object_count > 0
+        ]
+        train, test = pages[:3], pages[3:6]
+        wrapper = generate_wrapper(name, [p.html for p in train], extractor=extractor)
+        total = matched = with_url = with_price = 0
+        for page in test:
+            truth_titles = set(page.truth.object_texts)
+            for record in wrapper.wrap(page.html):
+                total += 1
+                if record.title in truth_titles:
+                    matched += 1
+                if record.url:
+                    with_url += 1
+                if record.price:
+                    with_price += 1
+        rows.append(
+            (
+                name,
+                matched / total if total else 0.0,
+                with_url / total if total else 0.0,
+                with_price / total if total else 0.0,
+            )
+        )
+    return rows
+
+
+def test_field_accuracy(benchmark, omini_profiles):
+    rows = benchmark.pedantic(
+        reproduce, args=(omini_profiles,), rounds=1, iterations=1
+    )
+
+    print()
+    print(format_table(
+        ["Site", "Title accuracy", "URL coverage", "Price coverage"],
+        rows,
+        title="Extension: wrapper field-level accuracy per layout family",
+    ))
+
+    for name, title_acc, url_cov, _price in rows:
+        assert title_acc >= 0.9, name
+        assert url_cov >= 0.9, name

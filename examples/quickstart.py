@@ -1,0 +1,58 @@
+"""Quickstart: extract data objects from a web page with three lines.
+
+Runs the full Omini pipeline (Figure 3 of the paper) on a small synthetic
+book-store results page: normalize the tag soup, find the object-rich
+subtree, discover the separator tag, and construct + refine the objects.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import OminiExtractor
+
+PAGE = """
+<html><head><title>BookWeb search</title></head><body>
+<center><img src="/ads/banner.gif"></center>
+<table><tr><td>
+  <a href="/">Home</a><br><a href="/bestsellers">Bestsellers</a><br>
+  <a href="/contact">Contact</a><br><a href="/help">Help</a>
+</td></tr></table>
+<form action="/search"><input name="q"><input type="submit"></form>
+<table border="0">
+  <tr><td><a href="/book/1"><b>A River Atlas</b></a><br>
+      Maps of every navigable river, with portage notes.</td>
+      <td><i>Hartwell Press</i><br>$24.00</td></tr>
+  <tr><td><a href="/book/2"><b>The Glassblower's Apprentice</b></a><br>
+      A novel of the island furnaces.</td>
+      <td><i>Mandrel Books</i><br>$11.50</td></tr>
+  <tr><td><a href="/book/3"><b>Practical Celestial Navigation</b></a><br>
+      Sextant drills for small-boat sailors.</td>
+      <td><i>Hartwell Press</i><br>$18.75</td></tr>
+  <tr><td><a href="/book/4"><b>Fifty Soup Dumplings</b></a><br>
+      A cook's tour of steamed and fried fillings.</td>
+      <td><i>Wok &amp; Ladle</i><br>$9.99</td></tr>
+</table>
+<p><a href="/footer/about">About</a> | <a href="/footer/jobs">Jobs</a><br>
+Copyright 2000 BookWeb Inc.</p>
+</body></html>
+"""
+
+
+def main() -> None:
+    extractor = OminiExtractor()
+    result = extractor.extract(PAGE)
+
+    print(f"object-rich subtree : {result.subtree_path}")
+    print(f"object separator    : <{result.separator}>")
+    print(f"objects extracted   : {len(result.objects)}"
+          f" (from {result.candidate_objects} candidates)\n")
+    for index, obj in enumerate(result.objects, 1):
+        print(f"[{index}] {obj.text()}")
+
+    assert result.separator == "tr"
+    assert len(result.objects) == 4
+
+
+if __name__ == "__main__":
+    main()

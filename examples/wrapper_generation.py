@@ -1,0 +1,71 @@
+"""Automated wrapper generation and evolution (Section 7's future work).
+
+The paper closes by promising to combine Omini with a wrapper-generation
+system (XWRAP Elite) "to automate the wrapper generation and evolution
+process".  This example demonstrates that layer:
+
+1. generate a wrapper for a site from a handful of sample result pages
+   (majority vote over fully automatic extractions — no human input);
+2. serialize it to the JSON spec an integration service would store;
+3. apply it to fresh pages, getting *normalized records* (title, url,
+   price, byline, description) rather than raw HTML fragments;
+4. survive a site redesign: the stale wrapper raises, a new one is
+   generated from fresh samples — the evolution loop, automated.
+
+Run with::
+
+    python examples/wrapper_generation.py
+"""
+
+from repro.corpus import CorpusGenerator, site_by_name
+from repro.wrapper import Wrapper, WrapperError, generate_wrapper
+
+
+def sample_pages(name: str, count: int):
+    spec = site_by_name(name)
+    pages = CorpusGenerator(max_pages_per_site=count + 3).pages_for_site(spec)
+    return [p for p in pages if p.truth.object_count > 0][:count]
+
+
+def main() -> None:
+    samples = sample_pages("www.bn.com", 4)
+
+    # 1. Generate from samples (pure majority vote over Omini extractions).
+    wrapper = generate_wrapper("www.bn.com", [p.html for p in samples])
+    print("generated wrapper:")
+    print(f"  rule      = {wrapper.rule.subtree_path} / <{wrapper.rule.separator}>")
+    print(f"  consensus = {wrapper.consensus:.0%} over {wrapper.sample_pages} samples")
+
+    # 2. The serialized spec an aggregation service would store.
+    spec_json = wrapper.to_json()
+    print("\nwrapper spec (JSON):")
+    print("  " + spec_json.replace("\n", "\n  "))
+
+    # 3. Apply the (restored) wrapper to a fresh page.
+    restored = Wrapper.from_json(spec_json)
+    fresh = sample_pages("www.bn.com", 5)[-1]
+    records = restored.wrap(fresh.html)
+    print(f"\nwrapped a fresh page: {len(records)} normalized records")
+    for record in records[:3]:
+        print(f"  • title:  {record.title}")
+        print(f"    url:    {record.url}")
+        print(f"    price:  {record.price}   byline: {record.byline}")
+    print("  ...")
+
+    # 4. Evolution: a redesign breaks the wrapper; regeneration heals it.
+    redesigned = fresh.html.replace("<table id=", "<div><table id=").replace(
+        "</table>", "</table></div>", 1
+    )
+    try:
+        restored.wrap(redesigned)
+        raise AssertionError("stale wrapper should have raised")
+    except WrapperError as exc:
+        print(f"\nredesign detected: {exc}")
+    healed = generate_wrapper("www.bn.com", [redesigned])
+    print(f"regenerated rule = {healed.rule.subtree_path} / <{healed.rule.separator}>")
+    assert healed.wrap(redesigned), "healed wrapper must extract again"
+    print("evolution loop closed: the new wrapper extracts from the redesigned site")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+"""Omini — a fully automated object extraction system for the Web.
+
+Reproduction of Buttler, Liu, Pu (ICDCS 2001).  Quickstart::
+
+    from repro import OminiExtractor
+
+    extractor = OminiExtractor()
+    result = extractor.extract(html_text)
+    for obj in result.objects:
+        print(obj.text())
+
+Package map:
+
+* :mod:`repro.html`       -- tokenizer + Tidy-equivalent normalizer (Phase 1)
+* :mod:`repro.tree`       -- tag-tree model and metrics (Section 2)
+* :mod:`repro.core`       -- subtree + separator heuristics, combination,
+  object construction/refinement, rule caching (Sections 3-6)
+* :mod:`repro.baselines`  -- the BYU comparison system (Section 6.7)
+* :mod:`repro.corpus`     -- synthetic labeled web corpus (Section 6.3)
+* :mod:`repro.eval`       -- success/precision/recall harness and the
+  combination sweep (Section 6)
+"""
+
+from repro.core import (
+    CombinedSeparatorFinder,
+    CombinedSubtreeFinder,
+    ExtractedObject,
+    ExtractionResult,
+    ExtractionRule,
+    GSIHeuristic,
+    HFHeuristic,
+    IPSHeuristic,
+    LTCHeuristic,
+    OminiExtractor,
+    PPHeuristic,
+    RPHeuristic,
+    RuleStore,
+    SBHeuristic,
+    SDHeuristic,
+    extract_objects,
+)
+from repro.tree import parse_document, render_tree
+from repro.wrapper import (
+    FieldExtractor,
+    ObjectFields,
+    Wrapper,
+    WrapperError,
+    generate_wrapper,
+)
+from repro.aggregate import MetaSearch, SyntheticProvider
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CombinedSeparatorFinder",
+    "CombinedSubtreeFinder",
+    "ExtractedObject",
+    "ExtractionResult",
+    "ExtractionRule",
+    "GSIHeuristic",
+    "HFHeuristic",
+    "IPSHeuristic",
+    "LTCHeuristic",
+    "OminiExtractor",
+    "PPHeuristic",
+    "RPHeuristic",
+    "RuleStore",
+    "SBHeuristic",
+    "SDHeuristic",
+    "FieldExtractor",
+    "MetaSearch",
+    "ObjectFields",
+    "SyntheticProvider",
+    "Wrapper",
+    "WrapperError",
+    "extract_objects",
+    "generate_wrapper",
+    "parse_document",
+    "render_tree",
+]

@@ -1,0 +1,133 @@
+"""Cross-site record aggregation: dedup and ranking (Section 1).
+
+Once every provider's results are normalized (via
+:class:`repro.wrapper.fields.FieldExtractor`), the integration server must
+merge them: the same book shows up at three book stores under slightly
+different titles.  This module supplies the two aggregation primitives:
+
+* :func:`dedupe_records` -- cluster records whose titles token-overlap
+  beyond a Jaccard threshold, keeping one representative per cluster and
+  recording every source offer (site + price);
+* :func:`rank_records` -- order merged records by query relevance
+  (query-token overlap with title and description), breaking ties by number
+  of corroborating sources.
+
+Both are deliberately simple, deterministic, dependency-free algorithms:
+semantic heterogeneity is explicitly out of the paper's scope ("other
+important problems include resolving semantic heterogeneity ...", Section
+1), so this layer only needs to be a credible consumer of the extraction
+output.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.wrapper.fields import ObjectFields
+
+_TOKEN_RE = re.compile(r"[a-z0-9]+")
+
+#: Words too common to indicate a match on their own.
+_STOPWORDS = frozenset(
+    "a an and at by for from in of on or the to with".split()
+)
+
+
+def _tokens(text: str) -> frozenset[str]:
+    return frozenset(
+        token
+        for token in _TOKEN_RE.findall(text.lower())
+        if token not in _STOPWORDS
+    )
+
+
+def title_similarity(a: str, b: str) -> float:
+    """Jaccard similarity of title token sets, in [0, 1]."""
+    ta, tb = _tokens(a), _tokens(b)
+    if not ta or not tb:
+        return 0.0
+    return len(ta & tb) / len(ta | tb)
+
+
+@dataclass
+class Offer:
+    """One provider's instance of a merged record."""
+
+    site: str
+    url: str = ""
+    price: str = ""
+
+
+@dataclass
+class MergedRecord:
+    """One aggregated record with provenance across providers."""
+
+    title: str
+    description: str = ""
+    offers: list[Offer] = field(default_factory=list)
+    #: Relevance score assigned by :func:`rank_records` (higher first).
+    relevance: float = 0.0
+
+    @property
+    def sites(self) -> list[str]:
+        return [offer.site for offer in self.offers]
+
+
+def dedupe_records(
+    records: list[tuple[str, ObjectFields]],
+    *,
+    threshold: float = 0.6,
+) -> list[MergedRecord]:
+    """Cluster (site, fields) pairs into merged records.
+
+    Greedy single-pass clustering: each record joins the first existing
+    cluster whose representative title is at least ``threshold`` similar,
+    else founds a new cluster.  Greedy is order-dependent in theory; titles
+    either match well (same item) or barely at all (different items), so in
+    practice -- and in the property tests -- the clustering is stable.
+    """
+    merged: list[MergedRecord] = []
+    for site, fields in records:
+        if not fields.title:
+            continue
+        home = None
+        for cluster in merged:
+            if title_similarity(cluster.title, fields.title) >= threshold:
+                home = cluster
+                break
+        if home is None:
+            home = MergedRecord(
+                title=fields.title, description=fields.description
+            )
+            merged.append(home)
+        elif len(fields.description) > len(home.description):
+            home.description = fields.description
+        home.offers.append(Offer(site=site, url=fields.url, price=fields.price))
+    return merged
+
+
+def rank_records(
+    merged: list[MergedRecord], query: str
+) -> list[MergedRecord]:
+    """Order merged records by query relevance, then corroboration.
+
+    Relevance = (2 * |query ∩ title tokens| + |query ∩ description tokens|)
+    / (3 * |query tokens|), which is 1.0 when every query token appears in
+    both title and description; corroboration = number of offers.  Returns
+    a new list sorted best-first with ``relevance`` filled in.
+    """
+    query_tokens = _tokens(query)
+    scored: list[MergedRecord] = []
+    for record in merged:
+        if query_tokens:
+            title_hits = len(query_tokens & _tokens(record.title))
+            description_hits = len(query_tokens & _tokens(record.description))
+            record.relevance = (2 * title_hits + description_hits) / (
+                3 * len(query_tokens)
+            )
+        else:
+            record.relevance = 0.0
+        scored.append(record)
+    scored.sort(key=lambda r: (-r.relevance, -len(r.offers), r.title))
+    return scored

@@ -1,0 +1,68 @@
+"""Content providers: the query-forwarding half of a wrapper (Section 1).
+
+"First it transforms a search request at the aggregation server to a search
+request at the remote information source provided by a content provider."
+
+:class:`ContentProvider` is the minimal protocol the integration server
+needs: given a query word, return the provider's result page (HTML).
+:class:`SyntheticProvider` backs it with the corpus generator -- the same
+substitution the whole evaluation uses (the paper itself ran against cached
+local copies, not the live sites).  A real deployment would implement the
+same protocol with an HTTP fetch of the site's search URL.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol
+
+from repro.corpus.generator import CorpusGenerator, LabeledPage
+from repro.corpus.sites import SiteSpec, site_by_name
+
+
+class ContentProvider(Protocol):
+    """A remote information source reachable by query word."""
+
+    #: Site name used for provenance in merged results.
+    name: str
+
+    def search(self, query: str) -> str:
+        """Return the provider's result page (HTML) for ``query``."""
+        ...  # pragma: no cover - protocol definition
+
+
+@dataclass
+class SyntheticProvider:
+    """A corpus-backed content provider (deterministic per query).
+
+    Each distinct query deterministically generates a fresh result page for
+    the provider's site, so repeated searches are stable and different
+    queries return different records -- the behaviour a cached crawl of a
+    real search form exhibits.
+    """
+
+    spec: SiteSpec
+    _cache: dict[str, LabeledPage] = field(default_factory=dict, repr=False)
+
+    @classmethod
+    def for_site(cls, name: str) -> "SyntheticProvider":
+        """Provider for one of the manifest sites (Tables 9/12)."""
+        return cls(site_by_name(name))
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    def search(self, query: str) -> str:
+        return self.search_labeled(query).html
+
+    def search_labeled(self, query: str) -> LabeledPage:
+        """Like :meth:`search` but keeps the ground truth (for tests)."""
+        if query not in self._cache:
+            generator = CorpusGenerator()
+            self._cache[query] = generator.page_for_query(self.spec, query)
+        return self._cache[query]
+
+    def sample_pages(self, count: int = 3) -> list[str]:
+        """Result pages for wrapper generation (distinct synthetic queries)."""
+        return [self.search(f"__sample_{i}") for i in range(count)]

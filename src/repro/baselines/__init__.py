@@ -1,0 +1,5 @@
+"""Baseline systems the paper compares against."""
+
+from repro.baselines.byu import BYUExtractor, byu_combination, byu_heuristics
+
+__all__ = ["BYUExtractor", "byu_combination", "byu_heuristics"]

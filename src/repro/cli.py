@@ -1,0 +1,248 @@
+"""Command-line interface (the "user or application" entry point of Fig. 3).
+
+Usage::
+
+    omini extract PAGE.html [--site NAME --rules RULES.json] [--json]
+    omini tree PAGE.html [--metrics] [--depth N]
+    omini rank PAGE.html              # subtree + separator rankings
+    omini corpus OUTDIR [--split test|experimental|all] [--pages N]
+    omini wrap-generate SITE SAMPLE.html [SAMPLE2.html ...] -o WRAPPER.json
+    omini wrap-apply WRAPPER.json PAGE.html [--json]
+    omini diff OLD.html NEW.html
+
+``extract`` runs the full three-phase pipeline and prints one object per
+block; ``tree`` prints the Phase 1 tag tree (Figures 1/5 style); ``rank``
+shows the Phase 2 evidence (how each heuristic voted); ``corpus``
+materializes the synthetic evaluation corpus to disk; the ``wrap-*``
+commands drive the Section 7 wrapper-generation layer.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.core.pipeline import OminiExtractor
+from repro.core.rules import RuleStore
+from repro.core.separator.base import build_context
+from repro.core.subtree import (
+    CombinedSubtreeFinder,
+    GSIHeuristic,
+    HFHeuristic,
+    LTCHeuristic,
+)
+from repro.tree.builder import parse_document
+from repro.tree.render import render_tree
+
+
+def _cmd_extract(args: argparse.Namespace) -> int:
+    store = RuleStore(args.rules) if args.rules else None
+    extractor = OminiExtractor(rule_store=store)
+    result = extractor.extract_file(args.page, site=args.site)
+    if store is not None and args.rules:
+        store.save()
+    if args.json:
+        payload = {
+            "subtree": result.subtree_path,
+            "separator": result.separator,
+            "candidates": result.candidate_objects,
+            "objects": [obj.text() for obj in result.objects],
+            "used_cached_rule": result.used_cached_rule,
+            "timings_ms": result.timings.as_milliseconds(),
+        }
+        print(json.dumps(payload, indent=2))
+        return 0
+    print(f"subtree:   {result.subtree_path}")
+    print(f"separator: {result.separator}")
+    print(f"objects:   {len(result.objects)} (from {result.candidate_objects} candidates)")
+    if result.used_cached_rule:
+        print("(extracted via cached rule)")
+    for index, obj in enumerate(result.objects, 1):
+        print(f"\n--- object {index} ---")
+        print(obj.text())
+    return 0
+
+
+def _cmd_tree(args: argparse.Namespace) -> int:
+    with open(args.page, encoding="utf-8", errors="replace") as handle:
+        root = parse_document(handle.read())
+    print(
+        render_tree(
+            root,
+            metrics=args.metrics,
+            max_depth=args.depth,
+            show_text=not args.no_text,
+        )
+    )
+    return 0
+
+
+def _cmd_rank(args: argparse.Namespace) -> int:
+    with open(args.page, encoding="utf-8", errors="replace") as handle:
+        root = parse_document(handle.read())
+    print("subtree rankings (top 5):")
+    for heuristic in (HFHeuristic(), GSIHeuristic(), LTCHeuristic(), CombinedSubtreeFinder()):
+        rows = heuristic.rank(root, limit=5)
+        print(f"  {heuristic.name}:")
+        for entry in rows:
+            print(f"    {entry.score:12.2f}  {entry.path}")
+    chosen = CombinedSubtreeFinder().choose(root)
+    context = build_context(chosen)
+    extractor = OminiExtractor()
+    print("\nseparator rankings on the chosen subtree:")
+    for heuristic in extractor.separator_finder.heuristics:
+        ranking = heuristic.rank(context)
+        tags = ", ".join(f"{r.tag}({r.detail})" for r in ranking[:4])
+        print(f"  {heuristic.name}: {tags or '(no answer)'}")
+    combined = extractor.separator_finder.rank(context)
+    print("  combined:", ", ".join(f"{r.tag}={r.score:.3f}" for r in combined[:5]))
+    return 0
+
+
+def _cmd_corpus(args: argparse.Namespace) -> int:
+    from repro.corpus import (
+        CorpusGenerator,
+        EXPERIMENTAL_SITES,
+        PageCache,
+        TEST_SITES,
+    )
+
+    split = {
+        "test": TEST_SITES,
+        "experimental": EXPERIMENTAL_SITES,
+        "all": TEST_SITES + EXPERIMENTAL_SITES,
+    }[args.split]
+    cache = PageCache(args.outdir)
+    generator = CorpusGenerator(max_pages_per_site=args.pages)
+    count = cache.populate(split, generator)
+    print(f"wrote {count} pages under {cache.root}")
+    return 0
+
+
+def _read(path: str) -> str:
+    with open(path, encoding="utf-8", errors="replace") as handle:
+        return handle.read()
+
+
+def _cmd_wrap_generate(args: argparse.Namespace) -> int:
+    from repro.wrapper import WrapperError, generate_wrapper
+
+    try:
+        wrapper = generate_wrapper(args.site, [_read(p) for p in args.samples])
+    except WrapperError as exc:
+        print(f"wrapper generation failed: {exc}")
+        return 1
+    with open(args.output, "w", encoding="utf-8") as handle:
+        handle.write(wrapper.to_json())
+    print(
+        f"wrote {args.output}: {wrapper.rule.subtree_path} / "
+        f"<{wrapper.rule.separator}> "
+        f"(consensus {wrapper.consensus:.0%} over {wrapper.sample_pages} samples)"
+    )
+    return 0
+
+
+def _cmd_wrap_apply(args: argparse.Namespace) -> int:
+    from repro.wrapper import Wrapper, WrapperError
+
+    wrapper = Wrapper.from_json(_read(args.wrapper))
+    try:
+        records = wrapper.wrap(_read(args.page))
+    except WrapperError as exc:
+        print(f"wrapper is stale: {exc}")
+        print("regenerate it with: omini wrap-generate "
+              f"{wrapper.site} <fresh samples> -o {args.wrapper}")
+        return 2
+    if args.json:
+        print(json.dumps([r.as_dict() for r in records], indent=2))
+        return 0
+    print(f"{len(records)} records from {wrapper.site}:")
+    for record in records:
+        print(f"  • {record.title}")
+        if record.url:
+            print(f"    url: {record.url}")
+        details = " | ".join(x for x in (record.price, record.byline) if x)
+        if details:
+            print(f"    {details}")
+    return 0
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    from repro.tree.builder import parse_document as _parse
+    from repro.tree.diff import diff_trees
+
+    old = _parse(_read(args.old))
+    new = _parse(_read(args.new))
+    changes = diff_trees(old, new, compare_attrs=args.attrs)
+    if not changes:
+        print("no structural differences")
+        return 0
+    for change in changes:
+        print(f"{change.kind:9s} {change.path}  {change.detail}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="omini",
+        description="Omini: fully automated object extraction from Web pages",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("extract", help="extract objects from an HTML file")
+    p.add_argument("page", help="path to the HTML file")
+    p.add_argument("--site", help="site key for rule caching")
+    p.add_argument("--rules", help="JSON rule-store path (enables Section 6.6 caching)")
+    p.add_argument("--json", action="store_true", help="machine-readable output")
+    p.set_defaults(func=_cmd_extract)
+
+    p = sub.add_parser("tree", help="print the tag tree of a page")
+    p.add_argument("page")
+    p.add_argument("--metrics", action="store_true", help="annotate fanout/size/tags")
+    p.add_argument("--depth", type=int, default=None, help="maximum depth")
+    p.add_argument("--no-text", action="store_true", help="hide content nodes")
+    p.set_defaults(func=_cmd_tree)
+
+    p = sub.add_parser("rank", help="show subtree and separator rankings")
+    p.add_argument("page")
+    p.set_defaults(func=_cmd_rank)
+
+    p = sub.add_parser("corpus", help="materialize the synthetic corpus")
+    p.add_argument("outdir")
+    p.add_argument("--split", choices=("test", "experimental", "all"), default="test")
+    p.add_argument("--pages", type=int, default=None, help="cap pages per site")
+    p.set_defaults(func=_cmd_corpus)
+
+    p = sub.add_parser("wrap-generate", help="generate a site wrapper from samples")
+    p.add_argument("site")
+    p.add_argument("samples", nargs="+", help="sample result pages (HTML files)")
+    p.add_argument("-o", "--output", required=True, help="wrapper JSON path")
+    p.set_defaults(func=_cmd_wrap_generate)
+
+    p = sub.add_parser("wrap-apply", help="apply a generated wrapper to a page")
+    p.add_argument("wrapper", help="wrapper JSON path")
+    p.add_argument("page", help="HTML file to wrap")
+    p.add_argument("--json", action="store_true", help="machine-readable output")
+    p.set_defaults(func=_cmd_wrap_apply)
+
+    p = sub.add_parser("diff", help="structural diff of two pages")
+    p.add_argument("old")
+    p.add_argument("new")
+    p.add_argument("--attrs", action="store_true", help="also compare attributes")
+    p.set_defaults(func=_cmd_diff)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early; not an error.
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

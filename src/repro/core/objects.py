@@ -1,0 +1,172 @@
+"""Candidate object construction (Phase 3, first task).
+
+Given the chosen minimal subtree and separator tag, split the subtree's child
+sequence into candidate objects.  Section 3 notes the separator may play
+three roles, all handled here:
+
+* *between* objects -- e.g. ``<hr>`` between records: occurrences delimit
+  groups of siblings, and the separator node itself belongs to no object;
+* *root of* (or part of) an object -- e.g. each ``<table>``/``<tr>`` *is* a
+  record: each occurrence starts a new object that includes the occurrence;
+* *splitting* an object -- a record spanning several separator-started
+  groups; repairing that is the refinement step's job (merging is driven by
+  structural similarity, see :mod:`repro.core.refinement`).
+
+The two construction modes are distinguished automatically: when the
+separator tag's occurrences carry essentially all of the subtree's content
+(they are containers), the separator is treated as object root; when they
+are empty/thin (pure dividers like ``hr`` or ``br``), as a boundary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.tree.metrics import node_size, tag_count
+from repro.tree.node import ContentNode, Node, TagNode
+
+
+@dataclass
+class ExtractedObject:
+    """One extracted data object: a run of sibling nodes.
+
+    ``nodes`` are children of the chosen subtree, in document order.  The
+    object's textual content and structural signature drive refinement and
+    are what an aggregation service would normalize downstream.
+    """
+
+    nodes: list[Node] = field(default_factory=list)
+
+    @property
+    def size(self) -> int:
+        """Total content bytes of the object."""
+        return sum(node_size(node) for node in self.nodes)
+
+    @property
+    def tag_counts(self) -> int:
+        """Total node count of the object (Section 2.2 ``tagCount``)."""
+        return sum(tag_count(node) for node in self.nodes)
+
+    def text(self, separator: str = " ") -> str:
+        """Concatenated leaf content of the object."""
+        parts: list[str] = []
+        for node in self.nodes:
+            if isinstance(node, ContentNode):
+                parts.append(node.content)
+            else:
+                assert isinstance(node, TagNode)
+                text = node.text(separator)
+                if text:
+                    parts.append(text)
+        return separator.join(p for p in parts if p)
+
+    def tag_signature(self) -> frozenset[str]:
+        """The set of tag names occurring anywhere in the object.
+
+        Refinement compares signatures to spot objects "missing a common set
+        of tags or having too many unique tags" (Section 3, Phase 3).
+        """
+        names: set[str] = set()
+        stack: list[Node] = list(self.nodes)
+        while stack:
+            node = stack.pop()
+            if isinstance(node, TagNode):
+                names.add(node.name)
+                stack.extend(node.children)
+        return frozenset(names)
+
+    def __bool__(self) -> bool:
+        return bool(self.nodes)
+
+
+def _detect_mode(subtree: TagNode, separator: str) -> str:
+    """Classify the separator's role (Section 3, Phase 3).
+
+    "Sometimes the separator tag sits between objects, and other times it is
+    the root of the object or a part of the object."  The share of the
+    subtree's content carried by the separator occurrences decides:
+
+    * >= 50%          -- the separator *is* each object (``container``):
+      ``tr`` rows, ``li`` items, ``p`` blocks, nested ``table`` cards;
+    * 5% .. 50%       -- the separator holds the *leading part* of each
+      object (``leading``): ``dt`` titles followed by ``dd`` bodies;
+    * < 5% (usually 0) -- a thin divider *between* objects (``boundary``):
+      ``hr``, ``br``.
+    """
+    total = node_size(subtree)
+    if total == 0:
+        # No text at all (e.g. image grids): fall back to tag mass.
+        total_tags = sum(
+            tag_count(c) for c in subtree.children if isinstance(c, TagNode)
+        )
+        separator_tags = sum(
+            tag_count(c)
+            for c in subtree.children
+            if isinstance(c, TagNode) and c.name == separator
+        )
+        share = separator_tags / total_tags if total_tags else 0.0
+    else:
+        separator_size = sum(
+            node_size(c)
+            for c in subtree.children
+            if isinstance(c, TagNode) and c.name == separator
+        )
+        share = separator_size / total
+    if share >= 0.5:
+        return "container"
+    if share >= 0.05:
+        return "leading"
+    return "boundary"
+
+
+def construct_objects(
+    subtree: TagNode,
+    separator: str,
+    *,
+    mode: str = "auto",
+) -> list[ExtractedObject]:
+    """Split ``subtree``'s children into candidate objects at ``separator``.
+
+    ``mode`` is ``"auto"`` (default; see :func:`_detect_mode`),
+    ``"container"`` (each separator occurrence is one object), ``"leading"``
+    (each occurrence starts an object and belongs to it), or ``"boundary"``
+    (occurrences delimit objects and are discarded).
+
+    >>> from repro.tree import parse_document
+    >>> tree = parse_document("<ul><li>a</li><li>b</li><li>c</li></ul>")
+    >>> ul = tree.children[-1].children[0]  # body's first child
+    >>> [o.text() for o in construct_objects(ul, "li")]
+    ['a', 'b', 'c']
+    """
+    if mode not in ("auto", "container", "leading", "boundary"):
+        raise ValueError(f"unknown construction mode: {mode!r}")
+    if mode == "auto":
+        mode = _detect_mode(subtree, separator)
+
+    objects: list[ExtractedObject] = []
+    if mode == "container":
+        for child in subtree.children:
+            if isinstance(child, TagNode) and child.name == separator:
+                objects.append(ExtractedObject([child]))
+        return objects
+
+    # Boundary / leading: group the children around separator occurrences.
+    current = ExtractedObject()
+    seen_separator = False
+    for child in subtree.children:
+        if isinstance(child, TagNode) and child.name == separator:
+            if current:
+                objects.append(current)
+            current = ExtractedObject()
+            seen_separator = True
+            if mode == "leading":
+                current.nodes.append(child)
+            continue
+        if isinstance(child, ContentNode) and not child.content.strip():
+            continue
+        current.nodes.append(child)
+    if current:
+        objects.append(current)
+    if not seen_separator:
+        return []
+    return objects

@@ -1,0 +1,134 @@
+"""Object extraction refinement (Phase 3, second task).
+
+Eliminates candidate objects "that do not conform to the set of minimum
+criteria, which are derived by the object extraction process and satisfied
+by most of extracted objects" (Section 3).  Three filters, each matching one
+clause of the paper's description and each individually switchable for the
+ablation bench:
+
+* **size filter** -- an object far smaller or larger than the typical object
+  (median size) is a header, footer, or page-chrome fragment;
+* **missing-common-tags filter** -- an object lacking tags that appear in
+  (almost) every other object is "structurally not of the same type as the
+  majority";
+* **unique-tags filter** -- an object with too many tags that appear in no
+  other object is likewise an outlier.
+
+The paper reports 100% precision *after* refinement; these filters are what
+delivers that in our reproduction too (see
+``benchmarks/test_ablation_refinement.py`` for the with/without comparison).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.objects import ExtractedObject
+
+
+@dataclass
+class RefinementConfig:
+    """Tunable thresholds for the three refinement filters.
+
+    The defaults are deliberately permissive: refinement must only remove
+    obvious non-objects (headers/footers), never real records, because the
+    paper's headline claim is *100% precision at 93-98% recall*.
+    """
+
+    #: Drop objects smaller than ``min_size_ratio`` x median object size.
+    min_size_ratio: float = 0.1
+    #: Drop objects larger than ``max_size_ratio`` x median object size.
+    max_size_ratio: float = 10.0
+    #: A tag is "common" when it appears in at least this fraction of
+    #: objects; an object missing more than ``max_missing_common`` common
+    #: tags is dropped.
+    common_tag_fraction: float = 0.8
+    #: Strict by default: an object missing any common tag is "structurally
+    #: not of the same type as the majority" and removed.  This is what
+    #: delivers the abstract's 100% precision -- at the cost of dropping the
+    #: occasional sparse-but-real record, which is exactly why the paper's
+    #: recall is 93-98% rather than 100%.
+    max_missing_common: int = 0
+    #: Drop objects whose count of tags unique to themselves exceeds this.
+    max_unique_tags: int = 3
+    #: Individual filter switches (for ablation).
+    enable_size_filter: bool = True
+    enable_common_tag_filter: bool = True
+    enable_unique_tag_filter: bool = True
+    #: Refinement needs a majority to define "typical"; below this many
+    #: candidates everything is kept.
+    min_objects: int = 3
+
+
+def _median(values: list[float]) -> float:
+    ordered = sorted(values)
+    n = len(ordered)
+    if n == 0:
+        return 0.0
+    mid = n // 2
+    if n % 2 == 1:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2
+
+
+def refine_objects(
+    objects: list[ExtractedObject],
+    config: RefinementConfig | None = None,
+) -> list[ExtractedObject]:
+    """Apply the three structural-conformance filters to candidate objects.
+
+    Returns the surviving objects in their original order.  With fewer than
+    ``config.min_objects`` candidates the input is returned unchanged
+    (no majority to compare against).
+    """
+    config = config or RefinementConfig()
+    # Unconditional floor: an "object" that is a single content-free node
+    # (an empty divider mistaken for a container) is never a record.
+    objects = [
+        obj for obj in objects if obj.size > 0 or obj.tag_counts > 1
+    ]
+    if len(objects) < config.min_objects:
+        return list(objects)
+
+    survivors = list(objects)
+
+    if config.enable_size_filter:
+        sizes = [float(obj.size) for obj in survivors]
+        median = _median(sizes)
+        if median > 0:
+            survivors = [
+                obj
+                for obj in survivors
+                if config.min_size_ratio * median
+                <= obj.size
+                <= config.max_size_ratio * median
+            ]
+
+    if len(survivors) >= config.min_objects and (
+        config.enable_common_tag_filter or config.enable_unique_tag_filter
+    ):
+        signatures = [obj.tag_signature() for obj in survivors]
+        appearance: dict[str, int] = {}
+        for signature in signatures:
+            for tag in signature:
+                appearance[tag] = appearance.get(tag, 0) + 1
+        total = len(signatures)
+        common_tags = {
+            tag
+            for tag, count in appearance.items()
+            if count / total >= config.common_tag_fraction
+        }
+        filtered: list[ExtractedObject] = []
+        for obj, signature in zip(survivors, signatures):
+            if config.enable_common_tag_filter:
+                missing = len(common_tags - signature)
+                if missing > config.max_missing_common:
+                    continue
+            if config.enable_unique_tag_filter:
+                unique = sum(1 for tag in signature if appearance[tag] == 1)
+                if unique > config.max_unique_tags:
+                    continue
+            filtered.append(obj)
+        survivors = filtered
+
+    return survivors

@@ -1,0 +1,107 @@
+"""Shared machinery for the separator heuristics.
+
+All five heuristics look only at the chosen minimal subtree's immediate
+children, so the expensive facts -- occurrence lists, sizes, adjacency --
+are computed once into a :class:`CandidateContext` and shared.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol
+
+from repro.tree.metrics import node_size
+from repro.tree.node import Node, TagNode
+
+
+@dataclass(frozen=True, slots=True)
+class RankedTag:
+    """One entry of a heuristic's ranked candidate list.
+
+    ``score`` is heuristic-specific; its orientation varies (SD ranks
+    ascending by deviation, SB descending by pair count), so consumers must
+    use list order, not score comparisons, across heuristics.  ``detail``
+    carries a short human-readable justification used in the table benches.
+    """
+
+    tag: str
+    score: float
+    detail: str = ""
+
+
+@dataclass
+class Occurrence:
+    """One appearance of a candidate tag among the subtree's children."""
+
+    node: TagNode
+    child_position: int  # 0-based index in the children list
+    char_offset: int  # cumulative content bytes before this child
+
+
+@dataclass
+class CandidateContext:
+    """Precomputed facts about the chosen subtree's child sequence.
+
+    Attributes
+    ----------
+    subtree:
+        The chosen minimal object-rich subtree's anchor node.
+    occurrences:
+        Tag name -> list of :class:`Occurrence` in document order.
+    counts:
+        Tag name -> appearance count among children.
+    child_sequence:
+        The subtree's children with content nodes included (document order);
+        used for text-sensitive adjacency (RP's "no text in between").
+    """
+
+    subtree: TagNode
+    occurrences: dict[str, list[Occurrence]] = field(default_factory=dict)
+    counts: dict[str, int] = field(default_factory=dict)
+    child_sequence: list[Node] = field(default_factory=list)
+
+    @property
+    def candidate_tags(self) -> list[str]:
+        """Distinct candidate tag names in order of first appearance."""
+        return list(self.occurrences.keys())
+
+    def tags_with_min_count(self, threshold: int) -> list[str]:
+        """Candidate tags appearing at least ``threshold`` times."""
+        return [t for t in self.occurrences if self.counts[t] >= threshold]
+
+
+def build_context(subtree: TagNode) -> CandidateContext:
+    """Scan ``subtree``'s children once and assemble the shared context."""
+    ctx = CandidateContext(subtree=subtree)
+    offset = 0
+    for position, child in enumerate(subtree.children):
+        ctx.child_sequence.append(child)
+        if isinstance(child, TagNode):
+            ctx.occurrences.setdefault(child.name, []).append(
+                Occurrence(child, position, offset)
+            )
+            ctx.counts[child.name] = ctx.counts.get(child.name, 0) + 1
+        offset += node_size(child)
+    return ctx
+
+
+class SeparatorHeuristic(Protocol):
+    """Protocol implemented by SD, RP, IPS, SB, PP, HC and IT."""
+
+    #: Short name ("SD", "RP", "IPS", "SB", "PP", "HC", "IT").
+    name: str
+    #: One-letter acronym used in combination names (Section 6.2: S, R, I,
+    #: P, B; plus H for HC and T for IT from the BYU baseline).
+    letter: str
+
+    def rank(self, context: CandidateContext) -> list[RankedTag]:
+        """Rank candidate tags, best first.  Empty list = "no answer"."""
+        ...  # pragma: no cover - protocol definition
+
+
+def rank_of(ranked: list[RankedTag], tag: str) -> int | None:
+    """1-based rank of ``tag`` in a ranked list, or None if absent."""
+    for index, entry in enumerate(ranked):
+        if entry.tag == tag:
+            return index + 1
+    return None

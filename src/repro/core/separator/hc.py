@@ -1,0 +1,37 @@
+"""The Highest Count heuristic (HC, from Embley et al. [7]).
+
+Ranks candidate tags by raw appearance count among the subtree's children,
+descending.  Omini deliberately excludes HC from its combination (Section
+6.7): it was never part of the most successful combinations, combinations
+including it did worse than the same combination without it, and PP strictly
+generalizes it (PP reduces to HC when no repeated path is longer than one
+tag).  It is implemented here as part of the BYU baseline for the Table 19/20
+comparison and for the ablation benches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.separator.base import CandidateContext, RankedTag
+
+
+@dataclass
+class HCHeuristic:
+    """Rank candidate tags by child appearance count, descending."""
+
+    name: str = "HC"
+    letter: str = "H"
+    min_count: int = 1
+
+    def rank(self, context: CandidateContext) -> list[RankedTag]:
+        rows = [
+            (tag, context.counts[tag])
+            for tag in context.candidate_tags
+            if context.counts[tag] >= self.min_count
+        ]
+        rows.sort(key=lambda item: -item[1])
+        return [
+            RankedTag(tag, float(count), detail=f"count={count}")
+            for tag, count in rows
+        ]

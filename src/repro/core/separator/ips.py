@@ -1,0 +1,120 @@
+"""The Identifiable Path Separator heuristic (IPS, Section 5.3).
+
+Omini's evolution of Embley's IT heuristic: instead of one fixed global list
+of likely separator tags, the list depends on the *type of the chosen
+subtree's anchor tag*.  Tables in ``<table>`` subtrees separate records with
+``tr``; lists with ``li``; ``<body>``-anchored pages with ``table``/``p``/
+``hr``; and so on.  Candidate tags found in the subtree-specific list rank
+first (in list order); remaining candidates fall back to the global IPSList
+ranking derived from the separator-usage distribution of Table 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.separator.base import CandidateContext, RankedTag
+
+#: Table 4 of the paper: object separator tags per subtree anchor type.
+IPS_SUBTREE_TAGS: dict[str, tuple[str, ...]] = {
+    "body": ("table", "p", "hr", "ul", "li", "blockquote", "div", "pre", "b", "a"),
+    "table": ("tr", "b"),
+    "form": ("table", "p", "dl"),
+    "td": ("table", "hr", "dt", "li", "p", "tr", "font"),
+    "dl": ("dt", "dd"),
+    "ol": ("li",),
+    "ul": ("li",),
+    "blockquote": ("p",),
+}
+
+#: Section 5.3's IPSList: the full ordered list of object separator tags,
+#: ranked by the observed probability of use as a separator (Table 5).
+IPS_LIST: tuple[str, ...] = (
+    "tr",
+    "table",
+    "p",
+    "li",
+    "hr",
+    "dt",
+    "ul",
+    "pre",
+    "font",
+    "dl",
+    "div",
+    "dd",
+    "blockquote",
+    "b",
+    "a",
+    "span",
+    "td",
+    "br",
+    "h4",
+    "h3",
+    "h2",
+    "h1",
+    "strong",
+    "em",
+    "i",
+)
+
+#: Table 5 of the paper: % of pages on which each tag was the separator.
+SEPARATOR_PROBABILITY: dict[str, float] = {
+    "tr": 0.34,
+    "table": 0.18,
+    "p": 0.10,
+    "li": 0.08,
+    "hr": 0.06,
+    "dt": 0.06,
+    "ul": 0.02,
+    "pre": 0.02,
+    "font": 0.02,
+    "dl": 0.02,
+    "div": 0.02,
+    "dd": 0.02,
+    "blockquote": 0.02,
+    "b": 0.02,
+    "a": 0.02,
+}
+
+
+@dataclass
+class IPSHeuristic:
+    """Rank candidates by the subtree-type-specific separator list.
+
+    Candidates on the anchor's Table-4 list come first (list order), then
+    candidates on the global IPSList (IPSList order); candidates on neither
+    list are not ranked.  ``min_count`` implements the occurrence threshold
+    of Section 6.5 (an IPS tag appearing once cannot separate anything).
+    """
+
+    name: str = "IPS"
+    letter: str = "I"
+    min_count: int = 2
+    subtree_tags: dict[str, tuple[str, ...]] = field(
+        default_factory=lambda: dict(IPS_SUBTREE_TAGS)
+    )
+    global_list: tuple[str, ...] = IPS_LIST
+
+    def rank(self, context: CandidateContext) -> list[RankedTag]:
+        candidates = set(context.tags_with_min_count(self.min_count))
+        anchor = context.subtree.name
+        specific = self.subtree_tags.get(anchor, ())
+        ranked: list[RankedTag] = []
+        seen: set[str] = set()
+        for position, tag in enumerate(specific):
+            if tag in candidates and tag not in seen:
+                seen.add(tag)
+                ranked.append(
+                    RankedTag(
+                        tag,
+                        float(len(specific) - position),
+                        detail=f"{anchor}-list #{position + 1}",
+                    )
+                )
+        for position, tag in enumerate(self.global_list):
+            if tag in candidates and tag not in seen:
+                seen.add(tag)
+                ranked.append(
+                    RankedTag(tag, 0.0, detail=f"IPSList #{position + 1}")
+                )
+        return ranked

@@ -1,0 +1,62 @@
+"""The Identifiable Tag heuristic (IT, from Embley et al. [7]).
+
+Uses the *same* pre-determined, ranked list of common separator tags for
+every page, regardless of the chosen subtree's type.  Section 6.7: "IT
+chooses tags based on a predefined list of common object separators.  We
+found this to be inflexible when a larger variety of web sites are
+considered" -- which is exactly why Omini's IPS replaces the single list
+with per-subtree-type lists.  Implemented as part of the BYU baseline.
+
+The list below is the global IPSList restricted to the hr-led ordering of
+Embley's paper (horizontal rules first, then block separators), which is the
+behaviour the comparison tables require: IT does well on ``hr``-separated
+pages (Library of Congress) and poorly on table-based e-commerce layouts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.separator.base import CandidateContext, RankedTag
+
+#: Embley et al.'s fixed candidate separator list, most likely first.
+IT_LIST: tuple[str, ...] = (
+    "hr",
+    "p",
+    "table",
+    "tr",
+    "li",
+    "ul",
+    "ol",
+    "dl",
+    "dt",
+    "blockquote",
+    "pre",
+    "br",
+    "b",
+    "a",
+)
+
+
+@dataclass
+class ITHeuristic:
+    """Rank candidates by a fixed global separator list."""
+
+    name: str = "IT"
+    letter: str = "T"
+    min_count: int = 2
+    tag_list: tuple[str, ...] = IT_LIST
+
+    def rank(self, context: CandidateContext) -> list[RankedTag]:
+        candidates = set(context.tags_with_min_count(self.min_count))
+        ranked: list[RankedTag] = []
+        for position, tag in enumerate(self.tag_list):
+            if tag in candidates:
+                ranked.append(
+                    RankedTag(
+                        tag,
+                        float(len(self.tag_list) - position),
+                        detail=f"IT list #{position + 1}",
+                    )
+                )
+        return ranked

@@ -1,0 +1,121 @@
+"""The Repeating Pattern heuristic (RP, Section 5.2).
+
+Counts occurrences of ordered tag pairs *with no text in between*: for each
+occurrence of a candidate tag (a child of the chosen subtree), the pair
+partner is the next start tag in document order -- which may be the child's
+own first tag (``<table><tr>``) or the next sibling's tag (``<img><br>``) --
+provided no non-empty text intervenes.  A single tag may be used to mean many
+things, but a pattern of two tags is more likely to mean just one.
+
+Each pair is scored by the absolute difference between the pair count and the
+count of the leading tag among the subtree's children; a difference of 0
+(every occurrence of the tag participates in the pattern) is the strongest
+evidence.  This reconstruction exactly reproduces Table 3 of the paper on the
+canoe.com fixture: ``(table,tr)`` 13/0, ``(img,br)`` 2/0, ``(map,table)``
+1/0, ``(form,table)`` 1/0, ``(br,img)`` 1/1, ``(br,table)`` 1/1.
+
+When the subtree contains no text-free tag pairs, RP returns an empty list --
+"the RP heuristic has no answer" -- which is what keeps its recall below 1.0
+in Tables 14/15.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.separator.base import CandidateContext, RankedTag
+from repro.tree.node import ContentNode, TagNode
+
+
+@dataclass(frozen=True, slots=True)
+class PairScore:
+    """One row of the RP pair table (Table 3 of the paper)."""
+
+    pair: tuple[str, str]
+    pair_count: int
+    difference: int
+
+
+def _next_start_tag(
+    child: TagNode, siblings: list, index: int
+) -> tuple[str | None, bool]:
+    """The start tag immediately following ``child``'s start tag.
+
+    Returns ``(tag_name, text_free)``: the first descendant-or-following
+    tag in document order and whether any non-empty text occurs before it.
+    Only the child's own content needs inspection for the descendant case;
+    if the child has no tag content, the following sibling supplies the
+    partner.  ``siblings``/``index`` locate the child in its parent's list,
+    passed in by the caller so the whole RP pass stays linear.
+    """
+    # Case 1: the next tag is inside the child.
+    for grandchild in child.children:
+        if isinstance(grandchild, TagNode):
+            return grandchild.name, True
+        if isinstance(grandchild, ContentNode) and grandchild.content.strip():
+            return None, False  # text intervenes before any tag
+    # Case 2: the child is empty of tags; the partner is the next sibling.
+    for follower in siblings[index + 1 :]:
+        if isinstance(follower, TagNode):
+            return follower.name, True
+        if isinstance(follower, ContentNode) and follower.content.strip():
+            return None, False
+    return None, False
+
+
+@dataclass
+class RPHeuristic:
+    """Rank candidate tags by repeating text-free tag-pair evidence."""
+
+    name: str = "RP"
+    letter: str = "R"
+    #: Pairs occurring fewer times than this are rejected (Section 6.5:
+    #: "RP and IPS reject tags that occur below a given threshold").  The
+    #: full pair table (:meth:`pair_scores`) is unfiltered so that Table 3
+    #: reproduces; the threshold applies to the candidate ranking only.
+    min_pair_count: int = 2
+
+    def pair_scores(self, context: CandidateContext) -> list[PairScore]:
+        """Count text-free pairs led by each candidate-tag occurrence."""
+        pair_counts: dict[tuple[str, str], int] = {}
+        order: dict[tuple[str, str], int] = {}
+        sequence = context.child_sequence
+        position = 0
+        for index, child in enumerate(sequence):
+            position += 1
+            if not isinstance(child, TagNode):
+                continue
+            partner, text_free = _next_start_tag(child, sequence, index)
+            if partner is None or not text_free:
+                continue
+            pair = (child.name, partner)
+            pair_counts[pair] = pair_counts.get(pair, 0) + 1
+            order.setdefault(pair, position)
+        scores = [
+            PairScore(pair, count, abs(count - context.counts.get(pair[0], 0)))
+            for pair, count in pair_counts.items()
+        ]
+        scores.sort(key=lambda s: (-s.pair_count, s.difference, order[s.pair]))
+        return scores
+
+    def rank(self, context: CandidateContext) -> list[RankedTag]:
+        ranked: list[RankedTag] = []
+        seen: set[str] = set()
+        for score in self.pair_scores(context):
+            if score.pair_count < self.min_pair_count:
+                continue
+            tag = score.pair[0]
+            if tag in seen:
+                continue
+            seen.add(tag)
+            ranked.append(
+                RankedTag(
+                    tag,
+                    float(score.pair_count),
+                    detail=(
+                        f"pair={score.pair[0]},{score.pair[1]}"
+                        f" count={score.pair_count} diff={score.difference}"
+                    ),
+                )
+            )
+        return ranked

@@ -1,0 +1,77 @@
+"""The Sibling Tag heuristic (SB, Section 5.4).
+
+Counts pairs of tags that are *immediate siblings* among the chosen
+subtree's children and ranks the pairs in descending order by occurrence
+count; pairs of equal count keep their order of first appearance in the
+document.  The first tag of the highest-ranked pair is the chosen separator:
+object boundaries repeat as ``(separator, first-tag-of-object)`` sibling
+pairs -- ``(hr, pre)`` twenty times on the Library of Congress page
+(Table 6) -- even when some unrelated tag has a higher raw count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.separator.base import CandidateContext, RankedTag
+from repro.tree.node import TagNode
+
+
+@dataclass(frozen=True, slots=True)
+class SiblingPair:
+    """One row of the SB pair table (Table 6 of the paper)."""
+
+    pair: tuple[str, str]
+    count: int
+
+
+@dataclass
+class SBHeuristic:
+    """Rank candidate tags via highest-count immediate-sibling pairs.
+
+    ``skip_text`` controls whether interleaved text nodes break sibling
+    adjacency.  The default (True) ignores text between tags: the paper's
+    Library of Congress example counts ``(pre, a)`` pairs even though the
+    listing interleaves text, and whitespace normalization should not change
+    rankings.
+    """
+
+    name: str = "SB"
+    letter: str = "B"
+    skip_text: bool = True
+
+    def sibling_pairs(self, context: CandidateContext) -> list[SiblingPair]:
+        """Ordered pair counts among the subtree's tag children."""
+        counts: dict[tuple[str, str], int] = {}
+        order: dict[tuple[str, str], int] = {}
+        previous: TagNode | None = None
+        for position, child in enumerate(context.child_sequence):
+            if not isinstance(child, TagNode):
+                if not self.skip_text and getattr(child, "content", "").strip():
+                    previous = None
+                continue
+            if previous is not None:
+                pair = (previous.name, child.name)
+                counts[pair] = counts.get(pair, 0) + 1
+                order.setdefault(pair, position)
+            previous = child
+        pairs = [SiblingPair(pair, count) for pair, count in counts.items()]
+        pairs.sort(key=lambda p: (-p.count, order[p.pair]))
+        return pairs
+
+    def rank(self, context: CandidateContext) -> list[RankedTag]:
+        ranked: list[RankedTag] = []
+        seen: set[str] = set()
+        for pair in self.sibling_pairs(context):
+            tag = pair.pair[0]
+            if tag in seen:
+                continue
+            seen.add(tag)
+            ranked.append(
+                RankedTag(
+                    tag,
+                    float(pair.count),
+                    detail=f"pair={pair.pair[0]},{pair.pair[1]} count={pair.count}",
+                )
+            )
+        return ranked

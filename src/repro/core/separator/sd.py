@@ -1,0 +1,84 @@
+"""The Standard Deviation heuristic (SD, Section 5.1).
+
+Motivation: multiple instances of the same object type are about the same
+size, so the distances between consecutive occurrences of the true separator
+tag are nearly constant -- the tag with the *lowest* standard deviation of
+inter-occurrence distance ranks first.
+
+The paper's formula text is ambiguous (σ is written over "the size of the
+subtree anchored at the i-th appearance" while μ is called "the average
+distance between two consecutive occurrences").  Both readings are
+implemented; ``mode="distance"`` (default) measures gaps in content bytes
+between consecutive occurrences among the subtree's children, and
+``mode="subtree_size"`` measures each occurrence's own subtree size.  The
+ablation bench ``benchmarks/test_ablation_sd_mode.py`` compares them; on the
+corpus they agree on the top choice for regularly-sized records and the
+distance mode is more robust when separator tags carry no content (e.g.
+``<hr>``), matching the Library of Congress example of Table 2.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.separator.base import CandidateContext, RankedTag
+from repro.tree.metrics import node_size
+
+
+def _std(values: list[float]) -> float:
+    """Population standard deviation (the paper divides by n, not n-1)."""
+    n = len(values)
+    if n == 0:
+        return 0.0
+    mean = sum(values) / n
+    return math.sqrt(sum((v - mean) ** 2 for v in values) / n)
+
+
+@dataclass
+class SDHeuristic:
+    """Rank candidate tags ascending by standard deviation of distances.
+
+    Parameters
+    ----------
+    mode:
+        ``"distance"`` (default) or ``"subtree_size"``; see module docstring.
+    min_count:
+        Minimum occurrences for a tag to be a candidate.  The default of 3
+        is the smallest count that yields two inter-occurrence distances --
+        a standard deviation over a single distance is vacuously 0 and would
+        make SD commit to any tag that merely appears twice (this is what
+        keeps SD's precision at 1.00 in Tables 14/15: it abstains on pages
+        without genuine repetition).
+    """
+
+    name: str = "SD"
+    letter: str = "S"
+    mode: str = "distance"
+    min_count: int = 3
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("distance", "subtree_size"):
+            raise ValueError(f"unknown SD mode: {self.mode!r}")
+
+    def measurements(self, context: CandidateContext, tag: str) -> list[float]:
+        """The values whose deviation is measured for ``tag``."""
+        occurrences = context.occurrences.get(tag, [])
+        if self.mode == "subtree_size":
+            return [float(node_size(o.node)) for o in occurrences]
+        return [
+            float(nxt.char_offset - cur.char_offset)
+            for cur, nxt in zip(occurrences, occurrences[1:])
+        ]
+
+    def rank(self, context: CandidateContext) -> list[RankedTag]:
+        rows: list[tuple[str, float]] = []
+        for tag in context.tags_with_min_count(self.min_count):
+            values = self.measurements(context, tag)
+            if not values:
+                continue
+            rows.append((tag, _std(values)))
+        rows.sort(key=lambda item: item[1])
+        return [
+            RankedTag(tag, sd, detail=f"σ={sd:.1f}") for tag, sd in rows
+        ]

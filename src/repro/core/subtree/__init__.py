@@ -1,0 +1,31 @@
+"""Object-rich subtree extraction (Section 4 of the paper).
+
+Given the tag tree of a page, locate the *minimal subtree* containing all the
+objects of interest.  Three independent heuristics rank every subtree:
+
+* :class:`~repro.core.subtree.fanout.HFHeuristic` -- highest fanout (Section
+  4.1, adopted from Embley et al.);
+* :class:`~repro.core.subtree.size_increase.GSIHeuristic` -- greatest size
+  increase (Section 4.2, new in Omini);
+* :class:`~repro.core.subtree.tag_count.LTCHeuristic` -- largest tag count
+  with the ancestor re-ranking step (Section 4.3, new in Omini);
+
+and :class:`~repro.core.subtree.combined.CombinedSubtreeFinder` merges them
+by multi-dimensional volume (Section 4.4).
+"""
+
+from repro.core.subtree.base import RankedSubtree, SubtreeHeuristic, candidate_subtrees
+from repro.core.subtree.combined import CombinedSubtreeFinder
+from repro.core.subtree.fanout import HFHeuristic
+from repro.core.subtree.size_increase import GSIHeuristic
+from repro.core.subtree.tag_count import LTCHeuristic
+
+__all__ = [
+    "CombinedSubtreeFinder",
+    "GSIHeuristic",
+    "HFHeuristic",
+    "LTCHeuristic",
+    "RankedSubtree",
+    "SubtreeHeuristic",
+    "candidate_subtrees",
+]

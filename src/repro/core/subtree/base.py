@@ -1,0 +1,128 @@
+"""Shared machinery for the subtree heuristics.
+
+Every heuristic implements the same small protocol: given the root of a tag
+tree, return a ranked list of candidate subtrees (best first).  Section 4's
+heuristics all rank *tag* nodes only -- a content leaf cannot contain
+objects -- and all consider every subtree of the document (|V| - 1 subtrees,
+Definition 3), which keeps the whole pass O(n).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Protocol
+
+from repro.tree.node import TagNode
+from repro.tree.paths import path_of
+from repro.tree.traversal import tag_nodes
+
+
+@dataclass(frozen=True, slots=True)
+class RankedSubtree:
+    """One entry of a heuristic's ranked list.
+
+    ``score`` is heuristic-specific (fanout, size increase, tag count or
+    volume); higher is always better after the heuristic's own normalization,
+    so ranked lists sort by descending score with document order as the tie
+    break (earlier node wins).
+    """
+
+    node: TagNode
+    score: float
+
+    @property
+    def path(self) -> str:
+        """Dot-notation path of the ranked node (as printed in Table 1)."""
+        return path_of(self.node)
+
+
+class SubtreeHeuristic(Protocol):
+    """Protocol implemented by HF, GSI, LTC and the combined finder."""
+
+    #: Short name used in reports ("HF", "GSI", "LTC", "volume").
+    name: str
+
+    def rank(self, root: TagNode, *, limit: int | None = None) -> list[RankedSubtree]:
+        """Rank candidate subtrees of ``root``, best first."""
+        ...  # pragma: no cover - protocol definition
+
+    def choose(self, root: TagNode) -> TagNode:
+        """Return the top-ranked subtree's anchor node."""
+        ...  # pragma: no cover - protocol definition
+
+
+def candidate_subtrees(root: TagNode) -> Iterable[TagNode]:
+    """All tag nodes of the document, in document order.
+
+    Document order matters: it is the deterministic tie break shared by all
+    heuristics, mirroring the paper's tables where equal-scored subtrees
+    appear in page order.
+    """
+    return tag_nodes(root)
+
+
+def ancestor_rerank(
+    nodes: list[TagNode],
+    *,
+    window: int | None = None,
+    min_size_share: float = 0.0,
+) -> list[TagNode]:
+    """The Section 4.3 re-ranking pass, shared by LTC and the combined finder.
+
+    Walking down the ranked list, ancestor-related pairs are swapped when the
+    lower-ranked subtree has the higher maximum child-tag appearance count --
+    an ancestor always dominates its descendants on aggregate metrics (size,
+    tag count), so this is what actually makes the chosen subtree *minimal*:
+    the repetitive region outranks the enclosing ``body`` even though the
+    body's totals are larger.
+
+    ``min_size_share`` guards the promotion of a *descendant* above its
+    ancestor: the descendant must carry at least this share of the
+    ancestor's content.  LTC runs the pure pass (0.0, matching the paper's
+    Table 1 where the tiny navigation ``font`` outranks ``body``); the
+    combined volume finder uses 0.5, implementing Section 4.4's promise
+    that "subtrees which have a large number of navigation links but no
+    content ... will be ranked low".
+    """
+    from repro.tree.metrics import max_child_tag_appearance, node_size
+    from repro.tree.traversal import is_ancestor
+
+    if window is None:
+        window = len(nodes)
+    nodes = list(nodes)
+    limit = min(len(nodes), window)
+    i = 0
+    while i < limit:
+        j = i + 1
+        while j < limit:
+            upper, lower = nodes[i], nodes[j]
+            upper_is_ancestor = is_ancestor(upper, lower)
+            if upper_is_ancestor or is_ancestor(lower, upper):
+                _, upper_count = max_child_tag_appearance(upper)
+                _, lower_count = max_child_tag_appearance(lower)
+                if lower_count > upper_count:
+                    blocked = (
+                        upper_is_ancestor
+                        and min_size_share > 0.0
+                        and node_size(lower)
+                        < min_size_share * node_size(upper)
+                    )
+                    if not blocked:
+                        nodes[i], nodes[j] = nodes[j], nodes[i]
+            j += 1
+        i += 1
+    return nodes
+
+
+def take_top(
+    scored: list[tuple[TagNode, float]], limit: int | None
+) -> list[RankedSubtree]:
+    """Stable-sort scored nodes descending and truncate to ``limit``.
+
+    Python's sort is stable, so feeding nodes in document order preserves the
+    document-order tie break.
+    """
+    ordered = sorted(scored, key=lambda item: -item[1])
+    if limit is not None:
+        ordered = ordered[:limit]
+    return [RankedSubtree(node, score) for node, score in ordered]

@@ -1,0 +1,144 @@
+"""The compound subtree algorithm (Section 4.4).
+
+Treats each individual metric -- fanout, size increase, tag count -- as one
+dimension of a multi-dimensional space and ranks subtrees by their *volume*,
+i.e. the product of the (normalized) dimensions.  Consequences the paper
+calls out, all pinned by tests:
+
+* a navigation menu (large fanout, tiny size, few tags) gets a small volume;
+* the object region (moderate-to-high fanout, large size increase, many
+  tags) gets the largest volume;
+* a higher-fanout subtree only wins when it also has relatively larger size
+  and tag count.
+
+Each dimension is normalized by its maximum over the document so no single
+metric's scale dominates the product.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.subtree.base import (
+    RankedSubtree,
+    ancestor_rerank,
+    candidate_subtrees,
+    take_top,
+)
+from repro.tree.metrics import fanout, size_increase, tag_count
+from repro.tree.node import TagNode
+
+
+@dataclass
+class CombinedSubtreeFinder:
+    """Rank subtrees by a multi-dimensional combination of the three metrics.
+
+    Two combination modes:
+
+    * ``"rank_product"`` (default) -- each subtree scores the product of its
+      *dense ranks* along each dimension (1 = best); the lowest product
+      wins.  Rank products are robust to a single runaway dimension, which
+      is precisely the navigation-menu problem: a 40-link menu maxes the
+      fanout dimension but sits far down the size-increase and tag-count
+      rankings, so its rank product is poor.
+    * ``"volume"`` -- the literal reading of Section 4.4: the product of
+      max-normalized metric values.  Kept for the ablation bench
+      (``benchmarks/test_ablation_subtree_combiner.py``), where it shows
+      exactly the fanout-domination failure the rank product avoids.
+
+    Both modes finish with the Section 4.3 ancestor re-ranking pass
+    (size-guarded), which turns "largest aggregate" into "minimal subtree
+    containing the repetition".
+
+    ``dimensions`` can be restricted for ablations (e.g. ``("fanout",)``
+    turns the finder into plain HF).
+    """
+
+    name: str = "rank_product"
+    min_fanout: int = 2
+    dimensions: tuple[str, ...] = ("fanout", "size_increase", "tags")
+    mode: str = "rank_product"
+    #: Small floor so a zero in one dimension does not erase strong evidence
+    #: from the others (volume mode only).
+    epsilon: float = 1e-6
+    #: How far down the ranked list the Section 4.3 ancestor re-ranking
+    #: pass looks (it promotes the repetitive region above its enclosing
+    #: containers, making the choice *minimal*).
+    rerank_window: int = 10
+    _valid: frozenset = field(
+        default=frozenset({"fanout", "size_increase", "tags"}), repr=False
+    )
+
+    def __post_init__(self) -> None:
+        unknown = set(self.dimensions) - set(self._valid)
+        if unknown:
+            raise ValueError(f"unknown volume dimensions: {sorted(unknown)}")
+        if not self.dimensions:
+            raise ValueError("at least one dimension is required")
+        if self.mode not in ("rank_product", "volume"):
+            raise ValueError(f"unknown combination mode: {self.mode!r}")
+
+    def rank(self, root: TagNode, *, limit: int | None = None) -> list[RankedSubtree]:
+        nodes = [
+            node
+            for node in candidate_subtrees(root)
+            if len(node.children) >= self.min_fanout
+        ]
+        if not nodes:
+            return []
+        raw: dict[str, list[float]] = {
+            "fanout": [float(fanout(n)) for n in nodes],
+            "size_increase": [size_increase(n) for n in nodes],
+            "tags": [float(tag_count(n)) for n in nodes],
+        }
+        if self.mode == "volume":
+            scored = self._volume_scores(nodes, raw)
+        else:
+            scored = self._rank_product_scores(nodes, raw)
+        ranked = take_top(scored, None)
+        ordered = ancestor_rerank(
+            [entry.node for entry in ranked],
+            window=self.rerank_window,
+            min_size_share=0.5,
+        )
+        score_by_node = {id(entry.node): entry.score for entry in ranked}
+        result = [RankedSubtree(node, score_by_node[id(node)]) for node in ordered]
+        if limit is not None:
+            result = result[:limit]
+        return result
+
+    def _volume_scores(self, nodes, raw) -> list[tuple[TagNode, float]]:
+        maxima = {dim: max(values) or 1.0 for dim, values in raw.items()}
+        scored: list[tuple[TagNode, float]] = []
+        for idx, node in enumerate(nodes):
+            volume = 1.0
+            for dim in self.dimensions:
+                volume *= max(raw[dim][idx] / maxima[dim], self.epsilon)
+            scored.append((node, volume))
+        return scored
+
+    def _rank_product_scores(self, nodes, raw) -> list[tuple[TagNode, float]]:
+        """Score = 1 / product(dense rank per dimension); higher is better."""
+        dim_ranks: dict[str, dict[int, int]] = {}
+        for dim in self.dimensions:
+            values = raw[dim]
+            # Dense ranking: equal values share a rank.
+            distinct = sorted(set(values), reverse=True)
+            rank_of_value = {v: r + 1 for r, v in enumerate(distinct)}
+            dim_ranks[dim] = {
+                id(node): rank_of_value[values[idx]]
+                for idx, node in enumerate(nodes)
+            }
+        scored: list[tuple[TagNode, float]] = []
+        for node in nodes:
+            product = 1.0
+            for dim in self.dimensions:
+                product *= dim_ranks[dim][id(node)]
+            scored.append((node, 1.0 / product))
+        return scored
+
+    def choose(self, root: TagNode) -> TagNode:
+        ranked = self.rank(root, limit=1)
+        if not ranked:
+            return root
+        return ranked[0].node

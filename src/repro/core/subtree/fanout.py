@@ -1,0 +1,43 @@
+"""The Highest Fan-out heuristic (HF, Section 4.1).
+
+Ranks all subtrees by the fanout of their anchor node and picks the highest.
+Introduced by Embley et al. [7]; kept in Omini both as a dimension of the
+combined volume ranking and as the baseline whose failure mode (navigation
+menus with many links out-fanning the actual result list) motivates GSI and
+LTC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.subtree.base import RankedSubtree, candidate_subtrees, take_top
+from repro.tree.metrics import fanout
+from repro.tree.node import TagNode
+
+
+@dataclass
+class HFHeuristic:
+    """Rank subtrees by anchor fanout, descending.
+
+    ``min_fanout`` drops trivial subtrees (a node with one child can never
+    contain multiple objects as siblings); the paper's examples all satisfy
+    this implicitly.
+    """
+
+    name: str = "HF"
+    min_fanout: int = 2
+
+    def rank(self, root: TagNode, *, limit: int | None = None) -> list[RankedSubtree]:
+        scored = [
+            (node, float(fanout(node)))
+            for node in candidate_subtrees(root)
+            if fanout(node) >= self.min_fanout
+        ]
+        return take_top(scored, limit)
+
+    def choose(self, root: TagNode) -> TagNode:
+        ranked = self.rank(root, limit=1)
+        if not ranked:
+            return root
+        return ranked[0].node

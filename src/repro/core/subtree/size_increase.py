@@ -1,0 +1,44 @@
+"""The Greatest Size Increase heuristic (GSI, Section 4.2).
+
+Ranks subtrees by the increase from the *average child size* to the node's
+own size: ``nodeSize(u) - nodeSize(u) / fanout(u)``.  The motivating
+observations (Section 4.2): navigation menus that fool HF consist of many
+small links, while the region holding the result objects is much larger than
+any individual object, so the object-rich subtree shows the largest jump in
+size relative to its children.
+
+On the paper's canoe.com example this heuristic ranks
+``HTML[1].body[2].form[4]`` -- the true object region -- first, where HF
+picks a navigation ``font`` node (Table 1); that behaviour is pinned by a
+unit test against our canoe fixture.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.subtree.base import RankedSubtree, candidate_subtrees, take_top
+from repro.tree.metrics import size_increase
+from repro.tree.node import TagNode
+
+
+@dataclass
+class GSIHeuristic:
+    """Rank subtrees by ``size - size/fanout``, descending."""
+
+    name: str = "GSI"
+    min_fanout: int = 2
+
+    def rank(self, root: TagNode, *, limit: int | None = None) -> list[RankedSubtree]:
+        scored: list[tuple[TagNode, float]] = []
+        for node in candidate_subtrees(root):
+            if len(node.children) < self.min_fanout:
+                continue
+            scored.append((node, size_increase(node)))
+        return take_top(scored, limit)
+
+    def choose(self, root: TagNode) -> TagNode:
+        ranked = self.rank(root, limit=1)
+        if not ranked:
+            return root
+        return ranked[0].node

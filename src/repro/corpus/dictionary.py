@@ -1,0 +1,94 @@
+"""The query-word dictionary (Section 6.3).
+
+"To automatically retrieve the pages we first generated a random list of 100
+words from the standard Unix dictionary.  Then we fed each word into a search
+form at each of the 50 web sites."  The reproduction environment has no
+``/usr/share/dict/words``, so a representative word list is bundled; query
+selection is seeded for reproducibility.
+"""
+
+from __future__ import annotations
+
+import random
+
+#: A few hundred common English nouns/adjectives in the spirit of the Unix
+#: dictionary; used both as search queries and as raw material for record
+#: titles and descriptions in the generated pages.
+WORDS: tuple[str, ...] = (
+    "abacus", "absolute", "acoustic", "adventure", "aerial", "agate",
+    "alabaster", "almanac", "amber", "anchor", "andante", "antique",
+    "apricot", "arbor", "archive", "argon", "artifact", "aspen",
+    "atlas", "auburn", "aurora", "autumn", "avenue", "azure",
+    "badger", "ballad", "bamboo", "banner", "barometer", "basalt",
+    "beacon", "bellows", "bicycle", "billiard", "birch", "blanket",
+    "blossom", "bluff", "bobbin", "borough", "botany", "boulder",
+    "breeze", "brick", "bridge", "bronze", "brook", "bugle",
+    "cabin", "cable", "cactus", "caliper", "camera", "canal",
+    "candle", "canyon", "caravan", "carbon", "cardinal", "cargo",
+    "carousel", "cascade", "castle", "cedar", "cellar", "census",
+    "chalice", "chamber", "channel", "chapel", "chariot", "charter",
+    "chestnut", "chisel", "chrome", "cinder", "cipher", "citadel",
+    "clarinet", "clipper", "clover", "cobalt", "cobbler", "comet",
+    "compass", "concerto", "condor", "copper", "coral", "cordial",
+    "cornice", "cotton", "crescent", "cricket", "crimson", "crystal",
+    "currant", "cypress", "dagger", "dahlia", "damask", "debate",
+    "decade", "delta", "denim", "derby", "dew", "diagram",
+    "diesel", "dome", "dory", "dragon", "drift", "drum",
+    "dune", "dynamo", "eagle", "easel", "ebony", "echo",
+    "eclipse", "eider", "elder", "ember", "emerald", "engine",
+    "envoy", "epoch", "ermine", "estuary", "ether", "evening",
+    "fable", "falcon", "fathom", "feather", "fennel", "ferry",
+    "fiddle", "filament", "finch", "fjord", "flagon", "flannel",
+    "flint", "flora", "flute", "fog", "forge", "fossil",
+    "fountain", "fresco", "frigate", "frost", "furlong", "gable",
+    "galaxy", "gale", "garnet", "gazette", "geyser", "gimlet",
+    "ginger", "glacier", "glade", "gondola", "gorge", "granite",
+    "grotto", "grove", "gull", "gypsum", "halyard", "hammock",
+    "harbor", "harvest", "hawthorn", "hazel", "heather", "helium",
+    "hemlock", "heron", "hickory", "hinge", "hollow", "horizon",
+    "hourglass", "hyacinth", "iceberg", "indigo", "ingot", "inlet",
+    "iris", "iron", "island", "ivory", "jade", "jasper",
+    "jetty", "jonquil", "juniper", "keel", "kelp", "kestrel",
+    "kiln", "knoll", "lagoon", "lantern", "larch", "lark",
+    "lattice", "lavender", "ledger", "lichen", "lilac", "limestone",
+    "linen", "locket", "locust", "lodestone", "loom", "lotus",
+    "lumber", "lyre", "magnet", "magnolia", "mahogany", "mallard",
+    "mantle", "maple", "marble", "mariner", "marsh", "mast",
+    "meadow", "mercury", "meridian", "mesa", "meteor", "mica",
+    "midnight", "mill", "mineral", "mirror", "mission", "monsoon",
+    "moor", "moraine", "mosaic", "moss", "moth", "mulberry",
+    "muslin", "myrtle", "narwhal", "nautilus", "nebula", "nickel",
+    "nightingale", "nimbus", "nocturne", "north", "nutmeg", "oak",
+    "oasis", "obsidian", "ocean", "ochre", "octave", "opal",
+    "orchard", "orchid", "oriole", "osprey", "otter", "oyster",
+    "paddle", "pagoda", "palisade", "paprika", "parchment", "parlor",
+    "peak", "pebble", "pelican", "pendulum", "peony", "pewter",
+    "pheasant", "pier", "pigment", "pinnacle", "piston", "plateau",
+    "plaza", "plume", "polar", "pollen", "poplar", "porcelain",
+    "prairie", "prism", "pulley", "quarry", "quartz", "quill",
+    "quince", "radish", "rafter", "rainbow", "rampart", "raven",
+    "reef", "rhubarb", "ridge", "riverbed", "robin", "rosette",
+    "rudder", "russet", "saffron", "sapphire", "satchel", "scarlet",
+    "schooner", "sepia", "sequoia", "shale", "shingle", "sienna",
+    "silver", "sonnet", "sparrow", "spindle", "spruce", "summit",
+    "sundial", "tamarind", "tangent", "tarpaulin", "teak", "tempest",
+    "thicket", "thistle", "timber", "topaz", "trellis", "trillium",
+    "tundra", "turbine", "twilight", "umber", "valley", "vellum",
+    "verdigris", "violet", "walnut", "weather", "willow", "zephyr",
+)
+
+
+def random_words(rng: random.Random, count: int = 100) -> list[str]:
+    """Draw ``count`` distinct query words, seeded by ``rng``.
+
+    Mirrors the paper's "random list of 100 words from the standard Unix
+    dictionary".
+    """
+    if count > len(WORDS):
+        raise ValueError(f"only {len(WORDS)} words available, asked for {count}")
+    return rng.sample(WORDS, count)
+
+
+def phrase(rng: random.Random, words: int) -> str:
+    """A pseudo-English phrase of ``words`` dictionary words."""
+    return " ".join(rng.choice(WORDS) for _ in range(words))

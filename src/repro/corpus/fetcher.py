@@ -1,0 +1,90 @@
+"""Local page cache (the paper's experimental fetch layer, Section 6.3).
+
+"All experiments were carried out on the local version of the pages so as
+not to overload web sites and to be able to obtain consistent results over
+time."  :class:`PageCache` materializes generated pages (and their ground
+truth) to disk and serves them back, so the timing benches can measure the
+Table 16/17 "Read File" column against real file I/O, exactly as the paper
+did.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from repro.corpus.generator import CorpusGenerator, LabeledPage
+from repro.corpus.ground_truth import GroundTruth
+from repro.corpus.sites import SiteSpec
+
+_SAFE = re.compile(r"[^A-Za-z0-9._-]+")
+
+
+def _site_dir_name(site: str) -> str:
+    return _SAFE.sub("_", site)
+
+
+class PageCache:
+    """Directory-backed store of generated pages.
+
+    Layout::
+
+        <root>/<site>/page_0000.html
+        <root>/<site>/page_0000.json    (ground truth)
+    """
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    # -- writing ---------------------------------------------------------
+
+    def store(self, page: LabeledPage) -> Path:
+        """Write one page + ground truth; returns the HTML path."""
+        site_dir = self.root / _site_dir_name(page.site)
+        site_dir.mkdir(parents=True, exist_ok=True)
+        stem = f"page_{page.truth.page_id:04d}"
+        html_path = site_dir / f"{stem}.html"
+        html_path.write_text(page.html, encoding="utf-8")
+        (site_dir / f"{stem}.json").write_text(page.truth.to_json(), encoding="utf-8")
+        return html_path
+
+    def populate(
+        self,
+        sites: tuple[SiteSpec, ...],
+        generator: CorpusGenerator | None = None,
+    ) -> int:
+        """Generate and store all pages for ``sites``; returns page count."""
+        generator = generator or CorpusGenerator()
+        count = 0
+        for spec in sites:
+            for page in generator.pages_for_site(spec):
+                self.store(page)
+                count += 1
+        return count
+
+    # -- reading ----------------------------------------------------------
+
+    def sites(self) -> list[str]:
+        """Cached site directory names, sorted."""
+        return sorted(p.name for p in self.root.iterdir() if p.is_dir())
+
+    def page_paths(self, site: str | None = None) -> list[Path]:
+        """HTML paths for one site (or all), sorted."""
+        if site is not None:
+            pattern = f"{_site_dir_name(site)}/page_*.html"
+        else:
+            pattern = "*/page_*.html"
+        return sorted(self.root.glob(pattern))
+
+    def fetch(self, html_path: str | Path) -> LabeledPage:
+        """Read one page + its ground truth back from disk."""
+        html_path = Path(html_path)
+        html = html_path.read_text(encoding="utf-8")
+        truth_path = html_path.with_suffix(".json")
+        truth = GroundTruth.from_json(truth_path.read_text(encoding="utf-8"))
+        return LabeledPage(html=html, truth=truth)
+
+    def fetch_all(self, site: str | None = None) -> list[LabeledPage]:
+        """All cached pages (optionally one site's), in path order."""
+        return [self.fetch(path) for path in self.page_paths(site)]

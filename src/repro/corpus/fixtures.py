@@ -1,0 +1,273 @@
+"""Hand-built reproductions of the paper's two running examples.
+
+These two fixture pages are engineered so that the worked examples of
+Sections 4 and 5 come out *exactly* as printed in the paper:
+
+* :func:`library_of_congress_page` -- the Library of Congress search-result
+  page of Figures 1 and 2.  Child-tag counts match Section 5.1 (hr appears
+  21 times, a 21 times, pre 20 times); the SB sibling pairs match Table 6
+  ((hr,pre) 20, (pre,a) 20, (a,hr) 20, plus the seven singleton pairs); the
+  PP ranking matches Table 8 (hr 21, a 21, pre 20, form 8); and SD ranks
+  ``hr`` first as in Table 2.
+
+* :func:`canoe_page` -- the canoe.com news search page of Figures 4 and 5.
+  ``HTML[1].body[2].form[4]`` has 19 children in the sequence
+  ``img, br, img, br, table(nav), table x11 (news), map, table(news),
+  form`` -- exactly the sequence that makes the RP pair table come out as
+  Table 3 ((table,tr) 13/0, (img,br) 2/0, (map,table) 1/0, (form,table)
+  1/0, (br,img) 1/1, (br,table) 1/1), the SB pair table as Table 6
+  ((table,table) 11, (img,br) 2, ...), the PP path counts as Table 7
+  (``table.tr.td`` 26, ``table.tr.td.table.tr.td.font.b`` 24, ...), and the
+  subtree rankings as Table 1 (HF picks the navigation ``font`` while GSI
+  and LTC pick ``form[4]``).
+
+Both pages double as integration-test ground truth: the Library page holds
+20 record objects separated by ``hr``; the canoe page holds 12 news objects,
+each one ``table``, with the navigation table refined away.
+"""
+
+from __future__ import annotations
+
+#: Number of records on the Library of Congress fixture page.
+LOC_RECORD_COUNT = 20
+#: Number of news items on the canoe.com fixture page.
+CANOE_NEWS_COUNT = 12
+
+#: Book-ish record titles for the LoC listing (the March 2000 crawl queried
+#: the catalog with random dictionary words; these stand in for the hits).
+_LOC_SUBJECTS = [
+    "pottery of the American southwest",
+    "navigational astronomy",
+    "dictionaries of the Middle English language",
+    "field guide to eastern songbirds",
+    "railroads and the shaping of the interior",
+    "letterpress printing manuals",
+    "annotated atlas of historical cartography",
+    "essays on probability and stochastic modeling",
+    "catalogue of baroque keyboard works",
+    "handbook of agricultural statistics",
+    "oral histories of the river delta",
+    "treatise on suspension bridge design",
+    "the commerce of the spice routes",
+    "early photography and the daguerreotype",
+    "foundations of library classification",
+    "surveys of appalachian folklore",
+    "papers in computational linguistics",
+    "records of the constitutional convention",
+    "monograph on alpine glaciology",
+    "the economics of the fur trade",
+]
+
+_CANOE_HEADLINES = [
+    ("Flames double Canucks in western showdown", "SLAM! Sports"),
+    ("Jays rally past Tigers in extra innings", "SLAM! Baseball"),
+    ("Markets slide as tech selloff deepens", "CANOE Money"),
+    ("New ferry route promised for coastal towns", "CANOE News"),
+    ("Curling championship heads to Saskatoon", "SLAM! Sports"),
+    ("Review: the spring auto show's quirkiest rides", "CANOE Autos"),
+    ("Storm warnings posted for the Maritimes", "CANOE Weather"),
+    ("Box office: comedy sequel opens on top", "JAM! Movies"),
+    ("Senators sign veteran defenceman", "SLAM! Hockey"),
+    ("Television networks unveil fall lineups", "JAM! TV"),
+    ("Olympic trials begin amid funding debate", "SLAM! Sports"),
+    ("Tech column: the modem speed wars", "CANOE C-Health"),
+]
+
+
+def _loc_record_filler(index: int) -> str:
+    """Deterministic per-record call-number block for the <pre> body.
+
+    Sizes vary a little from record to record (real records do), with the
+    last record pinned near the running mean so that sigma(hr) stays just
+    below sigma(pre) -- the Table 2 ordering (hr 114 < pre 117 < a 122
+    in the paper; ordering, not magnitudes, is what we reproduce).
+    """
+    subject = _LOC_SUBJECTS[index % len(_LOC_SUBJECTS)]
+    call = f"Z{663 + 7 * index}.L{5 + index % 4}"
+    year = 1887 + (index * 13) % 110
+    # Vary the note length in a fixed pattern (pseudo-irregular sizes).
+    pad = "described from the original plates. " * ((index * 5) % 4)
+    if index == LOC_RECORD_COUNT - 1:
+        pad = "described from the original plates. "  # near-mean final record
+    return (
+        f"{index + 1:2d}. {subject.title()}\n"
+        f"    Call number: {call}   Published: {year}\n"
+        f"    {pad}Main reading room; request at desk."
+    )
+
+
+def library_of_congress_page() -> str:
+    """The Figure 1 / Figure 2 fixture page (see module docstring).
+
+    Body child sequence: ``h1, i, hr, (pre, a, hr) x 20, a, br, form, p``.
+    Counts: hr 21, a 21, pre 20 (Section 5.1); an 8-input search form gives
+    PP its ``form -> 8`` row in Table 8.
+    """
+    parts: list[str] = [
+        "<html><head><title>Library of Congress Citations</title></head><body>",
+        "<h1>Search results</h1>",
+        "<i>Records retrieved from the LOCIS catalog</i>",
+        "<hr>",
+    ]
+    for index in range(LOC_RECORD_COUNT):
+        subject = _LOC_SUBJECTS[index % len(_LOC_SUBJECTS)]
+        parts.append(f"<pre>{_loc_record_filler(index)}</pre>")
+        parts.append(
+            f'<a href="/cgi-bin/zgate?rec={index + 1:02d}">'
+            f"Full record for {subject}</a>"
+        )
+        parts.append("<hr>")
+    # Footer: next-page link, a new-search form (8 inputs: Table 8's form=8
+    # partial-path count), and a help paragraph.
+    parts.append('<a href="/cgi-bin/zgate?page=2">NEXT PAGE</a>')
+    parts.append("<br>")
+    parts.append(
+        '<form action="/cgi-bin/zgate" method="get">'
+        '<input type="text" name="term1"><input type="text" name="term2">'
+        '<input type="hidden" name="db"><input type="hidden" name="lang">'
+        '<input type="radio" name="mode"><input type="radio" name="scope">'
+        '<input type="submit" name="go"><input type="reset" name="clear">'
+        "</form>"
+    )
+    parts.append("<p>Comments: lcweb@loc.gov | Library of Congress</p>")
+    parts.append("</body></html>")
+    return "\n".join(parts)
+
+
+def _canoe_news_table(index: int) -> str:
+    """One of the twelve news-item tables.
+
+    Structure per Table 7 path counts: ``table > tr > td[1](img) +
+    td[2](table > tr > td[1](img) + td[2](font > b(a), br, b, br))`` so each
+    news table contributes 2 to ``table.tr.td`` (26 total with the nav
+    table), 1 each to the ``table.tr.td.table...`` family (12 total), and 2
+    each to ``...font.b`` / ``...font.br`` (24 total).
+    """
+    headline, section = _CANOE_HEADLINES[index % len(_CANOE_HEADLINES)]
+    story_id = 4200 + index * 17
+    blurb = (
+        f"{section} coverage continues with full game sheets, reader mail, "
+        f"play-by-play recaps, post-game interviews from the dressing room, "
+        f"statistics updated through last night's action, and photo gallery "
+        f"number {index + 1} from our staff photographers on the scene."
+    )
+    return (
+        "<table>"
+        "<tr>"
+        f'<td><img src="/icons/bullet{index % 3}.gif"></td>'
+        "<td><table><tr>"
+        f'<td><img src="/img/thumb{story_id}.jpg"></td>'
+        "<td><font>"
+        f'<b><a href="/cgi-bin/story?id={story_id}">{headline}</a></b>'
+        "<br></br>"
+        f"<b>{section}</b>"
+        "<br></br>"
+        f"{blurb}"
+        "</font></td>"
+        "</tr></table></td>"
+        "</tr>"
+        "</table>"
+    )
+
+
+def _canoe_nav_table() -> str:
+    """The navigation table (``table[5]`` in the paper's Figure 5).
+
+    ``tr[1].td[1]`` holds three a+br pairs (Table 7's ``table.tr.td.a`` /
+    ``table.tr.td.br`` = 3 rows); ``tr[1].td[2].font[1]`` holds twelve a +
+    twelve br children -- the highest-fanout node of the whole page and
+    therefore HF's (wrong) first choice in Table 1.
+    """
+    sections = [
+        "News", "Sports", "Money", "Autos", "JAM!", "C-Health",
+        "Weather", "Lotteries", "Horoscopes", "Travel", "Classifieds", "AllPop",
+    ]
+    main_links = "".join(
+        f'<a href="/{name.lower()}/">{name}</a><br></br>' for name in sections
+    )
+    side_links = "".join(
+        f'<a href="/extra/{i}">More {i}</a><br></br>' for i in range(1, 4)
+    )
+    return (
+        "<table><tr>"
+        f"<td>{side_links}</td>"
+        f"<td><font>{main_links}</font></td>"
+        "</tr></table>"
+    )
+
+
+def _canoe_footer_form() -> str:
+    """``form[19]``: the bottom search box (form.table.tr.td.input x2)."""
+    return (
+        '<form action="/cgi-bin/search">'
+        "<table><tr>"
+        '<td><input type="text" name="q"></td>'
+        '<td><input type="submit" value="Search CANOE"></td>'
+        "</tr></table>"
+        "</form>"
+    )
+
+
+def canoe_page() -> str:
+    """The Figure 4 / Figure 5 fixture page (see module docstring).
+
+    ``body`` children: ``a(logo), form[2](top search), h2, form[4](results),
+    br, center, table(footer), p, a, b`` -- fanout 10, so HF ranks body
+    below both the nav font (24) and form[4] (19), matching Table 1.
+    """
+    # form[4]'s 19 children, in the order that generates Tables 3/6/7/8.
+    form4_children: list[str] = [
+        '<img src="/img/banner_top.gif">',
+        "<br>",
+        '<img src="/img/banner_side.gif">',
+        "<br>",
+        _canoe_nav_table(),  # table[5]
+    ]
+    for index in range(11):
+        form4_children.append(_canoe_news_table(index))  # tables 6..16
+    form4_children.append('<map name="footermap"></map>')  # child 17
+    form4_children.append(_canoe_news_table(11))  # child 18: 12th news item
+    form4_children.append(_canoe_footer_form())  # child 19: form[19]
+
+    top_search = (
+        '<form action="/cgi-bin/search" method="get">'
+        "<table><tr>"
+        "<td><b>Search</b></td>"
+        '<td><input type="text" name="q"><input type="submit" value="Go"></td>'
+        "</tr></table>"
+        "</form>"
+    )
+    footer_table = "<table><tr><td>Home</td><td>Feedback</td></tr></table>"
+    body_children = [
+        '<a href="/"><img src="/img/canoe_logo.gif"></a>',
+        top_search,  # form[2]
+        "<h2>Results: 12 stories</h2>",
+        '<form action="/cgi-bin/next" name="results">'
+        + "".join(form4_children)
+        + "</form>",  # form[4]
+        "<br>",
+        "<center>Page 1 of 4</center>",
+        footer_table,
+        "<p>Copyright CANOE</p>",
+        '<a href="/help/">Help</a>',
+        "<b>c 2000</b>",
+    ]
+    return (
+        "<html><head><title>CANOE -- search</title></head><body>"
+        + "".join(body_children)
+        + "</body></html>"
+    )
+
+
+#: Ground truth for the fixtures, used by integration tests and examples.
+LOC_EXPECTED = {
+    "separator": "hr",
+    "object_count": LOC_RECORD_COUNT,
+    "subtree_path": "html[1].body[2]",
+}
+
+CANOE_EXPECTED = {
+    "separator": "table",
+    "object_count": CANOE_NEWS_COUNT,
+    "subtree_path": "html[1].body[2].form[4]",
+}

@@ -1,0 +1,199 @@
+"""Deterministic page generation with automatic ground-truth labeling.
+
+:class:`CorpusGenerator` turns a :class:`~repro.corpus.sites.SiteSpec` into
+:class:`LabeledPage` values: the (possibly malformed) HTML text plus its
+:class:`~repro.corpus.ground_truth.GroundTruth`.  Generation is fully
+deterministic given the site seed, so every experiment in this repository is
+reproducible bit-for-bit.
+
+The subtree-path label is computed by parsing the *final* page (after
+malformation) with the same Phase 1 pipeline the extractor uses and locating
+the region marker -- so the label reflects exactly the tree the heuristics
+will see, never a guess about what normalization does to the soup.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.corpus.dictionary import random_words
+from repro.corpus.ground_truth import GroundTruth
+from repro.corpus.noise import malform
+from repro.corpus.sites import SiteSpec
+from repro.corpus.templates import (
+    TEMPLATES,
+    Record,
+    _chrome_bottom,
+    _chrome_top,
+    _page,
+    make_records,
+    no_results_region,
+)
+from repro.tree.builder import parse_document
+from repro.tree.node import TagNode
+from repro.tree.paths import path_of
+from repro.tree.traversal import tag_nodes
+
+
+@dataclass(frozen=True, slots=True)
+class LabeledPage:
+    """One generated page and its answer key."""
+
+    html: str
+    truth: GroundTruth
+
+    @property
+    def site(self) -> str:
+        return self.truth.site
+
+
+def _find_marked_region(root: TagNode, marker: str | None) -> TagNode:
+    """Locate the results region in the parsed page.
+
+    ``marker`` is the value of the ``id`` attribute; None means the region
+    is the page body.
+    """
+    if marker is None:
+        for child in root.children:
+            if isinstance(child, TagNode) and child.name == "body":
+                return child
+        raise LookupError("page has no <body>")
+    for node in tag_nodes(root):
+        if node.get("id") == marker:
+            return node
+    raise LookupError(f"no element with id={marker!r} in generated page")
+
+
+class CorpusGenerator:
+    """Generates labeled pages for site specs.
+
+    Parameters
+    ----------
+    master_seed:
+        Combined with each site's own seed; change it to draw an entirely
+        fresh corpus with the same site structure (used by robustness
+        tests).
+    max_pages_per_site:
+        Cap on pages per site (None = the spec's full Table 23 count).
+        The unit-test suite uses a small cap; benches use the full corpus.
+    """
+
+    def __init__(self, master_seed: int = 2000, max_pages_per_site: int | None = None) -> None:
+        self.master_seed = master_seed
+        self.max_pages_per_site = max_pages_per_site
+
+    def pages_for_site(self, spec: SiteSpec) -> list[LabeledPage]:
+        """All labeled pages for one site, deterministically."""
+        template = TEMPLATES.get(spec.template)
+        if template is None:
+            raise KeyError(f"site {spec.name!r} uses unknown template {spec.template!r}")
+        rng = random.Random(f"{self.master_seed}:{spec.seed}")
+        count = spec.pages
+        if self.max_pages_per_site is not None:
+            count = min(count, self.max_pages_per_site)
+        queries = random_words(rng, min(100, max(count, 1)))
+        pages: list[LabeledPage] = []
+        no_result_kinds = ("message", "suggestions", "house_ads")
+        no_result_period = (
+            max(2, round(1 / spec.no_result_rate)) if spec.no_result_rate else 0
+        )
+        for page_id in range(count):
+            query = queries[page_id % len(queries)]
+            if no_result_period and page_id % no_result_period == no_result_period - 1:
+                kind = no_result_kinds[
+                    (spec.seed + page_id // no_result_period) % len(no_result_kinds)
+                ]
+                pages.append(self._no_result_page(spec, rng, page_id, query, kind))
+            else:
+                pages.append(self._one_page(spec, template, rng, page_id, query))
+        return pages
+
+    def generate(self, sites) -> list[LabeledPage]:
+        """Labeled pages for a collection of site specs."""
+        pages: list[LabeledPage] = []
+        for spec in sites:
+            pages.extend(self.pages_for_site(spec))
+        return pages
+
+    def page_for_query(
+        self, spec: SiteSpec, query: str, *, page_id: int = 0
+    ) -> LabeledPage:
+        """One result page of ``spec`` for an arbitrary ``query`` word.
+
+        This is the "feed a word into the site's search form" operation of
+        Section 6.3 exposed directly; the integration-service layer
+        (:mod:`repro.aggregate`) uses it as the remote content provider.
+        Deterministic in (master seed, site seed, query).
+        """
+        template = TEMPLATES.get(spec.template)
+        if template is None:
+            raise KeyError(f"site {spec.name!r} uses unknown template {spec.template!r}")
+        rng = random.Random(f"{self.master_seed}:{spec.seed}:{query}")
+        return self._one_page(spec, template, rng, page_id, query)
+
+    # -- internals -----------------------------------------------------------
+
+    def _one_page(self, spec, template, rng, page_id: int, query: str) -> LabeledPage:
+        record_count = rng.randint(spec.records_min, spec.records_max)
+        records = make_records(
+            rng,
+            record_count,
+            site=spec.name,
+            query=query,
+            size_jitter=spec.size_jitter,
+        )
+        if spec.chrome.featured_first and records:
+            first = records[0]
+            records[0] = Record(
+                title=first.title,
+                description=first.description * 4,
+                url=first.url,
+                price=first.price,
+                byline=first.byline,
+            )
+        html, region = template.render_page(
+            records, rng, spec.chrome, site=spec.name, query=query
+        )
+        html = malform(html, rng, intensity=spec.malform_intensity)
+
+        # Label against the tree the extractor will actually see.
+        root = parse_document(html)
+        region_node = _find_marked_region(root, region.marker)
+        truth = GroundTruth(
+            site=spec.name,
+            page_id=page_id,
+            query=query,
+            subtree_path=path_of(region_node),
+            separators=region.separators,
+            object_count=record_count,
+            object_texts=tuple(record.text_key for record in records),
+            layout=template.name,
+        )
+        return LabeledPage(html=html, truth=truth)
+
+    def _no_result_page(
+        self, spec, rng, page_id: int, query: str, kind: str
+    ) -> LabeledPage:
+        """A separator-less page (Section 6.5's false-positive probes)."""
+        region = no_results_region(rng, kind)
+        body = (
+            _chrome_top(rng, spec.chrome)
+            + region.html
+            + _chrome_bottom(rng, spec.chrome)
+        )
+        html = _page(f"{spec.name}: no results for {query}", body)
+        html = malform(html, rng, intensity=spec.malform_intensity)
+        root = parse_document(html)
+        region_node = _find_marked_region(root, region.marker)
+        truth = GroundTruth(
+            site=spec.name,
+            page_id=page_id,
+            query=query,
+            subtree_path=path_of(region_node),
+            separators=(),
+            object_count=0,
+            object_texts=(),
+            layout=f"no_results_{kind}",
+        )
+        return LabeledPage(html=html, truth=truth)

@@ -1,0 +1,71 @@
+"""Machine-readable ground truth for generated pages.
+
+The paper's Section 6.3: "For each web site, example pages were manually
+examined to determine the path of the minimal subtree as well as all
+possible separator tags."  Our generator produces that labeling
+automatically for every page, which is the whole point of the synthetic
+corpus: the evaluation harness can score heuristics exactly the way the
+authors did, at any corpus size.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+
+
+@dataclass(frozen=True, slots=True)
+class GroundTruth:
+    """The labeled answer key for one generated page.
+
+    Attributes
+    ----------
+    site:
+        Site name (e.g. ``"www.amazon.com"``).
+    page_id:
+        Index of the page within its site.
+    query:
+        The dictionary word "fed into the search form" for this page.
+    subtree_path:
+        Dot-notation path of the minimal object-rich subtree.
+    separators:
+        All acceptable object separator tags, best first (the paper's
+        "all possible separator tags" -- several tags can validly split the
+        same records, e.g. both ``tr`` and ``table`` on single-row tables).
+    object_count:
+        Number of true data objects on the page.
+    object_texts:
+        Normalized text of each true object, for recall/precision scoring
+        of the extracted objects themselves (not just the separator).
+    layout:
+        The template family name (for per-family result breakdowns).
+    """
+
+    site: str
+    page_id: int
+    query: str
+    subtree_path: str
+    separators: tuple[str, ...]
+    object_count: int
+    object_texts: tuple[str, ...] = field(default=())
+    layout: str = ""
+
+    @property
+    def primary_separator(self) -> str:
+        """The canonical correct separator (first of ``separators``)."""
+        return self.separators[0]
+
+    def is_correct_separator(self, tag: str | None) -> bool:
+        """True when ``tag`` is one of the acceptable separators."""
+        return tag is not None and tag in self.separators
+
+    def to_json(self) -> str:
+        """Serialize for the on-disk page cache."""
+        return json.dumps(asdict(self), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, payload: str) -> "GroundTruth":
+        data = json.loads(payload)
+        data["separators"] = tuple(data["separators"])
+        data["object_texts"] = tuple(data["object_texts"])
+        return cls(**data)

@@ -1,0 +1,135 @@
+"""Page chrome and tag-soup malformation.
+
+Late-1990s commercial pages wrap their results in heavy "chrome": navigation
+bars, ad banners, search forms, footers.  Section 4.1 of the paper explains
+that this chrome is exactly what breaks the naive highest-fanout heuristic
+("this is particularly true when the number of navigational links is larger
+than the maximum number of query results displayed on a single page"), so
+the generator controls chrome intensity per site.
+
+The same pages were also full of malformed HTML -- that is why the paper's
+Phase 1 needs HTML Tidy.  :func:`malform` degrades a well-formed document in
+era-typical, *semantics-preserving* ways (omitted optional end tags,
+unquoted attributes, upper-case tag names, stray ``<br>``), so normalizing a
+malformed page must recover the same tag tree modulo the stray breaks; a
+property test pins that invariant.
+"""
+
+from __future__ import annotations
+
+import random
+import re
+
+from repro.corpus.dictionary import phrase
+
+
+def nav_bar(rng: random.Random, links: int, *, style: str = "font") -> str:
+    """A navigation region with ``links`` anchors.
+
+    ``style="font"`` reproduces the canoe.com pattern (a ``font`` node with
+    many ``a``/``br`` children -- the HF trap); ``style="table"`` emits one
+    link per table row; ``style="list"`` a ``ul`` of links.
+    """
+    names = [phrase(rng, 1).title() for _ in range(links)]
+    if style == "font":
+        inner = "".join(
+            f'<a href="/nav/{i}">{name}</a><br>' for i, name in enumerate(names)
+        )
+        return f"<table><tr><td><font>{inner}</font></td></tr></table>"
+    if style == "table":
+        rows = "".join(
+            f'<tr><td><a href="/nav/{i}">{name}</a></td></tr>'
+            for i, name in enumerate(names)
+        )
+        return f"<table>{rows}</table>"
+    if style == "list":
+        items = "".join(
+            f'<li><a href="/nav/{i}">{name}</a></li>' for i, name in enumerate(names)
+        )
+        return f"<ul>{items}</ul>"
+    raise ValueError(f"unknown nav style: {style!r}")
+
+
+def ad_banner(rng: random.Random, index: int = 0) -> str:
+    """A banner advertisement block (img + center + small print)."""
+    sponsor = phrase(rng, 1).title()
+    return (
+        f'<center><a href="/ads/click?{index}">'
+        f'<img src="/ads/banner{index}.gif" width="468" height="60">'
+        f"</a><br>Sponsored by {sponsor} Online</center>"
+    )
+
+
+def search_form(rng: random.Random, inputs: int = 3) -> str:
+    """A search form with ``inputs`` input elements."""
+    fields = "".join(f'<input type="text" name="f{i}">' for i in range(inputs - 1))
+    return (
+        '<form action="/cgi-bin/query" method="get"><b>Search:</b>'
+        f'{fields}<input type="submit" value="Go"></form>'
+    )
+
+
+def footer(rng: random.Random, links: int = 4) -> str:
+    """A footer paragraph with helper links and a copyright line."""
+    names = [phrase(rng, 1).title() for _ in range(links)]
+    anchors = " | ".join(
+        f'<a href="/footer/{i}">{name}</a>' for i, name in enumerate(names)
+    )
+    return f"<p>{anchors}<br>Copyright 2000 {phrase(rng, 1).title()} Inc.</p>"
+
+
+def decorative_rule() -> str:
+    """A decorative <hr> -- the kind that tricks fixed-list heuristics."""
+    return "<hr>"
+
+
+# -- malformation --------------------------------------------------------
+
+#: End tags whose omission HTML 4 permits; dropping them is always safe to
+#: repair (Section 2.1's normalization).
+_OMITTABLE_END = ("</p>", "</li>", "</td>", "</tr>", "</th>", "</dt>", "</dd>", "</option>")
+
+_QUOTED_ATTR_RE = re.compile(r'(\w+)="([A-Za-z0-9_./-]+)"')
+
+
+def malform(source: str, rng: random.Random, *, intensity: float = 0.3) -> str:
+    """Degrade well-formed HTML in era-typical ways.
+
+    ``intensity`` in [0, 1] scales how many candidate degradations apply.
+    All transformations are recoverable by the normalizer without changing
+    the tag tree's object structure:
+
+    * omit optional end tags (``</p>``, ``</li>``, ``</td>``, ...);
+    * strip quotes from safe attribute values;
+    * upper-case some tag names.
+
+    Dropping *inline* end tags (``</b>``) is deliberately NOT done: an
+    unclosed ``<b>`` legitimately swallows its following siblings during
+    normalization, which changes the region's child structure -- that is a
+    different page, not the same page badly encoded.
+    """
+    if not 0.0 <= intensity <= 1.0:
+        raise ValueError("intensity must be in [0, 1]")
+    if intensity == 0.0:
+        return source
+
+    out = source
+    for end_tag in _OMITTABLE_END:
+        if rng.random() < intensity:
+            out = out.replace(end_tag, "")
+
+    if rng.random() < intensity:
+        out = _QUOTED_ATTR_RE.sub(
+            lambda m: f"{m.group(1)}={m.group(2)}"
+            if rng.random() < 0.5
+            else m.group(0),
+            out,
+        )
+
+    if rng.random() < intensity:
+        for name in ("table", "tr", "td", "p", "ul", "li", "b"):
+            if rng.random() < 0.5:
+                out = out.replace(f"<{name}>", f"<{name.upper()}>")
+                out = out.replace(f"</{name}>", f"</{name.upper()}>")
+
+    return out

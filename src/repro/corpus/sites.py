@@ -1,0 +1,284 @@
+"""The site manifest, mirroring Tables 9, 12, 18 and 23 of the paper.
+
+Every site the paper crawled gets a :class:`SiteSpec` assigning it a layout
+family, chrome intensity, record-size regularity, malformation level, page
+count and a deterministic seed.  The assignments are informed guesses at
+what those sites looked like in March 2000 (amazon = table rows with heavy
+navigation; loc.gov = hr/pre listings with no chrome; goto.com = definition
+lists; canoe = nested table cards; ...), tuned so the per-heuristic failure
+modes the paper describes actually occur at roughly the paper's rates:
+
+* HF's navigation trap  -> sites with ``nav_links`` well above record count;
+* SD's irregular sizes  -> ``size_jitter`` around 0.8-1.0;
+* RP's "no answer"      -> the ``bullet_list_plain`` family;
+* IPS's list gaps       -> the ``div_blocks`` family;
+* IT/HC traps (BYU)     -> ``decorative_rules`` and ``inter_record_breaks``.
+
+Three named splits reproduce the paper's experiment structure:
+:data:`TEST_SITES` (Table 9: 15 sites, ~500 pages -- the training split used
+to estimate the rank-probability profiles), :data:`EXPERIMENTAL_SITES`
+(Table 12: 25 sites, ~1500 pages -- the validation split), and
+:data:`HARD_SITES` (Table 18: the five sites where the BYU heuristics
+collapse to 59% while Omini holds 93%).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.corpus.templates import ChromeConfig
+
+
+@dataclass(frozen=True)
+class SiteSpec:
+    """Static description of one synthetic web site.
+
+    ``pages`` mirrors the per-site page counts of Table 23 (scaled down by
+    default in the harness for test speed; benches use the full counts).
+    """
+
+    name: str
+    date: str
+    template: str
+    pages: int
+    records_min: int = 5
+    records_max: int = 25
+    chrome: ChromeConfig = field(default_factory=ChromeConfig)
+    size_jitter: float = 0.3
+    malform_intensity: float = 0.2
+    seed: int = 0
+    #: Fraction of this site's pages that are separator-less (no-results /
+    #: suggestion / house-ad pages) -- the precision probes of Section 6.5.
+    no_result_rate: float = 0.12
+
+
+def _chrome(
+    nav: int = 8,
+    style: str = "table",
+    ads: int = 1,
+    rules: int = 0,
+    breaks: int = 0,
+    search: int = 3,
+    footer: int = 4,
+    rules_every: int = 0,
+    headers_every: int = 0,
+    sponsored: int = 0,
+    spacer: bool = False,
+    cluster: int = 0,
+    featured: bool = False,
+    related: int = 0,
+) -> ChromeConfig:
+    return ChromeConfig(
+        nav_links=nav,
+        nav_style=style,
+        ads=ads,
+        search_inputs=search,
+        footer_links=footer,
+        decorative_rules=rules,
+        inter_record_breaks=breaks,
+        region_rules_every=rules_every,
+        section_headers_every=headers_every,
+        sponsored_blocks=sponsored,
+        leading_spacer=spacer,
+        cluster_imgs=cluster,
+        featured_first=featured,
+        related_links=related,
+    )
+
+
+#: Table 9 -- the 15 test ("training") sites, ~500 pages total.
+TEST_SITES: tuple[SiteSpec, ...] = (
+    SiteSpec("agents.umbc.edu", "July 2000", "bullet_list_plain", 20,
+             records_min=8, records_max=30, chrome=_chrome(nav=4, ads=0, sponsored=2),
+             size_jitter=0.2, malform_intensity=0.1, seed=101),
+    SiteSpec("www.alphabetstreet.infront.co.uk", "March 2000", "table_rows", 30,
+             records_min=5, records_max=15,
+             chrome=_chrome(nav=20, style="font", cluster=3, rules_every=4),
+             size_jitter=0.6, seed=102),
+    SiteSpec("www.alphaworks.ibm.com", "March 2000", "paragraphs_plain", 30,
+             records_min=9, records_max=20, chrome=_chrome(nav=12, headers_every=2),
+             size_jitter=0.5, seed=103),
+    SiteSpec("www.amazon.com", "December 1999", "table_rows", 99,
+             records_min=10, records_max=25,
+             chrome=_chrome(nav=40, style="font", ads=2, breaks=2, rules_every=5),
+             size_jitter=0.35, seed=104),
+    SiteSpec("www.aw.com", "December 1999", "table_rows", 9,
+             records_min=12, records_max=18, chrome=_chrome(nav=10, headers_every=2, rules_every=4),
+             size_jitter=0.3, seed=105),
+    SiteSpec("www.bookpool.com", "March 2000", "div_blocks", 4,
+             records_min=8, records_max=20,
+             chrome=_chrome(nav=30, style="font", rules=2, sponsored=2, headers_every=1, cluster=3),
+             size_jitter=0.9, seed=106),
+    SiteSpec("cbc.ca/consumers", "March 2000", "paragraphs", 43,
+             records_min=4, records_max=12, chrome=_chrome(nav=15, related=30),
+             size_jitter=0.6, seed=107),
+    SiteSpec("www.chapters.com", "March 2000", "table_rows", 100,
+             records_min=10, records_max=20, chrome=_chrome(nav=25, style="font", breaks=2, related=45),
+             size_jitter=0.3, seed=108),
+    SiteSpec("www.google.com", "March 2000", "bullet_list", 100,
+             records_min=10, records_max=10, chrome=_chrome(nav=3, ads=0, footer=6),
+             size_jitter=0.25, malform_intensity=0.05, seed=109),
+    SiteSpec("www.hotbot.com", "March 2000", "bullet_list_plain", 27,
+             records_min=10, records_max=10, chrome=_chrome(nav=18, ads=2, sponsored=2),
+             size_jitter=0.3, seed=110),
+    SiteSpec("www.ibm.com/developer/java", "March 2000", "paragraphs", 34,
+             records_min=6, records_max=18, chrome=_chrome(nav=14),
+             size_jitter=0.5, seed=111),
+    SiteSpec("www.kingbooks.com", "March 2000", "table_rows", 69,
+             records_min=12, records_max=20, chrome=_chrome(nav=8, headers_every=2, rules_every=5),
+             size_jitter=0.4, seed=112),
+    SiteSpec("www.loc.gov", "March 2000", "hr_pre", 84,
+             records_min=10, records_max=25,
+             chrome=_chrome(nav=0, ads=0, search=0, footer=2, sponsored=2),
+             size_jitter=0.3, malform_intensity=0.05, seed=113),
+    SiteSpec("www.rubylane.com", "March 2000", "div_blocks", 1,
+             records_min=8, records_max=16, chrome=_chrome(nav=22, style="font", sponsored=2, cluster=3),
+             size_jitter=0.8, seed=114),
+    SiteSpec("www.signpost.org", "March 2000", "bullet_list_plain", 55,
+             records_min=5, records_max=30,
+             chrome=_chrome(nav=26, style="font", rules=2, rules_every=2, headers_every=1),
+             size_jitter=1.0, seed=115),
+)
+
+#: Table 12 -- the 25 experimental (validation) sites, ~1500 pages total.
+EXPERIMENTAL_SITES: tuple[SiteSpec, ...] = (
+    SiteSpec("www.amazon.com", "March 2000", "table_rows", 73,
+             records_min=10, records_max=25, chrome=_chrome(nav=40, style="font", ads=2, breaks=2),
+             size_jitter=0.35, seed=201),
+    SiteSpec("www.amazon.com (ZShops)", "March 2000", "nested_tables", 76,
+             records_min=6, records_max=18, chrome=_chrome(nav=35, style="font", ads=1, cluster=3),
+             size_jitter=0.4, seed=202),
+    SiteSpec("www.bn.com", "March 2000", "table_rows", 83,
+             records_min=10, records_max=20, chrome=_chrome(nav=28, style="font", headers_every=2),
+             size_jitter=0.3, seed=203),
+    SiteSpec("www.bookbuyer.com", "March 2000", "table_rows", 82,
+             records_min=5, records_max=15, chrome=_chrome(nav=12, cluster=3),
+             size_jitter=0.45, seed=204),
+    SiteSpec("www.borders.com", "March 2000", "table_rows", 88,
+             records_min=10, records_max=20, chrome=_chrome(nav=20, style="font", headers_every=2),
+             size_jitter=0.3, seed=205),
+    SiteSpec("www.canoe.com", "March 2000", "nested_tables", 100,
+             records_min=8, records_max=15, chrome=_chrome(nav=30, style="font", ads=2),
+             size_jitter=0.35, seed=206),
+    SiteSpec("www.codysbooks.com", "March 2000", "table_rows", 100,
+             records_min=10, records_max=18, chrome=_chrome(nav=10, headers_every=2),
+             size_jitter=0.4, seed=207),
+    SiteSpec("www.ebay.com", "March 2000", "table_rows", 93,
+             records_min=15, records_max=30,
+             chrome=_chrome(nav=35, style="font", rules=2, headers_every=1, cluster=3, rules_every=4),
+             size_jitter=0.85, seed=208),
+    SiteSpec("www.etoys.com", "March 2000", "nested_tables", 36,
+             records_min=6, records_max=12, chrome=_chrome(nav=18, ads=2),
+             size_jitter=0.4, seed=209),
+    SiteSpec("www.excite.com", "March 2000", "bullet_list_plain", 100,
+             records_min=10, records_max=10, chrome=_chrome(nav=25, style="font", ads=2, sponsored=2),
+             size_jitter=0.3, seed=210),
+    SiteSpec("www.fatbrain.com", "March 2000", "table_rows", 71,
+             records_min=10, records_max=18, chrome=_chrome(nav=15, headers_every=2),
+             size_jitter=0.35, seed=211),
+    SiteSpec("www.gameCenter.com", "March 2000", "div_blocks", 6,
+             records_min=5, records_max=12, chrome=_chrome(nav=22, style="font", ads=2, sponsored=2),
+             size_jitter=0.5, seed=212),
+    SiteSpec("www.gamelan.com", "March 2000", "definition_list", 53,
+             records_min=10, records_max=20, chrome=_chrome(nav=16, headers_every=2),
+             size_jitter=0.5, seed=213),
+    SiteSpec("www.goto.com", "March 2000", "definition_list_plain", 100,
+             records_min=10, records_max=15, chrome=_chrome(nav=8, ads=2, rules=1, cluster=3),
+             size_jitter=0.95, seed=214),
+    SiteSpec("www.ibm.com", "March 2000", "paragraphs_plain", 65,
+             records_min=5, records_max=15, chrome=_chrome(nav=20),
+             size_jitter=0.5, seed=215),
+    SiteSpec("www.ibm.com/developer/xml", "March 2000", "paragraphs", 72,
+             records_min=6, records_max=18, chrome=_chrome(nav=14),
+             size_jitter=0.45, seed=216),
+    SiteSpec("www.msn.com/auctions", "March 2000", "table_rows", 1,
+             records_min=15, records_max=30, chrome=_chrome(nav=30, style="font", ads=2, breaks=3, cluster=4),
+             size_jitter=0.5, seed=217),
+    SiteSpec("www.powells.com", "March 2000", "hr_pre_loose", 84,
+             records_min=8, records_max=20, chrome=_chrome(nav=24, style="list", featured=True),
+             size_jitter=0.9, seed=218),
+    SiteSpec("www.quote.com", "March 2000", "table_rows", 1,
+             records_min=10, records_max=20, chrome=_chrome(nav=12),
+             size_jitter=0.2, seed=219),
+    SiteSpec("www.thestar.org", "March 2000", "paragraphs_plain", 1,
+             records_min=6, records_max=15, chrome=_chrome(nav=10),
+             size_jitter=0.55, seed=220),
+    SiteSpec("www.vancouversun.com", "March 2000", "paragraphs_plain", 18,
+             records_min=5, records_max=14, chrome=_chrome(nav=16),
+             size_jitter=0.5, seed=221),
+    SiteSpec("www.vnunet.com", "March 2000", "paragraphs", 81,
+             records_min=6, records_max=16, chrome=_chrome(nav=18),
+             size_jitter=0.45, seed=222),
+    SiteSpec("www.wine.com", "March 2000", "nested_tables", 20,
+             records_min=5, records_max=12, chrome=_chrome(nav=14, ads=1),
+             size_jitter=0.4, seed=223),
+    SiteSpec("www.yahoo.com", "March 2000", "bullet_list", 96,
+             records_min=10, records_max=20, chrome=_chrome(nav=30, style="font"),
+             size_jitter=0.3, seed=224),
+    SiteSpec("www.yahoo.com/auctions", "March 2000", "div_blocks", 1,
+             records_min=10, records_max=20, chrome=_chrome(nav=28, style="font", ads=1, sponsored=2),
+             size_jitter=0.45, seed=225),
+)
+
+#: Table 18 -- the five sites where BYU's heuristics fail hard (59% vs 93%).
+#: They are drawn from the two splits above by name.
+HARD_SITE_NAMES: tuple[str, ...] = (
+    "www.bookpool.com",
+    "www.ebay.com",
+    "www.goto.com",
+    "www.powells.com",
+    "www.signpost.org",
+)
+
+
+#: The remaining Table 23 sites: cached in the paper's full corpus but not
+#: part of either evaluation split (they bring the manifest to the abstract's
+#: "more than 2,000 Web pages over 40 sites" -- 48 site entries in all).
+EXTRA_SITES: tuple[SiteSpec, ...] = (
+    SiteSpec("www.amazon.com (ZBooks)", "March 2000", "table_rows", 24,
+             records_min=10, records_max=25, chrome=_chrome(nav=40, style="font", ads=2),
+             size_jitter=0.35, seed=301),
+    SiteSpec("www.canoe.com (web search)", "March 2000", "bullet_list", 100,
+             records_min=10, records_max=10, chrome=_chrome(nav=30, style="font", ads=2),
+             size_jitter=0.3, seed=302),
+    SiteSpec("www.cnet.com (game search)", "March 2000", "nested_tables", 99,
+             records_min=8, records_max=15, chrome=_chrome(nav=28, style="font", ads=2),
+             size_jitter=0.4, seed=303),
+    SiteSpec("www.cnet.com (articles)", "March 2000", "paragraphs", 100,
+             records_min=6, records_max=14, chrome=_chrome(nav=24, style="font"),
+             size_jitter=0.5, seed=304),
+    SiteSpec("www.cnet.com (web search)", "March 2000", "bullet_list", 100,
+             records_min=10, records_max=10, chrome=_chrome(nav=24, style="font", ads=2),
+             size_jitter=0.3, seed=305),
+    SiteSpec("www.redbooks.ibm.com", "March 2000", "table_rows", 41,
+             records_min=8, records_max=20, chrome=_chrome(nav=14),
+             size_jitter=0.35, seed=306),
+    SiteSpec("www.lycos.com", "March 2000", "bullet_list_plain", 100,
+             records_min=10, records_max=10, chrome=_chrome(nav=26, style="font", ads=2),
+             size_jitter=0.3, seed=307),
+    SiteSpec("www.sfgate.com", "March 2000", "paragraphs", 35,
+             records_min=5, records_max=14, chrome=_chrome(nav=18),
+             size_jitter=0.5, seed=308),
+)
+
+
+def all_sites() -> tuple[SiteSpec, ...]:
+    """Every site spec of Table 23: test + experimental + extras."""
+    return TEST_SITES + EXPERIMENTAL_SITES + EXTRA_SITES
+
+
+def site_by_name(name: str) -> SiteSpec:
+    """Look up a site spec by its Table 9/12 name."""
+    for spec in all_sites():
+        if spec.name == name:
+            return spec
+    raise KeyError(f"unknown site: {name!r}")
+
+
+HARD_SITES: tuple[SiteSpec, ...] = tuple(
+    site_by_name(name) for name in HARD_SITE_NAMES
+)
+
+#: Total page counts, matching the paper's "~500 test" / "~1500 validation".
+TEST_PAGE_TOTAL = sum(s.pages for s in TEST_SITES)
+EXPERIMENTAL_PAGE_TOTAL = sum(s.pages for s in EXPERIMENTAL_SITES)

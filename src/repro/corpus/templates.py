@@ -1,0 +1,536 @@
+"""Page-layout families for the synthetic corpus.
+
+The paper's 50 sites (Tables 9/12/23) span a handful of recurring result-page
+layouts; each :class:`PageTemplate` here generates one family:
+
+=================  ===========================================  =============
+Template           Real-site archetype (from the paper's list)  Separator
+=================  ===========================================  =============
+TableRows          www.amazon.com, www.bn.com book lists        ``tr``
+NestedTables       www.canoe.com, cnet.com news/product cards   ``table``
+HrPre              www.loc.gov text listings                    ``hr``
+BulletList         www.google.com, www.hotbot.com hit lists     ``li``
+DefinitionList     www.goto.com style title/description pairs   ``dt``
+Paragraphs         www.vnunet.com, thestar.org article lists    ``p``
+DivBlocks          early CSS-era layouts (rubylane, signpost)   ``div``
+=================  ===========================================  =============
+
+Each template receives the site's :class:`ChromeConfig` (navigation volume,
+ads, search forms, decorative rules) and a list of :class:`Record` payloads,
+and returns a full page plus the facts the ground-truth label needs.  The
+object region is marked with ``id="results"`` (or the body is used directly)
+so the generator can recover the region's exact dot-notation path by parsing
+its own output -- labels never depend on the heuristics being evaluated.
+
+Difficulty knobs that reproduce the paper's per-heuristic failure modes:
+
+* heavy navigation (``ChromeConfig.nav_links`` > record count) defeats HF;
+* ``Record.size_jitter`` produces irregular record sizes that defeat SD;
+* ``plain_text_records`` (no leading tag inside records) silences RP;
+* region anchors whose IPS table lacks the separator (``div`` records,
+  ``blockquote`` anchors) demote IPS;
+* decorative ``<hr>``/``<p>`` chrome misleads the BYU IT heuristic, and
+  per-record ``<br>`` runs give HC a higher-count wrong answer.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.corpus import noise
+from repro.corpus.dictionary import phrase
+
+
+@dataclass(frozen=True, slots=True)
+class Record:
+    """One data object to render: a search hit, product, story or book."""
+
+    title: str
+    description: str
+    url: str
+    price: str = ""
+    byline: str = ""
+
+    @property
+    def text_key(self) -> str:
+        """The unique text by which scoring recognizes this record."""
+        return self.title
+
+
+@dataclass
+class ChromeConfig:
+    """Per-site page-chrome intensity (see module docstring).
+
+    The ``region_*`` and related knobs inject noise *inside* the object
+    region; these are what drag the individual heuristics down to the
+    paper's success rates (real 2000-era result regions were full of header
+    rows, spacer breaks, decorative rules and sponsored inserts):
+
+    * ``inter_record_breaks`` -- ``<br>`` runs between records; 2+ makes a
+      non-separator tag the highest-count child (the HC trap); 3+ also
+      out-repeats the true separator's paths and pairs (PP/SB traps).
+    * ``region_rules_every`` -- a decorative ``<hr>`` after every k records;
+      its evenly-spaced occurrences out-regularize an irregular separator
+      (the SD trap) and sit atop Embley's fixed IT list (the IT trap).
+    * ``section_headers_every`` -- a bold section header every k records
+      (extra candidate tag; pollutes sibling pairs).
+    * ``sponsored_blocks`` -- differently-structured pseudo-records
+      (``<p>`` with link + blurb) at the head of the region; an IPS trap
+      wherever ``p`` outranks the true separator in the anchor's tag list,
+      and a precision test for Phase 3 refinement.
+    * ``leading_spacer`` -- a ``<br>`` before the first record, flipping
+      which tag leads the highest-count sibling pair (an SB trap).
+    """
+
+    nav_links: int = 8
+    nav_style: str = "table"
+    ads: int = 1
+    search_inputs: int = 3
+    footer_links: int = 4
+    decorative_rules: int = 0
+    inter_record_breaks: int = 0
+    region_rules_every: int = 0
+    section_headers_every: int = 0
+    sponsored_blocks: int = 0
+    leading_spacer: bool = False
+    #: A run of this many house-ad ``<img>`` siblings at the head of the
+    #: region.  Consecutive empty elements are zero bytes apart, so their
+    #: inter-occurrence standard deviation is exactly 0 -- SD will rank them
+    #: above any real separator (the same effect that makes SD rank ``img``
+    #: first on the paper's canoe.com page).
+    cluster_imgs: int = 0
+    #: First record rendered with a much longer description ("featured"
+    #: result) -- widens the separator's inter-occurrence deviation.
+    featured_first: bool = False
+    #: A "related searches" link list appended inside the region.  With more
+    #: links than twice the record count, the repeated ``ul.li`` path
+    #: out-counts the true separator's paths -- the PP trap (PP's wrong
+    #: first choice on the paper's test data, Table 10's 0.85).
+    related_links: int = 0
+
+
+def make_records(
+    rng: random.Random,
+    count: int,
+    *,
+    site: str,
+    query: str,
+    size_jitter: float = 0.3,
+) -> list[Record]:
+    """Generate ``count`` records for one result page.
+
+    ``size_jitter`` scales how much description length varies from record to
+    record (0 = perfectly regular sizes, 1 = wildly irregular -- the SD
+    failure mode).
+    """
+    records: list[Record] = []
+    for index in range(count):
+        base_words = 12
+        jitter_words = int(base_words * size_jitter * 3)
+        words = base_words + (
+            rng.randint(0, jitter_words) if jitter_words else 0
+        )
+        title = f"{phrase(rng, 3).title()} ({query} #{index + 1})"
+        # Roughly 1 record in 16 is "sparse" (no byline -- real hit lists
+        # always have a few thin entries).  Sparse records are structurally
+        # poorer than the majority, so strict Phase 3 refinement sacrifices
+        # some of them: that is the paper's 93-98%-recall tail.
+        sparse = rng.random() < 1 / 16
+        records.append(
+            Record(
+                title=title,
+                description=phrase(rng, words),
+                url=f"http://{site}/item/{query}/{index + 1}",
+                price=f"${rng.randint(3, 80)}.{rng.randint(0, 99):02d}",
+                byline="" if sparse else phrase(rng, 2).title(),
+            )
+        )
+    return records
+
+
+def interleave_region_noise(
+    parts: list[str], rng: random.Random, chrome: ChromeConfig
+) -> list[str]:
+    """Weave the in-region noise elements between rendered records.
+
+    Works for any template whose region children are the record elements;
+    all inserted elements (``br``, ``hr``, ``b``, sponsored ``p``) are valid
+    children of every region container we generate.
+    """
+    out: list[str] = []
+    for index in range(chrome.sponsored_blocks):
+        out.append(
+            f'<p><a href="/sponsored/{index}"><b>Sponsored: '
+            f"{phrase(rng, 3).title()}</b></a><br>"
+            f"{phrase(rng, 8)}</p>"
+        )
+    for index in range(chrome.cluster_imgs):
+        out.append(f'<img src="/house/strip{index}.gif">')
+    if chrome.leading_spacer:
+        out.append("<br>")
+    for index, part in enumerate(parts):
+        if (
+            chrome.section_headers_every
+            and index % chrome.section_headers_every == 0
+        ):
+            out.append(f"<b>{phrase(rng, 2).title()}</b>")
+        out.append(part)
+        out.append("<br>" * chrome.inter_record_breaks)
+        if (
+            chrome.region_rules_every
+            and (index + 1) % chrome.region_rules_every == 0
+        ):
+            out.append("<hr>")
+    if chrome.related_links:
+        links = "".join(
+            f'<li><a href="/related/{i}">{phrase(rng, 2)}</a></li>'
+            for i in range(chrome.related_links)
+        )
+        out.append(f"<ul>{links}</ul>")
+    return out
+
+
+def no_results_region(rng: random.Random, kind: str) -> "RenderedRegion":
+    """A region with *no* object separator (Section 6.5's FP probes).
+
+    Search sites answer some queries with pages that contain no extractable
+    records; these are where false positives can happen ("an instance where
+    the object separator does not exist, but a tag is mistakenly identified
+    as an object separator").  Three kinds, each tripping different
+    heuristics:
+
+    * ``"message"`` -- a plain apology message: every heuristic abstains;
+    * ``"suggestions"`` -- two short suggestion paragraphs: a tag (``p``)
+      appears twice, enough for IPS/PP/SB to commit but below SD's
+      two-interval minimum and below the combined finder's
+      ``min_separator_count`` floor;
+    * ``"house_ads"`` -- two text-free ``img``+``br`` promo blocks: a
+      repeated text-free pair for RP to (wrongly) commit to.
+    """
+    if kind == "message":
+        html = (
+            '<td id="results"><h2>No matches found</h2>'
+            f"Your search did not match any documents. {phrase(rng, 14)}."
+            "</td>"
+        )
+    elif kind == "suggestions":
+        html = (
+            '<td id="results"><h2>No matches found</h2>'
+            f"<p>Try broader terms, for example {phrase(rng, 3)}.</p>"
+            f"<p>Or browse our {phrase(rng, 2)} directory instead.</p>"
+            "</td>"
+        )
+    elif kind == "house_ads":
+        html = (
+            '<td id="results"><h2>Nothing matched your search</h2>'
+            '<img src="/house/promo1.gif"><br>'
+            '<img src="/house/promo2.gif"><br>'
+            f"Meanwhile: {phrase(rng, 10)}."
+            "</td>"
+        )
+    else:
+        raise ValueError(f"unknown no-results kind: {kind!r}")
+    return RenderedRegion(
+        f"<table><tr>{html}</tr></table>", separators=(), marker="results"
+    )
+
+
+@dataclass
+class RenderedRegion:
+    """What a template produces: region HTML plus labeling facts."""
+
+    html: str
+    separators: tuple[str, ...]
+    #: marker attribute value identifying the region element; None means the
+    #: region is the <body> itself.
+    marker: str | None = "results"
+
+
+def _chrome_top(rng: random.Random, chrome: ChromeConfig) -> str:
+    parts: list[str] = []
+    for index in range(chrome.ads):
+        parts.append(noise.ad_banner(rng, index))
+    if chrome.nav_links:
+        parts.append(noise.nav_bar(rng, chrome.nav_links, style=chrome.nav_style))
+    if chrome.search_inputs:
+        parts.append(noise.search_form(rng, chrome.search_inputs))
+    for _ in range(chrome.decorative_rules):
+        parts.append(noise.decorative_rule())
+    return "".join(parts)
+
+
+def _chrome_bottom(rng: random.Random, chrome: ChromeConfig) -> str:
+    parts: list[str] = []
+    for _ in range(chrome.decorative_rules):
+        parts.append(noise.decorative_rule())
+    if chrome.footer_links:
+        parts.append(noise.footer(rng, chrome.footer_links))
+    return "".join(parts)
+
+
+def _page(title: str, body: str) -> str:
+    return f"<html><head><title>{title}</title></head><body>{body}</body></html>"
+
+
+class PageTemplate:
+    """Base class: subclasses implement :meth:`region`."""
+
+    #: Family name recorded in the ground truth.
+    name: str = ""
+
+    def region(self, records: list[Record], rng: random.Random, chrome: ChromeConfig) -> RenderedRegion:
+        raise NotImplementedError
+
+    def render_page(
+        self,
+        records: list[Record],
+        rng: random.Random,
+        chrome: ChromeConfig,
+        *,
+        site: str,
+        query: str,
+    ) -> tuple[str, RenderedRegion]:
+        """Full page: top chrome, results region, bottom chrome."""
+        region = self.region(records, rng, chrome)
+        body = (
+            _chrome_top(rng, chrome)
+            + region.html
+            + _chrome_bottom(rng, chrome)
+        )
+        return _page(f"{site}: results for {query}", body), region
+
+
+class TableRowsTemplate(PageTemplate):
+    """One big table; each record is a ``tr`` (amazon/bn style)."""
+
+    name = "table_rows"
+
+    def region(self, records, rng, chrome) -> RenderedRegion:
+        rows: list[str] = []
+        for record in records:
+            rows.append(
+                "<tr>"
+                f'<td><a href="{record.url}"><b>{record.title}</b></a>'
+                f"<br>{record.description}</td>"
+                + (
+                    f"<td><i>{record.byline}</i><br>{record.price}</td>"
+                    if record.byline
+                    else f"<td>{record.price}</td>"
+                )
+                + "</tr>"
+            )
+        rows = interleave_region_noise(rows, rng, chrome)
+        html = f'<table id="results" border="0">{"".join(rows)}</table>'
+        return RenderedRegion(html, separators=("tr",))
+
+
+class NestedTablesTemplate(PageTemplate):
+    """Each record is its own table inside a ``td`` (canoe/cnet style)."""
+
+    name = "nested_tables"
+
+    def region(self, records, rng, chrome) -> RenderedRegion:
+        cards: list[str] = []
+        for record in records:
+            cards.append(
+                "<table><tr>"
+                f'<td><img src="/img/{abs(hash(record.url)) % 97}.gif"></td>'
+                f'<td><font><b><a href="{record.url}">{record.title}</a></b>'
+                f"<br>{record.description}"
+                + (f"<br><i>{record.byline}</i>" if record.byline else "")
+                + "</font></td>"
+                "</tr></table>"
+            )
+        cards = interleave_region_noise(cards, rng, chrome)
+        html = f'<td id="results">{"".join(cards)}</td>'
+        # A lone <td> is hoisted sensibly by the normalizer only inside a
+        # table; wrap it as a single-cell layout table (the era's idiom).
+        html = f"<table><tr>{html}</tr></table>"
+        return RenderedRegion(html, separators=("table",))
+
+
+class HrPreTemplate(PageTemplate):
+    """Plain-text records separated by ``hr`` (Library of Congress style).
+
+    The records live directly under ``body``; the region marker is None.
+    With ``text_between`` a bare text annotation follows each rule, so no
+    text-free tag pair exists and RP goes silent.
+    """
+
+    def __init__(self, *, text_between: bool = False) -> None:
+        self.text_between = text_between
+        self.name = "hr_pre_loose" if text_between else "hr_pre"
+
+    def region(self, records, rng, chrome) -> RenderedRegion:
+        groups: list[str] = []
+        for index, record in enumerate(records):
+            part = (
+                f"<pre>{index + 1:2d}. {record.title}\n"
+                f"    {record.description}\n    {record.price}</pre>"
+                f'<a href="{record.url}">Full record</a><hr>'
+            )
+            if self.text_between:
+                part = f"Shelf {phrase(rng, 1)} {index + 1}: " + part
+            groups.append(part)
+        # The leading rule is inserted *after* any sponsored blocks so a
+        # noise-sized first gap does not pollute hr's deviation.
+        groups = interleave_region_noise(groups, rng, chrome)
+        first_record = next(
+            (i for i, g in enumerate(groups) if g.lstrip().startswith("<pre")
+             or "<pre" in g[:60]),
+            0,
+        )
+        groups.insert(first_record, "<hr>")
+        # Trailing next-page link after the final rule (as on the real LoC
+        # pages): its tiny final gap penalizes sigma(a) so the deliberate
+        # separator out-regularizes the per-record links.
+        groups.append('<a href="/cgi-bin/next">NEXT PAGE</a>')
+        return RenderedRegion("".join(groups), separators=("hr",), marker=None)
+
+
+class BulletListTemplate(PageTemplate):
+    """A ``ul`` of hits (google/hotbot style)."""
+
+    name = "bullet_list"
+
+    def __init__(self, *, plain_text_records: bool = False) -> None:
+        #: With plain text leading each <li>, RP finds no text-free pair
+        #: rooted at li -- the "RP has no answer" case of Section 6.5.
+        self.plain_text_records = plain_text_records
+        self.name = "bullet_list_plain" if plain_text_records else "bullet_list"
+
+    def region(self, records, rng, chrome) -> RenderedRegion:
+        items: list[str] = []
+        for record in records:
+            if self.plain_text_records:
+                # Leading text (no text-free pair for RP), but with the
+                # url/size/cache trailer real search engines printed --
+                # records still carry enough markup that the hit list, not
+                # the navigation bar, dominates the page's tag mass.
+                items.append(
+                    f"<li>{record.title} -- {record.description} "
+                    f'<a href="{record.url}">[link]</a>'
+                    f"<br><i>{record.url}</i> <b>{record.price}</b>"
+                    + (" <font>cached</font>" if record.byline else "")
+                    + "</li>"
+                )
+            else:
+                items.append(
+                    f'<li><a href="{record.url}"><b>{record.title}</b></a>'
+                    f"<br>{record.description}</li>"
+                )
+        items = interleave_region_noise(items, rng, chrome)
+        html = f'<ul id="results">{"".join(items)}</ul>'
+        return RenderedRegion(html, separators=("li",))
+
+
+class DefinitionListTemplate(PageTemplate):
+    """``dl`` with ``dt`` titles and ``dd`` descriptions (goto.com style).
+
+    ``plain_text_records`` numbers the ``dt`` with leading text (the real
+    goto.com did), which silences RP.
+    """
+
+    def __init__(self, *, plain_text_records: bool = False) -> None:
+        self.plain_text_records = plain_text_records
+        self.name = (
+            "definition_list_plain" if plain_text_records else "definition_list"
+        )
+
+    def region(self, records, rng, chrome) -> RenderedRegion:
+        items: list[str] = []
+        for index, record in enumerate(records):
+            if self.plain_text_records:
+                items.append(
+                    f'<dt>{index + 1}. <a href="{record.url}">{record.title}</a></dt>'
+                    f"<dd>{record.description}<br><i>{record.url}</i></dd>"
+                )
+                continue
+            items.append(
+                f'<dt><a href="{record.url}"><b>{record.title}</b></a></dt>'
+                + f"<dd>{record.description}"
+                + (f"<br><i>{record.url}</i>" if record.byline else "")
+                + "</dd>"
+            )
+        items = interleave_region_noise(items, rng, chrome)
+        html = f'<dl id="results">{"".join(items)}</dl>'
+        return RenderedRegion(html, separators=("dt", "dd"))
+
+
+class ParagraphsTemplate(PageTemplate):
+    """Each record is a ``p`` block (news-article listings).
+
+    With ``plain_text_records`` the paragraph opens with a text date stamp
+    instead of a tag, so RP finds no text-free pair rooted at ``p``.
+    """
+
+    name = "paragraphs"
+
+    def __init__(self, *, plain_text_records: bool = False) -> None:
+        self.plain_text_records = plain_text_records
+        self.name = "paragraphs_plain" if plain_text_records else "paragraphs"
+
+    def region(self, records, rng, chrome) -> RenderedRegion:
+        blocks: list[str] = []
+        for index, record in enumerate(records):
+            if self.plain_text_records:
+                blocks.append(
+                    f"<p>{index + 1}. {record.title} -- {record.description} "
+                    f'<a href="{record.url}">full story</a>'
+                    + (f"<br><i>{record.byline}</i>" if record.byline else "<br>")
+                    + f" <b>{record.price}</b> <font>{record.url}</font></p>"
+                )
+            else:
+                blocks.append(
+                    f'<p><a href="{record.url}"><b>{record.title}</b></a><br>'
+                    f"{record.description}"
+                    + (f"<br><i>{record.byline}</i>" if record.byline else "")
+                    + "</p>"
+                )
+        blocks = interleave_region_noise(blocks, rng, chrome)
+        html = f'<blockquote id="results">{"".join(blocks)}</blockquote>'
+        return RenderedRegion(html, separators=("p",))
+
+
+class DivBlocksTemplate(PageTemplate):
+    """Each record is a ``div`` inside a table cell (early-CSS layouts).
+
+    ``div`` is low on the global IPSList and absent from the ``td`` list of
+    Table 4, so IPS ranks it poorly here -- a designed IPS failure mode.
+    """
+
+    name = "div_blocks"
+
+    def region(self, records, rng, chrome) -> RenderedRegion:
+        blocks: list[str] = []
+        for record in records:
+            blocks.append(
+                f"<div><b>{record.title}</b><br>{record.description}"
+                + (
+                    f'<br><a href="{record.url}">{record.price}</a>'
+                    if record.byline
+                    else ""
+                )
+                + "</div>"
+            )
+        blocks = interleave_region_noise(blocks, rng, chrome)
+        html = f'<td id="results">{"".join(blocks)}</td>'
+        html = f"<table><tr>{html}</tr></table>"
+        return RenderedRegion(html, separators=("div",))
+
+
+#: Registry used by the site manifest.
+TEMPLATES: dict[str, PageTemplate] = {
+    "table_rows": TableRowsTemplate(),
+    "nested_tables": NestedTablesTemplate(),
+    "hr_pre": HrPreTemplate(),
+    "bullet_list": BulletListTemplate(),
+    "bullet_list_plain": BulletListTemplate(plain_text_records=True),
+    "definition_list": DefinitionListTemplate(),
+    "definition_list_plain": DefinitionListTemplate(plain_text_records=True),
+    "paragraphs": ParagraphsTemplate(),
+    "paragraphs_plain": ParagraphsTemplate(plain_text_records=True),
+    "div_blocks": DivBlocksTemplate(),
+    "hr_pre_loose": HrPreTemplate(text_between=True),
+}

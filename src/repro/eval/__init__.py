@@ -1,0 +1,48 @@
+"""Evaluation harness reproducing the paper's Section 6 experiments.
+
+* :mod:`repro.eval.metrics`      -- success rate / precision / recall per the
+  paper's definitions (Sections 6.2, 6.5);
+* :mod:`repro.eval.harness`      -- run heuristics over labeled corpora:
+  rank distributions (Tables 10/13/20), per-heuristic outcomes;
+* :mod:`repro.eval.combinations` -- the 26-combination sweep (Tables 11/20);
+* :mod:`repro.eval.objects`      -- end-to-end object-level precision/recall
+  (the abstract's 100% / 93-98% claim);
+* :mod:`repro.eval.timing`       -- per-phase execution times (Tables 16/17);
+* :mod:`repro.eval.report`       -- fixed-width table formatting that mimics
+  the paper's layout, shared by all benches.
+"""
+
+from repro.eval.combinations import combination_sweep, fast_combination_sweep
+from repro.eval.harness import (
+    EvaluatedPage,
+    estimate_profiles,
+    evaluate_pages,
+    rank_distribution,
+    separator_outcomes,
+)
+from repro.eval.metrics import (
+    HeuristicScore,
+    per_site_average,
+    score_outcomes,
+)
+from repro.eval.objects import ObjectScore, object_level_scores
+from repro.eval.report import format_table
+from repro.eval.timing import TimingBreakdown, time_pipeline
+
+__all__ = [
+    "EvaluatedPage",
+    "HeuristicScore",
+    "ObjectScore",
+    "TimingBreakdown",
+    "combination_sweep",
+    "estimate_profiles",
+    "fast_combination_sweep",
+    "evaluate_pages",
+    "format_table",
+    "object_level_scores",
+    "per_site_average",
+    "rank_distribution",
+    "score_outcomes",
+    "separator_outcomes",
+    "time_pipeline",
+]

@@ -1,0 +1,146 @@
+"""Run separator algorithms over labeled corpora (Section 6.3 methodology).
+
+"For each web site, example pages were manually examined to determine the
+path of the minimal subtree as well as all possible separator tags.  The
+results of the algorithms were compared with the actual separator tags; the
+rank that the algorithms choose for a particular separator is recorded for
+each web page."
+
+Accordingly the harness parses each page once, resolves the *ground-truth*
+minimal subtree (separator evaluation is independent of subtree-finder
+quality, as in the paper), builds the candidate context once, and scores any
+number of algorithms against it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.separator.base import CandidateContext, build_context
+from repro.core.separator.combine import CombinedSeparatorFinder, HeuristicProfile
+from repro.corpus.generator import LabeledPage
+from repro.eval.metrics import SeparatorOutcome, rank_histogram
+from repro.tree.builder import parse_document
+from repro.tree.node import TagNode
+from repro.tree.paths import node_at_path
+
+
+@dataclass
+class EvaluatedPage:
+    """A parsed page with its ground-truth context, ready for scoring."""
+
+    page: LabeledPage
+    root: TagNode
+    subtree: TagNode
+    context: CandidateContext
+
+    @property
+    def site(self) -> str:
+        return self.page.site
+
+
+def evaluate_pages(pages: list[LabeledPage]) -> list[EvaluatedPage]:
+    """Parse pages and resolve their labeled minimal subtrees (once)."""
+    evaluated: list[EvaluatedPage] = []
+    for page in pages:
+        root = parse_document(page.html)
+        subtree = node_at_path(root, page.truth.subtree_path)
+        assert isinstance(subtree, TagNode)
+        evaluated.append(
+            EvaluatedPage(
+                page=page,
+                root=root,
+                subtree=subtree,
+                context=build_context(subtree),
+            )
+        )
+    return evaluated
+
+
+def _outcome_for_ranking(
+    evaluated: EvaluatedPage, ranked_tags: list[str], *, answered: bool | None = None
+) -> SeparatorOutcome:
+    """Score one algorithm's ranked list against a page's ground truth."""
+    truth = evaluated.page.truth
+    best_rank: int | None = None
+    for tag in truth.separators:
+        r = None
+        for index, candidate in enumerate(ranked_tags):
+            if candidate == tag:
+                r = index + 1
+                break
+        if r is not None and (best_rank is None or r < best_rank):
+            best_rank = r
+    tie_credit = 0.0
+    if best_rank == 1:
+        tie_credit = 1.0
+    return SeparatorOutcome(
+        site=truth.site,
+        answered=bool(ranked_tags) if answered is None else answered,
+        has_separator=truth.object_count > 1,
+        rank=best_rank,
+        tie_credit=tie_credit,
+    )
+
+
+def separator_outcomes(
+    algorithm,
+    evaluated_pages: list[EvaluatedPage],
+) -> list[SeparatorOutcome]:
+    """Run one algorithm (heuristic or combination) over evaluated pages.
+
+    For a :class:`CombinedSeparatorFinder`, rank-1 ties are scored H/M per
+    Section 6.2, and the finder's abstention threshold determines
+    ``answered``.
+    """
+    outcomes: list[SeparatorOutcome] = []
+    for ep in evaluated_pages:
+        ranking = algorithm.rank(ep.context)
+        tags = [entry.tag for entry in ranking]
+        if isinstance(algorithm, CombinedSeparatorFinder):
+            answered = algorithm.choose(ep.context) is not None
+            outcome = _outcome_for_ranking(ep, tags, answered=answered)
+            if ranking and outcome.rank == 1:
+                best = ranking[0].score
+                ties = [e.tag for e in ranking if abs(e.score - best) < 1e-12]
+                correct = sum(
+                    1 for t in ties if ep.page.truth.is_correct_separator(t)
+                )
+                outcome = SeparatorOutcome(
+                    site=outcome.site,
+                    answered=answered,
+                    has_separator=outcome.has_separator,
+                    rank=outcome.rank,
+                    tie_credit=correct / len(ties),
+                )
+        else:
+            outcome = _outcome_for_ranking(ep, tags)
+        outcomes.append(outcome)
+    return outcomes
+
+
+def rank_distribution(
+    algorithm, evaluated_pages: list[EvaluatedPage], max_rank: int = 5
+) -> list[float]:
+    """One row of Table 10/13/20: P(correct at rank r), r = 1..max_rank."""
+    return rank_histogram(separator_outcomes(algorithm, evaluated_pages), max_rank)
+
+
+def estimate_profiles(
+    heuristics: list,
+    evaluated_pages: list[EvaluatedPage],
+    max_rank: int = 5,
+) -> dict[str, HeuristicProfile]:
+    """Estimate each heuristic's rank-probability profile from a corpus.
+
+    This is the paper's training step (Section 6.1, Table 10): the test
+    split supplies the empirical distributions that the combined algorithm
+    then uses on the validation split.
+    """
+    profiles: dict[str, HeuristicProfile] = {}
+    for heuristic in heuristics:
+        histogram = rank_distribution(heuristic, evaluated_pages, max_rank)
+        profiles[heuristic.name] = HeuristicProfile(
+            heuristic.name, tuple(histogram)
+        )
+    return profiles

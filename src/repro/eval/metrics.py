@@ -1,0 +1,140 @@
+"""Quality measures (Sections 6.2 and 6.5 of the paper).
+
+The paper scores object-separator identification three ways:
+
+* **success rate** -- per web site, the fraction of pages on which the
+  algorithm's top-ranked tag is a correct separator; site fractions are then
+  *averaged over sites* (not pooled over pages), exactly as Section 6.3
+  describes.  For combinations, a page with an M-way probability tie, H of
+  which are correct, scores H/M (Section 6.2).
+* **precision** -- TP / (TP + FP): of the pages where the algorithm
+  *committed to* a separator, how often it was correct.  Heuristics abstain
+  via their occurrence thresholds (Section 6.5: "not every page will have an
+  object separator chosen"), which is what lets precision exceed recall.
+* **recall** -- TP / (TP + FN): correct identifications over all pages that
+  actually have a separator.
+
+Every function takes :class:`SeparatorOutcome` records (one per page,
+produced by the harness) so that scoring is decoupled from running.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class SeparatorOutcome:
+    """What one algorithm did on one page.
+
+    ``rank`` is the 1-based rank of the best-ranked *correct* separator in
+    the algorithm's list (None if no correct tag was ranked).  ``tie_credit``
+    is the H/M fractional credit for rank-1 ties (1.0 in the common untied
+    case, 0.0 when the top choice is wrong).  ``answered`` records whether
+    the algorithm committed to any tag at all; ``has_separator`` whether the
+    page truly contains separable objects.
+    """
+
+    site: str
+    answered: bool
+    has_separator: bool
+    rank: int | None
+    tie_credit: float
+
+    @property
+    def top_correct(self) -> bool:
+        """True when the algorithm's first choice was a correct separator."""
+        return self.rank == 1 and self.tie_credit > 0
+
+
+@dataclass(frozen=True, slots=True)
+class HeuristicScore:
+    """Aggregate success / precision / recall (one row of Tables 14/15)."""
+
+    success: float
+    precision: float
+    recall: float
+    pages: int
+    answered: int
+
+
+def per_site_average(outcomes: list[SeparatorOutcome], value) -> float:
+    """Average a per-page value per site, then average the site values.
+
+    ``value`` maps an outcome to a float.  This is the paper's two-level
+    averaging ("these percentages are then averaged over the collection of
+    web sites"), which weights small sites equally with 100-page sites.
+    """
+    by_site: dict[str, list[float]] = {}
+    for outcome in outcomes:
+        by_site.setdefault(outcome.site, []).append(value(outcome))
+    if not by_site:
+        return 0.0
+    site_means = [sum(vals) / len(vals) for vals in by_site.values()]
+    return sum(site_means) / len(site_means)
+
+
+def success_rate(outcomes: list[SeparatorOutcome]) -> float:
+    """Per-site-averaged fraction of pages with a correct top choice.
+
+    Pages without a true separator are excluded (the paper "discarded those
+    pages which returned no results" for this measure).
+    """
+    eligible = [o for o in outcomes if o.has_separator]
+    return per_site_average(
+        eligible, lambda o: o.tie_credit if o.rank == 1 else 0.0
+    )
+
+
+def score_outcomes(outcomes: list[SeparatorOutcome]) -> HeuristicScore:
+    """Success / precision / recall per the paper's Section 6.5 definitions.
+
+    * TP -- a separator exists and the top-ranked tag is correct;
+    * FN -- a separator exists but the top choice is wrong or absent;
+    * FP -- no separator exists, yet the algorithm committed to a tag.
+
+    Hence recall equals the success rate (both measure TP over pages that
+    have separators -- compare Tables 13 and 15 of the paper, where the
+    rank-1 and recall columns coincide), while precision is eroded only by
+    answering on separator-less pages.
+    """
+    eligible = [o for o in outcomes if o.has_separator]
+    true_positives = sum(o.tie_credit for o in eligible if o.rank == 1)
+    false_positives = sum(
+        1 for o in outcomes if not o.has_separator and o.answered
+    )
+    precision = (
+        true_positives / (true_positives + false_positives)
+        if (true_positives + false_positives) > 0
+        else 1.0
+    )
+    success = success_rate(outcomes)
+    # Recall uses the same two-level (per-site, then overall) averaging as
+    # the success rate -- which is why the paper's success and recall
+    # columns are identical in Tables 14/15.
+    return HeuristicScore(
+        success=success,
+        precision=precision,
+        recall=success,
+        pages=len(outcomes),
+        answered=sum(1 for o in outcomes if o.answered),
+    )
+
+
+def rank_histogram(
+    outcomes: list[SeparatorOutcome], max_rank: int = 5
+) -> list[float]:
+    """P(correct separator found at rank r) for r = 1..max_rank.
+
+    The per-site-then-overall averaging of Section 6.1 -- these are the
+    rows of Tables 10, 13 and 20.
+    """
+    histogram: list[float] = []
+    for r in range(1, max_rank + 1):
+        def hit(o: SeparatorOutcome, r=r) -> float:
+            if o.rank != r:
+                return 0.0
+            return o.tie_credit if r == 1 else 1.0
+        eligible = [o for o in outcomes if o.has_separator]
+        histogram.append(per_site_average(eligible, hit))
+    return histogram

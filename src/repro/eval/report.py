@@ -1,0 +1,41 @@
+"""Fixed-width table rendering shared by the benchmark harness.
+
+Every bench prints its reproduction in the same visual layout as the
+corresponding paper table, so EXPERIMENTS.md's paper-vs-measured comparison
+can be assembled by eye from the bench output.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    title: str | None = None,
+    float_format: str = "{:.2f}",
+) -> str:
+    """Render rows as a fixed-width ASCII table.
+
+    Floats go through ``float_format``; everything else through ``str``.
+    """
+    def render(cell: object) -> str:
+        if isinstance(cell, float):
+            return float_format.format(cell)
+        return str(cell)
+
+    rendered = [[render(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

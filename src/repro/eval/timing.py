@@ -1,0 +1,96 @@
+"""Per-phase execution-time measurement (Section 6.6, Tables 16 and 17).
+
+"For each web page the algorithms were run ten times over the page" --
+:func:`time_pipeline` does the same, against pages materialized on disk so
+the Read File column measures real I/O, and averages per split exactly as
+the paper's tables do (Test / Experimental / Combined rows).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.core.pipeline import OminiExtractor, PhaseTimings
+from repro.core.rules import RuleStore
+from repro.corpus.fetcher import PageCache
+
+#: Column order of Tables 16/17.
+PHASE_COLUMNS = (
+    "read_file",
+    "parse_page",
+    "choose_subtree",
+    "object_separator",
+    "combine_heuristics",
+    "construct_objects",
+    "total",
+)
+
+
+@dataclass
+class TimingBreakdown:
+    """Average per-phase milliseconds over a set of pages (one table row)."""
+
+    label: str
+    pages: int = 0
+    repetitions: int = 1
+    sums: dict[str, float] = field(default_factory=lambda: {c: 0.0 for c in PHASE_COLUMNS})
+
+    def add(self, timings: PhaseTimings) -> None:
+        row = timings.as_milliseconds()
+        for column in PHASE_COLUMNS:
+            self.sums[column] += row[column]
+        self.pages += 1
+
+    def averages(self) -> dict[str, float]:
+        """Mean milliseconds per page run, keyed by Table 16/17 column."""
+        if self.pages == 0:
+            return {c: 0.0 for c in PHASE_COLUMNS}
+        return {c: self.sums[c] / self.pages for c in PHASE_COLUMNS}
+
+    @classmethod
+    def merge(cls, label: str, parts: list["TimingBreakdown"]) -> "TimingBreakdown":
+        """Pool several breakdowns (the tables' "Combined" row)."""
+        merged = cls(label)
+        for part in parts:
+            merged.pages += part.pages
+            for column in PHASE_COLUMNS:
+                merged.sums[column] += part.sums[column]
+        return merged
+
+
+def time_pipeline(
+    cache: PageCache,
+    *,
+    label: str,
+    site: str | None = None,
+    repetitions: int = 10,
+    use_rules: bool = False,
+    extractor: OminiExtractor | None = None,
+) -> TimingBreakdown:
+    """Time the extractor over cached pages, ``repetitions`` runs per page.
+
+    With ``use_rules=True``, a rule is learned from each site's first page
+    and all timed runs take the cached-rule fast path -- the Table 17
+    configuration.  Without it every run performs full discovery (Table 16).
+    """
+    if extractor is None:
+        extractor = OminiExtractor(rule_store=RuleStore() if use_rules else None)
+    elif use_rules and extractor.rule_store is None:
+        extractor.rule_store = RuleStore()
+    breakdown = TimingBreakdown(label, repetitions=repetitions)
+    paths = cache.page_paths(site)
+    if use_rules:
+        # Learn rules once per site from its first page (untimed warm-up).
+        seen: set[str] = set()
+        for path in paths:
+            site_key = Path(path).parent.name
+            if site_key not in seen:
+                seen.add(site_key)
+                extractor.extract_file(path, site=site_key)
+    for path in paths:
+        site_key = Path(path).parent.name if use_rules else None
+        for _ in range(repetitions):
+            result = extractor.extract_file(path, site=site_key)
+            breakdown.add(result.timings)
+    return breakdown

@@ -1,0 +1,320 @@
+"""Syntactic normalization: arbitrary tag soup to a well-formed document.
+
+This is the reproduction's equivalent of the HTML Tidy step in Phase 1 of the
+Omini pipeline (Section 3, task two).  The output token stream satisfies the
+five well-formedness conditions of Section 2.1 of the paper:
+
+1. no bare ``<``/``>`` in text (guaranteed by the serializer's re-encoding);
+2. every start tag has a matching end tag;
+3. attribute values are quoted (serializer);
+4. void elements are immediately followed by their end tag
+   (``<br></br>``);
+5. tags nest properly without overlapping.
+
+The normalizer additionally applies HTML's omitted-end-tag rules (a new
+``<li>`` closes the open ``<li>``, any block element closes an open ``<p>``,
+table structure tags close open cells/rows), drops comments, doctypes and
+script/style content (none of which carry extractable objects), and ensures
+an ``html`` root with ``head``/``body`` sections so that every normalized
+document has the canonical shape the paper's figures assume
+(``HTML[1].Head[1]... / HTML[1].Body[2]...``).
+
+The result is a *balanced token stream*: a sequence of Start/End/Text tokens
+in which every start has a matching end at the same nesting level.  The tree
+builder in :mod:`repro.tree.builder` consumes this stream directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.html.tags import closes_implicitly, is_raw_text, is_void, scope_boundary
+from repro.html.tokenizer import (
+    CommentToken,
+    DoctypeToken,
+    EndTagToken,
+    StartTagToken,
+    TextToken,
+    Token,
+    iter_tokens,
+)
+
+#: Elements that structure the document itself; the normalizer synthesizes
+#: them when missing and never nests them.
+_STRUCTURAL = ("html", "head", "body")
+
+#: Elements allowed in <head>; anything else forces the transition to <body>.
+_HEAD_ONLY = frozenset({"title", "meta", "link", "base", "style", "script", "isindex"})
+
+
+@dataclass
+class NormalizationReport:
+    """Statistics of the repairs applied to one document.
+
+    Mirrors the summary HTML Tidy prints; useful in tests and when debugging
+    why a page's tag tree looks the way it does.
+    """
+
+    implied_end_tags: int = 0
+    unmatched_end_tags_dropped: int = 0
+    unclosed_tags_closed: int = 0
+    comments_dropped: int = 0
+    declarations_dropped: int = 0
+    raw_text_blocks_dropped: int = 0
+    structural_tags_synthesized: int = 0
+    misnested_repairs: int = 0
+
+    @property
+    def total_repairs(self) -> int:
+        """Total number of individual repair actions taken."""
+        return (
+            self.implied_end_tags
+            + self.unmatched_end_tags_dropped
+            + self.unclosed_tags_closed
+            + self.comments_dropped
+            + self.declarations_dropped
+            + self.raw_text_blocks_dropped
+            + self.structural_tags_synthesized
+            + self.misnested_repairs
+        )
+
+
+@dataclass
+class Normalizer:
+    """Stateful tag-soup repairer producing a balanced token stream.
+
+    Parameters
+    ----------
+    drop_scripts:
+        Remove ``<script>``/``<style>`` elements entirely (default).  Omini
+        operates on presentation structure; script bodies would pollute
+        ``nodeSize``.
+    drop_comments:
+        Remove comments and declarations (default True).
+    synthesize_structure:
+        Guarantee the ``html > head + body`` skeleton (default True).
+    collapse_whitespace:
+        Replace runs of whitespace in text with a single space and drop
+        whitespace-only text nodes outside ``<pre>`` (default True).  This
+        matches Tidy's default and keeps content-node sizes meaningful.
+    """
+
+    drop_scripts: bool = True
+    drop_comments: bool = True
+    synthesize_structure: bool = True
+    collapse_whitespace: bool = True
+    report: NormalizationReport = field(default_factory=NormalizationReport)
+
+    def normalize(self, source: str) -> list[Token]:
+        """Normalize raw HTML ``source`` into a balanced token stream."""
+        self.report = NormalizationReport()
+        out: list[Token] = []
+        stack: list[str] = []  # open element names, innermost last
+        saw_body_content = False
+        pre_depth = 0
+        # When a raw-text element (<script>/<style>) is dropped, its content
+        # and end tag must be swallowed too.
+        skip_raw_until: str | None = None
+
+        def open_tag(token: StartTagToken) -> None:
+            nonlocal pre_depth
+            out.append(token)
+            stack.append(token.name)
+            if token.name == "pre":
+                pre_depth += 1
+
+        def close_top() -> None:
+            nonlocal pre_depth
+            name = stack.pop()
+            out.append(EndTagToken(name))
+            if name == "pre":
+                pre_depth = max(0, pre_depth - 1)
+
+        def ensure_structure(for_tag: str | None) -> None:
+            """Make sure <html> and the right one of <head>/<body> are open."""
+            nonlocal saw_body_content
+            if not self.synthesize_structure:
+                return
+            if "html" not in stack:
+                open_tag(StartTagToken("html"))
+                self.report.structural_tags_synthesized += 1
+            in_head = "head" in stack
+            in_body = "body" in stack
+            if in_head or in_body:
+                return
+            wants_head = for_tag in _HEAD_ONLY if for_tag else False
+            if wants_head and not saw_body_content:
+                open_tag(StartTagToken("head"))
+                self.report.structural_tags_synthesized += 1
+            else:
+                # Close a finished head if one is on the stack top region.
+                open_tag(StartTagToken("body"))
+                self.report.structural_tags_synthesized += 1
+                saw_body_content = True
+
+        def leave_head() -> None:
+            """Close the head section when body content starts."""
+            if "head" in stack:
+                while stack and stack[-1] != "head":
+                    close_top()
+                    self.report.unclosed_tags_closed += 1
+                if stack and stack[-1] == "head":
+                    close_top()
+
+        for token in iter_tokens(source):
+            if skip_raw_until is not None:
+                if isinstance(token, EndTagToken) and token.name == skip_raw_until:
+                    skip_raw_until = None
+                continue
+            if isinstance(token, CommentToken):
+                if self.drop_comments:
+                    self.report.comments_dropped += 1
+                else:
+                    # Kept comments pass through verbatim; the tree builder
+                    # ignores them, but serialization round-trips them.
+                    out.append(token)
+                continue
+            if isinstance(token, DoctypeToken):
+                self.report.declarations_dropped += 1
+                continue
+            if isinstance(token, TextToken):
+                text = token.text
+                if self.collapse_whitespace and pre_depth == 0:
+                    text = " ".join(text.split())
+                    if not text:
+                        continue
+                elif not text:
+                    continue
+                if stack and stack[-1] == "head" and text.strip():
+                    # Character data directly inside <head> ends the head
+                    # section (text inside <title> etc. stays in the head).
+                    leave_head()
+                ensure_structure(None)
+                out.append(TextToken(text))
+                saw_body_content = True
+                continue
+            if isinstance(token, StartTagToken):
+                name = token.name
+                if self.drop_scripts and is_raw_text(name):
+                    self.report.raw_text_blocks_dropped += 1
+                    if not token.self_closing:
+                        skip_raw_until = name
+                    continue
+                if name in _STRUCTURAL:
+                    self._handle_structural_start(name, stack, out, open_tag, close_top)
+                    if name == "body":
+                        saw_body_content = True
+                    continue
+                if name not in _HEAD_ONLY and "body" not in stack and "head" in stack:
+                    leave_head()
+                ensure_structure(name)
+                self._apply_implied_ends(name, stack, close_top)
+                if is_void(name) or token.self_closing:
+                    # Condition 4 of Section 2.1: immediately pair the tag.
+                    out.append(StartTagToken(name, token.attrs))
+                    out.append(EndTagToken(name))
+                    saw_body_content = saw_body_content or "body" in stack
+                    continue
+                open_tag(StartTagToken(name, token.attrs))
+                continue
+            if isinstance(token, EndTagToken):
+                name = token.name
+                if self.drop_scripts and is_raw_text(name):
+                    continue
+                if name == "html" or name == "body":
+                    # Deferred: the body (and html) end at end of input, as
+                    # in Tidy -- a mid-document </body> would otherwise make
+                    # a following <body> open a duplicate, and trailing
+                    # content after </body>/</html> belongs in the body.
+                    continue
+                if name == "head":
+                    if name in stack:
+                        while stack and stack[-1] != name:
+                            close_top()
+                            self.report.unclosed_tags_closed += 1
+                        if stack and stack[-1] == name:
+                            close_top()
+                    else:
+                        self.report.unmatched_end_tags_dropped += 1
+                    continue
+                if is_void(name):
+                    # </br> style end tags for void elements are dropped;
+                    # the start tag already emitted its pair.
+                    self.report.unmatched_end_tags_dropped += 1
+                    continue
+                if name not in stack:
+                    self.report.unmatched_end_tags_dropped += 1
+                    continue
+                # Close intervening unclosed elements (condition 5: repair
+                # overlapping tags by closing inner elements first).
+                while stack and stack[-1] != name:
+                    close_top()
+                    self.report.misnested_repairs += 1
+                close_top()
+                continue
+
+        if not out and self.synthesize_structure:
+            # Even an empty document yields the html > body skeleton so that
+            # parse_document never fails (Phase 1 accepts anything).
+            open_tag(StartTagToken("html"))
+            open_tag(StartTagToken("body"))
+            self.report.structural_tags_synthesized += 2
+        while stack:
+            close_top()
+            self.report.unclosed_tags_closed += 1
+        return out
+
+    def _handle_structural_start(
+        self,
+        name: str,
+        stack: list[str],
+        out: list[Token],
+        open_tag,
+        close_top,
+    ) -> None:
+        """Open html/head/body exactly once each, in order."""
+        if name == "html":
+            if "html" in stack:
+                return  # duplicate <html>
+            open_tag(StartTagToken("html"))
+            return
+        if "html" not in stack:
+            open_tag(StartTagToken("html"))
+            self.report.structural_tags_synthesized += 1
+        if name in stack:
+            return  # duplicate <head>/<body>
+        if name == "body" and "head" in stack:
+            while stack and stack[-1] != "head":
+                close_top()
+                self.report.unclosed_tags_closed += 1
+            if stack and stack[-1] == "head":
+                close_top()
+        open_tag(StartTagToken(name))
+
+    def _apply_implied_ends(self, name: str, stack: list[str], close_top) -> None:
+        """Close open elements that ``name`` implicitly terminates.
+
+        Walks the open-element stack from the innermost element outward,
+        closing every element the new tag implies an end for, and stopping at
+        the tag's scope boundary (so nested lists/tables behave).
+        """
+        boundaries = scope_boundary(name)
+        while stack:
+            top = stack[-1]
+            if top in boundaries:
+                break
+            if closes_implicitly(name, top):
+                close_top()
+                self.report.implied_end_tags += 1
+                continue
+            break
+
+
+def normalize(source: str, **options) -> list[Token]:
+    """One-shot convenience wrapper around :class:`Normalizer`.
+
+    >>> tokens = normalize("<ul><li>a<li>b</ul>")
+    >>> [t.name for t in tokens if isinstance(t, EndTagToken)]
+    ['li', 'li', 'ul', 'body', 'html']
+    """
+    return Normalizer(**options).normalize(source)

@@ -1,0 +1,76 @@
+"""Serialize balanced token streams back to well-formed HTML text.
+
+Together with :mod:`repro.html.normalizer` this closes the round trip:
+``serialize_tokens(normalize(soup))`` is a well-formed document in the sense
+of Section 2.1 of the paper -- all text is entity-escaped (condition 1), all
+tags paired (condition 2, guaranteed by the balanced stream), all attribute
+values double-quoted (condition 3), void elements immediately closed
+(condition 4), and nesting proper (condition 5).
+"""
+
+from __future__ import annotations
+
+from repro.html.entities import encode_entities
+from repro.html.tokenizer import (
+    CommentToken,
+    DoctypeToken,
+    EndTagToken,
+    StartTagToken,
+    TextToken,
+    Token,
+)
+
+
+def serialize_start_tag(token: StartTagToken) -> str:
+    """Render a start tag with double-quoted, escaped attribute values."""
+    parts = ["<", token.name]
+    for name, value in token.attrs:
+        parts.append(" ")
+        parts.append(name)
+        parts.append('="')
+        parts.append(encode_entities(value, attribute=True))
+        parts.append('"')
+    parts.append(">")
+    return "".join(parts)
+
+
+def serialize_tokens(tokens: list[Token], *, indent: int | None = None) -> str:
+    """Render a token stream to HTML text.
+
+    With ``indent`` set, start/end tags are placed on their own lines with
+    ``indent`` spaces per nesting level (text nodes are kept inline with
+    their level).  With ``indent=None`` (default) the output is compact.
+    """
+    if indent is None:
+        out: list[str] = []
+        for token in tokens:
+            if isinstance(token, StartTagToken):
+                out.append(serialize_start_tag(token))
+            elif isinstance(token, EndTagToken):
+                out.append(f"</{token.name}>")
+            elif isinstance(token, TextToken):
+                out.append(encode_entities(token.text))
+            elif isinstance(token, CommentToken):
+                out.append(f"<!--{token.text}-->")
+            elif isinstance(token, DoctypeToken):
+                out.append(f"<!{token.text}>")
+        return "".join(out)
+
+    lines: list[str] = []
+    depth = 0
+    for token in tokens:
+        if isinstance(token, EndTagToken):
+            depth = max(0, depth - 1)
+            lines.append(" " * (indent * depth) + f"</{token.name}>")
+        elif isinstance(token, StartTagToken):
+            lines.append(" " * (indent * depth) + serialize_start_tag(token))
+            depth += 1
+        elif isinstance(token, TextToken):
+            text = encode_entities(token.text)
+            if text.strip():
+                lines.append(" " * (indent * depth) + text)
+        elif isinstance(token, CommentToken):
+            lines.append(" " * (indent * depth) + f"<!--{token.text}-->")
+        elif isinstance(token, DoctypeToken):
+            lines.append(" " * (indent * depth) + f"<!{token.text}>")
+    return "\n".join(lines)

@@ -1,0 +1,234 @@
+"""Per-tag metadata used by the normalizer.
+
+HTML (unlike XML) allows many end tags to be omitted; a Tidy-equivalent
+normalizer must therefore know, for every start tag it sees, which currently
+open elements the new tag *implicitly closes*.  This module centralizes that
+knowledge for the HTML 3.2/4.0 vocabulary found in the paper's corpus era.
+
+Three kinds of facts are recorded:
+
+* ``VOID_TAGS`` -- elements that never have content (``<br>``, ``<img>``,
+  ``<hr>``...).  Section 2.1 of the paper says a well-formed document writes
+  these as an immediately-followed pair (``<br></br>``); the normalizer emits
+  exactly that.
+* implied-end-tag rules (:func:`closes_implicitly`) -- e.g. a new ``<li>``
+  closes an open ``<li>``, a ``<td>`` closes an open ``<td>`` or ``<th>``,
+  a block element closes an open ``<p>``.
+* block/inline classification used by heuristics and by pretty-printing.
+"""
+
+from __future__ import annotations
+
+#: Elements with no content model.  A well-formed rendering pairs them
+#: immediately with their end tag (Section 2.1, condition 4).
+VOID_TAGS: frozenset[str] = frozenset(
+    {
+        "area",
+        "base",
+        "basefont",
+        "br",
+        "col",
+        "embed",
+        "frame",
+        "hr",
+        "img",
+        "input",
+        "isindex",
+        "link",
+        "meta",
+        "param",
+        "spacer",
+        "wbr",
+    }
+)
+
+#: Block-level elements of the HTML 3.2/4.0 era.
+BLOCK_TAGS: frozenset[str] = frozenset(
+    {
+        "address",
+        "blockquote",
+        "body",
+        "center",
+        "dd",
+        "dir",
+        "div",
+        "dl",
+        "dt",
+        "fieldset",
+        "form",
+        "frameset",
+        "h1",
+        "h2",
+        "h3",
+        "h4",
+        "h5",
+        "h6",
+        "head",
+        "hr",
+        "html",
+        "isindex",
+        "li",
+        "menu",
+        "noframes",
+        "noscript",
+        "ol",
+        "p",
+        "pre",
+        "table",
+        "tbody",
+        "td",
+        "tfoot",
+        "th",
+        "thead",
+        "title",
+        "tr",
+        "ul",
+    }
+)
+
+#: Inline (text-level) elements.
+INLINE_TAGS: frozenset[str] = frozenset(
+    {
+        "a",
+        "abbr",
+        "acronym",
+        "b",
+        "bdo",
+        "big",
+        "br",
+        "button",
+        "cite",
+        "code",
+        "dfn",
+        "em",
+        "font",
+        "i",
+        "img",
+        "input",
+        "kbd",
+        "label",
+        "map",
+        "object",
+        "q",
+        "s",
+        "samp",
+        "select",
+        "small",
+        "span",
+        "strike",
+        "strong",
+        "sub",
+        "sup",
+        "textarea",
+        "tt",
+        "u",
+        "var",
+    }
+)
+
+#: Elements whose content is raw text: no tags are recognized until the
+#: matching end tag.
+RAW_TEXT_TAGS: frozenset[str] = frozenset({"script", "style", "xmp", "plaintext"})
+
+#: Tags that participate in table structure; an unexpected one of these
+#: closes open cells/rows rather than nesting inside them.
+TABLE_SCOPE_TAGS: frozenset[str] = frozenset(
+    {"table", "thead", "tbody", "tfoot", "tr", "td", "th", "caption", "colgroup"}
+)
+
+#: Start tags that implicitly terminate an open ``<p>`` element.  (All block
+#: elements do in HTML 4; listed explicitly for clarity and testability.)
+FLOW_BREAKERS: frozenset[str] = frozenset(BLOCK_TAGS - {"html", "head", "body", "title"})
+
+#: Maps a start tag to the set of open tags it implicitly closes when the
+#: open tag is the nearest enclosing candidate.  This encodes the omitted
+#: end-tag rules of HTML 4 (the same rules HTML Tidy applies).
+_IMPLIED_END: dict[str, frozenset[str]] = {
+    "li": frozenset({"li"}),
+    "dt": frozenset({"dt", "dd"}),
+    "dd": frozenset({"dt", "dd"}),
+    "tr": frozenset({"tr", "td", "th"}),
+    "td": frozenset({"td", "th"}),
+    "th": frozenset({"td", "th"}),
+    "thead": frozenset({"tr", "td", "th", "tbody", "tfoot", "thead", "caption", "colgroup"}),
+    "tbody": frozenset({"tr", "td", "th", "tbody", "tfoot", "thead", "caption", "colgroup"}),
+    "tfoot": frozenset({"tr", "td", "th", "tbody", "tfoot", "thead", "caption", "colgroup"}),
+    "option": frozenset({"option"}),
+    "p": frozenset({"p"}),
+    "colgroup": frozenset({"colgroup"}),
+    "caption": frozenset({"caption"}),
+}
+
+#: Elements inside which an implied-close search must stop: a ``<li>`` in a
+#: nested list must not close the ``<li>`` of the outer list.
+SCOPE_BOUNDARIES: dict[str, frozenset[str]] = {
+    "li": frozenset({"ul", "ol", "menu", "dir"}),
+    "dt": frozenset({"dl"}),
+    "dd": frozenset({"dl"}),
+    "tr": frozenset({"table"}),
+    "td": frozenset({"table", "tr"}),
+    "th": frozenset({"table", "tr"}),
+    "thead": frozenset({"table"}),
+    "tbody": frozenset({"table"}),
+    "tfoot": frozenset({"table"}),
+    "caption": frozenset({"table"}),
+    "colgroup": frozenset({"table"}),
+    "option": frozenset({"select"}),
+    "p": frozenset({"body", "html", "td", "th", "li", "dd", "blockquote", "form", "div"}),
+}
+
+
+def is_void(tag: str) -> bool:
+    """Return True if ``tag`` is an empty element (``<br>``, ``<img>``...)."""
+    return tag.lower() in VOID_TAGS
+
+
+def is_block(tag: str) -> bool:
+    """Return True if ``tag`` is block-level in HTML 3.2/4.0."""
+    return tag.lower() in BLOCK_TAGS
+
+
+def is_inline(tag: str) -> bool:
+    """Return True if ``tag`` is a text-level (inline) element."""
+    return tag.lower() in INLINE_TAGS
+
+
+def is_raw_text(tag: str) -> bool:
+    """Return True if the element's content is raw text (script/style)."""
+    return tag.lower() in RAW_TEXT_TAGS
+
+
+def closes_implicitly(new_tag: str, open_tag: str) -> bool:
+    """Return True if a ``new_tag`` start tag implicitly ends ``open_tag``.
+
+    Encodes the HTML omitted-end-tag rules: sibling list items, definition
+    terms, table rows/cells, options, and the rule that any block element
+    terminates an open paragraph.
+
+    >>> closes_implicitly("li", "li")
+    True
+    >>> closes_implicitly("div", "p")
+    True
+    >>> closes_implicitly("b", "p")
+    False
+    """
+    new_tag = new_tag.lower()
+    open_tag = open_tag.lower()
+    implied = _IMPLIED_END.get(new_tag)
+    if implied is not None and open_tag in implied:
+        return True
+    # Any block-level start tag ends an open paragraph.
+    if open_tag == "p" and new_tag in FLOW_BREAKERS and new_tag != "p":
+        return True
+    return False
+
+
+def scope_boundary(new_tag: str) -> frozenset[str]:
+    """Return the tags that bound the implicit-close search for ``new_tag``.
+
+    When the normalizer walks up the open-element stack looking for elements
+    that ``new_tag`` implicitly closes, it must stop at these boundaries so
+    that, e.g., a ``<li>`` inside a nested ``<ul>`` does not close the outer
+    list's item.
+    """
+    return SCOPE_BOUNDARIES.get(new_tag.lower(), frozenset())

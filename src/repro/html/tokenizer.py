@@ -1,0 +1,301 @@
+"""A lenient HTML tokenizer.
+
+Splits raw HTML source into a flat stream of tokens: start tags (with parsed
+attributes), end tags, text runs, comments, and doctype/processing
+declarations.  The tokenizer is deliberately forgiving -- the paper's corpus
+is 1999-2000 commercial HTML, which is full of unquoted attributes, stray
+``<`` characters in text, uppercase tag names, and unterminated comments.
+Anything that cannot be parsed as a tag is downgraded to text, never raised
+as an error: Phase 1 of Omini must accept arbitrary pages.
+
+The token stream preserves the source order exactly; normalization (implied
+end tags, tag-soup repair) is a separate pass in
+:mod:`repro.html.normalizer`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Union
+
+from repro.html.entities import decode_entities
+from repro.html.tags import is_raw_text
+
+_WHITESPACE = " \t\n\r\f"
+_NAME_START = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ")
+_NAME_CHARS = _NAME_START | set("0123456789-_:.")
+
+
+@dataclass(frozen=True, slots=True)
+class StartTagToken:
+    """A start tag such as ``<a href="x">``.
+
+    ``name`` is lower-cased.  ``attrs`` preserves source order; attribute
+    names are lower-cased and values are entity-decoded.  ``self_closing``
+    records an XML-style ``/>`` ending.
+    """
+
+    name: str
+    attrs: tuple[tuple[str, str], ...] = ()
+    self_closing: bool = False
+    position: int = 0
+
+    def get(self, attr: str, default: str | None = None) -> str | None:
+        """Return the first value of attribute ``attr`` (lower-case name)."""
+        for key, value in self.attrs:
+            if key == attr:
+                return value
+        return default
+
+
+@dataclass(frozen=True, slots=True)
+class EndTagToken:
+    """An end tag such as ``</a>``; ``name`` is lower-cased."""
+
+    name: str
+    position: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class TextToken:
+    """A run of character data between tags; entity-decoded."""
+
+    text: str
+    position: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class CommentToken:
+    """An HTML comment ``<!-- ... -->`` (content without delimiters)."""
+
+    text: str
+    position: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class DoctypeToken:
+    """A ``<!DOCTYPE ...>`` or other ``<!...>`` declaration, or ``<?...>``."""
+
+    text: str
+    position: int = 0
+
+
+Token = Union[StartTagToken, EndTagToken, TextToken, CommentToken, DoctypeToken]
+
+
+@dataclass
+class _Scanner:
+    """Cursor over the source string with small lookahead helpers."""
+
+    source: str
+    pos: int = 0
+    length: int = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.length = len(self.source)
+
+    def eof(self) -> bool:
+        return self.pos >= self.length
+
+    def peek(self) -> str:
+        return self.source[self.pos] if self.pos < self.length else ""
+
+    def startswith(self, prefix: str) -> bool:
+        return self.source.startswith(prefix, self.pos)
+
+    def find(self, needle: str) -> int:
+        return self.source.find(needle, self.pos)
+
+
+def _skip_whitespace(sc: _Scanner) -> None:
+    while not sc.eof() and sc.peek() in _WHITESPACE:
+        sc.pos += 1
+
+
+def _read_name(sc: _Scanner) -> str:
+    start = sc.pos
+    while not sc.eof() and sc.source[sc.pos] in _NAME_CHARS:
+        sc.pos += 1
+    return sc.source[start : sc.pos]
+
+
+def _read_attribute(sc: _Scanner) -> tuple[str, str] | None:
+    """Parse one ``name``, ``name=value``, ``name="value"`` attribute.
+
+    Returns None when no attribute starts at the cursor.  Handles the
+    unquoted and single-quoted values rampant in the paper's corpus.
+    """
+    _skip_whitespace(sc)
+    if sc.eof() or sc.peek() in ">/":
+        return None
+    # Attribute names may start with odd characters in real-world soup;
+    # consume up to '=', whitespace, '>' or '/'.
+    start = sc.pos
+    while not sc.eof() and sc.peek() not in "=>/" + _WHITESPACE:
+        sc.pos += 1
+    name = sc.source[start : sc.pos].lower()
+    if not name:
+        # Stray character (e.g. a lone quote); skip it to make progress.
+        sc.pos += 1
+        return None
+    _skip_whitespace(sc)
+    if sc.eof() or sc.peek() != "=":
+        return (name, "")
+    sc.pos += 1  # consume '='
+    _skip_whitespace(sc)
+    if sc.eof():
+        return (name, "")
+    quote = sc.peek()
+    if quote in "\"'":
+        sc.pos += 1
+        end = sc.find(quote)
+        if end == -1:
+            value = sc.source[sc.pos :]
+            sc.pos = sc.length
+        else:
+            value = sc.source[sc.pos : end]
+            sc.pos = end + 1
+        return (name, decode_entities(value))
+    # Unquoted value: runs to whitespace or '>'.
+    vstart = sc.pos
+    while not sc.eof() and sc.peek() not in ">" + _WHITESPACE:
+        sc.pos += 1
+    return (name, decode_entities(sc.source[vstart : sc.pos]))
+
+
+def _read_tag(sc: _Scanner) -> Token | None:
+    """Parse a tag starting at ``<``; returns None if it is not a real tag.
+
+    On a None return the cursor is left just past the ``<`` so the caller can
+    treat it as literal text.
+    """
+    tag_start = sc.pos
+    sc.pos += 1  # consume '<'
+    if sc.eof():
+        return None
+    ch = sc.peek()
+    if ch == "!":
+        if sc.startswith("!--"):
+            end = sc.source.find("-->", sc.pos + 3)
+            if end == -1:
+                text = sc.source[sc.pos + 3 :]
+                sc.pos = sc.length
+            else:
+                text = sc.source[sc.pos + 3 : end]
+                sc.pos = end + 3
+            return CommentToken(text, position=tag_start)
+        end = sc.find(">")
+        if end == -1:
+            text = sc.source[sc.pos + 1 :]
+            sc.pos = sc.length
+        else:
+            text = sc.source[sc.pos + 1 : end]
+            sc.pos = end + 1
+        return DoctypeToken(text, position=tag_start)
+    if ch == "?":
+        end = sc.find(">")
+        if end == -1:
+            text = sc.source[sc.pos + 1 :]
+            sc.pos = sc.length
+        else:
+            text = sc.source[sc.pos + 1 : end]
+            sc.pos = end + 1
+        return DoctypeToken(text, position=tag_start)
+    closing = False
+    if ch == "/":
+        closing = True
+        sc.pos += 1
+        if sc.eof():
+            return None
+    if sc.peek() not in _NAME_START:
+        # "<3", "< a" etc.: not a tag, emit literal '<' as text.
+        return None
+    name = _read_name(sc).lower()
+    if closing:
+        # Skip anything up to '>' (attributes on end tags are ignored).
+        end = sc.find(">")
+        sc.pos = sc.length if end == -1 else end + 1
+        return EndTagToken(name, position=tag_start)
+    attrs: list[tuple[str, str]] = []
+    self_closing = False
+    while True:
+        _skip_whitespace(sc)
+        if sc.eof():
+            break
+        if sc.startswith("/>"):
+            self_closing = True
+            sc.pos += 2
+            break
+        if sc.peek() == ">":
+            sc.pos += 1
+            break
+        if sc.peek() == "/":
+            sc.pos += 1
+            continue
+        attr = _read_attribute(sc)
+        if attr is not None:
+            attrs.append(attr)
+    return StartTagToken(name, tuple(attrs), self_closing, position=tag_start)
+
+
+def _read_raw_text(sc: _Scanner, tag: str) -> tuple[str, bool]:
+    """Consume raw content up to ``</tag``; returns (content, found_end).
+
+    Inside ``<script>``/``<style>`` no markup is recognized.  The end-tag
+    search is case-insensitive.
+    """
+    lower = sc.source.lower()
+    needle = "</" + tag
+    idx = lower.find(needle, sc.pos)
+    if idx == -1:
+        content = sc.source[sc.pos :]
+        sc.pos = sc.length
+        return content, False
+    content = sc.source[sc.pos : idx]
+    end = sc.source.find(">", idx)
+    sc.pos = sc.length if end == -1 else end + 1
+    return content, True
+
+
+def iter_tokens(source: str) -> Iterator[Token]:
+    """Lazily tokenize ``source`` into a stream of :data:`Token` values.
+
+    Never raises on malformed input: unparseable markup degrades to text.
+    The concatenation of all token source spans covers the document, so the
+    stream is a faithful linearization.
+    """
+    sc = _Scanner(source)
+    text_start = sc.pos
+    while not sc.eof():
+        lt = sc.find("<")
+        if lt == -1:
+            break
+        if lt > text_start:
+            yield TextToken(decode_entities(sc.source[text_start:lt]), position=text_start)
+        sc.pos = lt
+        token = _read_tag(sc)
+        if token is None:
+            # Literal '<' in text; cursor already past it.
+            text_start = lt
+            # Ensure forward progress past the '<'.
+            if sc.pos <= lt:
+                sc.pos = lt + 1
+            continue
+        yield token
+        if isinstance(token, StartTagToken) and not token.self_closing and is_raw_text(token.name):
+            raw_pos = sc.pos
+            content, found = _read_raw_text(sc, token.name)
+            if content:
+                yield TextToken(content, position=raw_pos)
+            yield EndTagToken(token.name, position=sc.pos)
+            if not found:
+                text_start = sc.pos
+                continue
+        text_start = sc.pos
+    if text_start < sc.length:
+        yield TextToken(decode_entities(sc.source[text_start:]), position=text_start)
+
+
+def tokenize(source: str) -> list[Token]:
+    """Eagerly tokenize ``source``; see :func:`iter_tokens`."""
+    return list(iter_tokens(source))

@@ -1,0 +1,63 @@
+"""Tag-tree substrate (Section 2.2 of the paper).
+
+A well-formed web document is modeled as a *tag tree* (Definition 1): internal
+nodes are tag nodes, leaves are content nodes.  This package provides
+
+* the node model (:mod:`repro.tree.node`),
+* construction from raw HTML via the normalizer
+  (:mod:`repro.tree.builder`, the Phase 1 third task),
+* the structural metrics used by every heuristic -- ``fanout``, ``nodeSize``,
+  ``subtreeSize``, ``tagCount`` (:mod:`repro.tree.metrics`),
+* dot-notation path expressions like ``HTML[1].body[2].form[4]``
+  (:mod:`repro.tree.paths`), and
+* traversal and ASCII rendering helpers (:mod:`repro.tree.traversal`,
+  :mod:`repro.tree.render`).
+"""
+
+from repro.tree.builder import build_tag_tree, parse_document
+from repro.tree.diff import Change, diff_trees, summarize_staleness
+from repro.tree.metrics import fanout, node_size, subtree_size, tag_count
+from repro.tree.node import ContentNode, Node, TagNode
+from repro.tree.paths import format_path, node_at_path, parse_path, path_of
+from repro.tree.render import render_tree
+from repro.tree.validate import assert_valid_tree, validate_tree
+from repro.tree.traversal import (
+    ancestors,
+    descendants,
+    find_all,
+    find_first,
+    is_ancestor,
+    iter_nodes,
+    leaf_nodes,
+    tag_nodes,
+)
+
+__all__ = [
+    "Change",
+    "ContentNode",
+    "assert_valid_tree",
+    "diff_trees",
+    "summarize_staleness",
+    "validate_tree",
+    "Node",
+    "TagNode",
+    "ancestors",
+    "build_tag_tree",
+    "descendants",
+    "fanout",
+    "find_all",
+    "find_first",
+    "format_path",
+    "is_ancestor",
+    "iter_nodes",
+    "leaf_nodes",
+    "node_at_path",
+    "node_size",
+    "parse_document",
+    "parse_path",
+    "path_of",
+    "render_tree",
+    "subtree_size",
+    "tag_count",
+    "tag_nodes",
+]

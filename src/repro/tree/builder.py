@@ -1,0 +1,96 @@
+"""Tag-tree construction (Phase 1, third task).
+
+Consumes the *balanced* token stream produced by
+:class:`repro.html.normalizer.Normalizer` and builds the tag tree of
+Definition 1.  Because the stream is balanced, construction is a single
+linear pass with an explicit stack -- the O(n) bound the paper claims for the
+whole pipeline starts here.
+
+:func:`parse_document` is the one-call entry point used everywhere else:
+raw HTML in, root :class:`~repro.tree.node.TagNode` out.
+"""
+
+from __future__ import annotations
+
+from repro.html.normalizer import Normalizer
+from repro.html.tokenizer import EndTagToken, StartTagToken, TextToken, Token
+from repro.tree.node import ContentNode, Node, TagNode
+
+
+def build_tag_tree(tokens: list[Token]) -> TagNode:
+    """Build a tag tree from a balanced token stream.
+
+    The stream must contain at least one start tag; the first start tag
+    becomes the root (the normalizer guarantees this is ``html``).  Raises
+    ``ValueError`` on an unbalanced stream -- that indicates a bug in the
+    normalizer, not bad input, since arbitrary input is repaired upstream.
+    """
+    root: TagNode | None = None
+    stack: list[TagNode] = []
+    for token in tokens:
+        if isinstance(token, StartTagToken):
+            node = TagNode(token.name, token.attrs)
+            if stack:
+                stack[-1].append(node)
+            elif root is None:
+                root = node
+            else:
+                raise ValueError("multiple root elements in token stream")
+            stack.append(node)
+        elif isinstance(token, EndTagToken):
+            if not stack:
+                raise ValueError(f"unmatched end tag </{token.name}>")
+            top = stack.pop()
+            if top.name != token.name:
+                raise ValueError(
+                    f"mismatched end tag </{token.name}> for <{top.name}>"
+                )
+        elif isinstance(token, TextToken):
+            if stack and token.text:
+                parent = stack[-1]
+                last = parent.children[-1] if parent.children else None
+                if isinstance(last, ContentNode):
+                    # Coalesce adjacent text runs into one content node so
+                    # leaf-node boundaries reflect markup, not tokenization.
+                    last.content += token.text
+                    last._invalidate()
+                else:
+                    parent.append(ContentNode(token.text))
+            # Text outside any element can only occur in hand-built streams;
+            # it carries no position in the tree and is dropped.
+    if stack:
+        raise ValueError(f"{len(stack)} unclosed elements in token stream")
+    if root is None:
+        raise ValueError("token stream contains no elements")
+    return root
+
+
+def parse_document(source: str, **normalizer_options) -> TagNode:
+    """Parse raw HTML into a tag tree: normalize, then build.
+
+    This is the full Phase 1 of the Omini pipeline minus the network fetch.
+
+    >>> tree = parse_document("<ul><li>a<li>b</ul>")
+    >>> tree.name
+    'html'
+    """
+    tokens = Normalizer(**normalizer_options).normalize(source)
+    return build_tag_tree(tokens)
+
+
+def tree_to_tokens(root: TagNode) -> list[Token]:
+    """Linearize a tag tree back into a balanced token stream."""
+    out: list[Token] = []
+
+    def visit(node: Node) -> None:
+        if isinstance(node, ContentNode):
+            out.append(TextToken(node.content))
+            return
+        assert isinstance(node, TagNode)
+        out.append(StartTagToken(node.name, node.attrs))
+        for child in node.children:
+            visit(child)
+        out.append(EndTagToken(node.name))
+
+    visit(root)
+    return out

@@ -1,0 +1,137 @@
+"""Structural diff between two tag trees.
+
+When a cached extraction rule or a generated wrapper goes stale (Section
+6.6's failure mode), the first maintenance question is *what changed*.
+:func:`diff_trees` answers it: a top-down, position-aligned comparison of
+two tag trees that reports inserted, removed and renamed elements along
+with their dot-notation paths.
+
+The alignment is intentionally simple -- children are matched by a
+longest-common-subsequence over tag names at each level -- because wrapper
+staleness is almost always a *local* change (a wrapping ``div`` appeared,
+a navigation table moved, the results table gained a header row), and an
+LCS at each level localizes exactly that.  Attribute changes are reported
+only when requested: extraction rules never depend on attributes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.tree.node import TagNode
+from repro.tree.paths import path_of
+
+
+@dataclass(frozen=True, slots=True)
+class Change:
+    """One structural difference.
+
+    ``kind`` is ``"inserted"`` (element exists only in the new tree),
+    ``"removed"`` (only in the old tree), ``"renamed"`` (same position,
+    different tag) or ``"attrs"`` (same tag, different attributes; only
+    with ``compare_attrs=True``).  ``path`` refers to the tree the element
+    lives in (new tree for insertions, old tree otherwise).
+    """
+
+    kind: str
+    path: str
+    detail: str = ""
+
+
+def _tag_children(node: TagNode) -> list[TagNode]:
+    return [c for c in node.children if isinstance(c, TagNode)]
+
+
+def _lcs_pairs(a: list[TagNode], b: list[TagNode]) -> list[tuple[int, int]]:
+    """Index pairs of the longest common subsequence of child tag names."""
+    names_a = [n.name for n in a]
+    names_b = [n.name for n in b]
+    # Classic DP; child lists are short (page fanout), so O(len_a * len_b)
+    # per level is fine.
+    rows = len(names_a) + 1
+    cols = len(names_b) + 1
+    table = [[0] * cols for _ in range(rows)]
+    for i in range(len(names_a) - 1, -1, -1):
+        for j in range(len(names_b) - 1, -1, -1):
+            if names_a[i] == names_b[j]:
+                table[i][j] = table[i + 1][j + 1] + 1
+            else:
+                table[i][j] = max(table[i + 1][j], table[i][j + 1])
+    pairs: list[tuple[int, int]] = []
+    i = j = 0
+    while i < len(names_a) and j < len(names_b):
+        if names_a[i] == names_b[j]:
+            pairs.append((i, j))
+            i += 1
+            j += 1
+        elif table[i + 1][j] >= table[i][j + 1]:
+            i += 1
+        else:
+            j += 1
+    return pairs
+
+
+def diff_trees(
+    old: TagNode,
+    new: TagNode,
+    *,
+    compare_attrs: bool = False,
+    max_changes: int = 100,
+) -> list[Change]:
+    """Structural changes turning ``old`` into ``new`` (see module doc).
+
+    Stops after ``max_changes`` entries -- a full redesign produces an
+    unbounded diff, and the first hundred changes already say "everything
+    moved".
+    """
+    changes: list[Change] = []
+    stack: list[tuple[TagNode, TagNode]] = [(old, new)]
+    while stack and len(changes) < max_changes:
+        node_old, node_new = stack.pop()
+        if node_old.name != node_new.name:
+            changes.append(
+                Change(
+                    "renamed",
+                    path_of(node_old),
+                    f"{node_old.name} -> {node_new.name}",
+                )
+            )
+            continue
+        if compare_attrs and dict(node_old.attrs) != dict(node_new.attrs):
+            changes.append(
+                Change("attrs", path_of(node_old), f"attributes differ on <{node_old.name}>")
+            )
+        children_old = _tag_children(node_old)
+        children_new = _tag_children(node_new)
+        pairs = _lcs_pairs(children_old, children_new)
+        matched_old = {i for i, _ in pairs}
+        matched_new = {j for _, j in pairs}
+        for index, child in enumerate(children_old):
+            if index not in matched_old:
+                changes.append(
+                    Change("removed", path_of(child), f"<{child.name}> removed")
+                )
+        for index, child in enumerate(children_new):
+            if index not in matched_new:
+                changes.append(
+                    Change("inserted", path_of(child), f"<{child.name}> inserted")
+                )
+        for i, j in pairs:
+            stack.append((children_old[i], children_new[j]))
+    return changes[:max_changes]
+
+
+def summarize_staleness(old: TagNode, new: TagNode, rule_path: str) -> str:
+    """One-line human explanation of why ``rule_path`` stopped resolving.
+
+    Used by the wrapper layer's error reporting: names the shallowest
+    structural change on or near the rule's path.
+    """
+    changes = diff_trees(old, new)
+    if not changes:
+        return "no structural differences found (rule may reference a leaf)"
+    on_path = [c for c in changes if rule_path.startswith(c.path.rsplit(".", 1)[0])]
+    best = min(
+        on_path or changes, key=lambda c: c.path.count(".")
+    )
+    return f"{best.kind} at {best.path}: {best.detail}"

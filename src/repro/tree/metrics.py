@@ -1,0 +1,119 @@
+"""Structural metrics of Section 2.2: fanout, nodeSize, subtreeSize, tagCount.
+
+These four quantities drive every heuristic in the paper:
+
+* ``fanout(u)``     -- number of children of a tag node (0 for leaves);
+* ``nodeSize(u)``   -- for a leaf, the content size in bytes; for a tag node,
+  the sum over all reachable leaves;
+* ``subtreeSize(u)``-- defined equal to ``nodeSize(u)`` (Definition list,
+  Section 2.2);
+* ``tagCount(u)``   -- 1 for a leaf; ``1 + sum(tagCount(child))`` for a tag
+  node, i.e. the number of nodes in the subtree.
+
+``nodeSize`` and ``tagCount`` are cached on the node (invalidated on
+mutation) and computed iteratively so that pathological deep pages cannot
+overflow the Python recursion limit.
+"""
+
+from __future__ import annotations
+
+from repro.tree.node import ContentNode, Node, TagNode
+
+
+def fanout(node: Node) -> int:
+    """Number of children of ``node``; 0 for content nodes."""
+    if isinstance(node, TagNode):
+        return len(node.children)
+    return 0
+
+
+def node_size(node: Node) -> int:
+    """Content size in bytes of the leaves reachable from ``node``.
+
+    Leaf content is measured in UTF-8 bytes, matching the paper's "content
+    size in bytes".
+    """
+    if node._node_size is not None:
+        return node._node_size
+    _compute_caches(node)
+    assert node._node_size is not None
+    return node._node_size
+
+
+def subtree_size(node: Node) -> int:
+    """Size of the subtree anchored at ``node``; equals :func:`node_size`."""
+    return node_size(node)
+
+
+def tag_count(node: Node) -> int:
+    """Number of nodes in the subtree anchored at ``node`` (leaves count 1)."""
+    if node._tag_count is not None:
+        return node._tag_count
+    _compute_caches(node)
+    assert node._tag_count is not None
+    return node._tag_count
+
+
+def size_increase(node: Node) -> float:
+    """The GSI metric of Section 4.2.
+
+    "Calculated by dividing the node size by the node fanout and subtracting
+    the result from the original node size": ``size - size/fanout``.  Nodes
+    with no children score 0 -- a leaf can never anchor the object-rich
+    subtree.
+    """
+    f = fanout(node)
+    if f == 0:
+        return 0.0
+    size = node_size(node)
+    return size - size / f
+
+
+def _compute_caches(start: Node) -> None:
+    """Fill ``_node_size``/``_tag_count`` for ``start`` and its descendants.
+
+    Iterative post-order so that depth is bounded only by memory.
+    """
+    stack: list[tuple[Node, bool]] = [(start, False)]
+    while stack:
+        node, processed = stack.pop()
+        if isinstance(node, ContentNode):
+            node._node_size = len(node.content.encode("utf-8"))
+            node._tag_count = 1
+            continue
+        assert isinstance(node, TagNode)
+        if node._node_size is not None and node._tag_count is not None:
+            continue
+        if processed:
+            total_size = 0
+            total_tags = 1
+            for child in node.children:
+                total_size += child._node_size or 0
+                total_tags += child._tag_count or 0
+            node._node_size = total_size
+            node._tag_count = total_tags
+        else:
+            stack.append((node, True))
+            for child in node.children:
+                if child._node_size is None or child._tag_count is None:
+                    stack.append((child, False))
+
+
+def max_child_tag_appearance(node: Node) -> tuple[str | None, int]:
+    """Highest appearance count among child tag names (LTC tie-breaker).
+
+    Section 4.3: "we find the highest appearance count of the child node" --
+    e.g. for ``HTML[1].body[2].form[4]`` on the canoe page the child tag
+    ``table`` appears 13 times, so the result is ``("table", 13)``.
+    Returns ``(None, 0)`` for leaves or tag nodes with no tag children.
+    """
+    if not isinstance(node, TagNode):
+        return (None, 0)
+    counts: dict[str, int] = {}
+    for child in node.children:
+        if isinstance(child, TagNode):
+            counts[child.name] = counts.get(child.name, 0) + 1
+    if not counts:
+        return (None, 0)
+    best = max(counts.items(), key=lambda item: item[1])
+    return best

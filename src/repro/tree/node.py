@@ -1,0 +1,160 @@
+"""Node model for tag trees (Definition 1 of the paper).
+
+Two node kinds exist:
+
+* :class:`TagNode` -- an internal node labeled with the (lower-case) name of
+  its start tag; holds attributes and an ordered child list.
+* :class:`ContentNode` -- a leaf labeled with its text content.
+
+Both share the :class:`Node` base which carries the parent link, so the
+``parent(u)`` and ``children(u)`` predicates of Section 2.2 map directly to
+attributes.  Structural metric values (``nodeSize``, ``tagCount``...) are
+cached lazily per node and invalidated on mutation; trees built from pages
+are effectively immutable, so in practice every metric is computed once.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+
+class Node:
+    """Common behaviour of tag and content nodes."""
+
+    __slots__ = ("parent", "_node_size", "_tag_count")
+
+    def __init__(self) -> None:
+        self.parent: Optional[TagNode] = None
+        self._node_size: int | None = None
+        self._tag_count: int | None = None
+
+    # -- Definition 2: paths / ancestry -------------------------------------
+
+    def iter_ancestors(self) -> Iterator["TagNode"]:
+        """Yield ``parent(u)``, ``parent(parent(u))``, ... up to the root."""
+        node = self.parent
+        while node is not None:
+            yield node
+            node = node.parent
+
+    @property
+    def root(self) -> "Node":
+        """The root of the tree containing this node."""
+        node: Node = self
+        while node.parent is not None:
+            node = node.parent
+        return node
+
+    @property
+    def depth(self) -> int:
+        """Number of edges from the root to this node."""
+        return sum(1 for _ in self.iter_ancestors())
+
+    @property
+    def child_index(self) -> int:
+        """1-based position among the parent's children (dot-notation index).
+
+        The paper's path expressions (``HTML[1].Body[2]``) index children
+        starting at 1.  The root has index 1.
+        """
+        if self.parent is None:
+            return 1
+        return self.parent.children.index(self) + 1
+
+    def _invalidate(self) -> None:
+        """Drop cached metrics on this node and all ancestors."""
+        node: Optional[Node] = self
+        while node is not None:
+            node._node_size = None
+            node._tag_count = None
+            node = node.parent
+
+
+class TagNode(Node):
+    """An internal node: a start tag, its attributes, and its children."""
+
+    __slots__ = ("name", "attrs", "children")
+
+    def __init__(
+        self,
+        name: str,
+        attrs: tuple[tuple[str, str], ...] = (),
+        children: Optional[list[Node]] = None,
+    ) -> None:
+        super().__init__()
+        self.name = name.lower()
+        self.attrs = attrs
+        self.children: list[Node] = []
+        if children:
+            for child in children:
+                self.append(child)
+
+    def append(self, child: Node) -> Node:
+        """Attach ``child`` as the last child of this node."""
+        if child.parent is not None:
+            raise ValueError("node already has a parent; detach it first")
+        child.parent = self
+        self.children.append(child)
+        self._invalidate()
+        return child
+
+    def detach(self, child: Node) -> Node:
+        """Remove ``child`` from this node's child list."""
+        self.children.remove(child)
+        child.parent = None
+        self._invalidate()
+        return child
+
+    def get(self, attr: str, default: str | None = None) -> str | None:
+        """Return the first value of attribute ``attr``."""
+        for key, value in self.attrs:
+            if key == attr:
+                return value
+        return default
+
+    @property
+    def is_leaf(self) -> bool:
+        return False
+
+    def text(self, separator: str = " ") -> str:
+        """Concatenated content of all leaf nodes reachable from this node."""
+        parts: list[str] = []
+        stack: list[Node] = [self]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, ContentNode):
+                parts.append(node.content)
+            else:
+                assert isinstance(node, TagNode)
+                stack.extend(reversed(node.children))
+        return separator.join(parts)
+
+    def child_tag_names(self) -> list[str]:
+        """Names of tag-node children, in document order (with repeats)."""
+        return [c.name for c in self.children if isinstance(c, TagNode)]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<TagNode {self.name} children={len(self.children)}>"
+
+
+class ContentNode(Node):
+    """A leaf node labeled by its text content."""
+
+    __slots__ = ("content",)
+
+    def __init__(self, content: str) -> None:
+        super().__init__()
+        self.content = content
+
+    @property
+    def is_leaf(self) -> bool:
+        return True
+
+    @property
+    def name(self) -> str:
+        """Content nodes expose the pseudo-name ``#text`` for uniformity."""
+        return "#text"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        preview = self.content[:30].replace("\n", " ")
+        return f"<ContentNode {preview!r}>"

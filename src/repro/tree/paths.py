@@ -1,0 +1,85 @@
+"""Dot-notation path expressions (Section 2.2).
+
+The paper identifies nodes by expressions like ``HTML[1].body[2].form[4]``:
+each step is a tag name plus the node's 1-based position among its parent's
+children.  Paths uniquely identify a node, so Omini's cached extraction rules
+(Section 6.6) store the minimal-subtree location as such a path.
+
+The index counts *all* children (tag and content nodes alike), matching the
+paper's figures where positions skip over interleaved text.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.tree.node import Node, TagNode
+
+_STEP_RE = re.compile(r"^(?P<name>[^\[\].]+)\[(?P<index>\d+)\]$")
+
+
+def path_of(node: Node) -> str:
+    """Return the dot-notation path from the root to ``node``.
+
+    >>> from repro.tree import parse_document
+    >>> tree = parse_document("<html><head></head><body><p>x</p></body></html>")
+    >>> body = tree.children[1]
+    >>> path_of(body)
+    'html[1].body[2]'
+    """
+    steps: list[str] = []
+    current: Node | None = node
+    while current is not None:
+        steps.append(f"{current.name}[{current.child_index}]")
+        current = current.parent
+    return ".".join(reversed(steps))
+
+
+def parse_path(path: str) -> list[tuple[str, int]]:
+    """Parse ``'html[1].body[2]'`` into ``[('html', 1), ('body', 2)]``.
+
+    Raises ``ValueError`` on malformed steps.
+    """
+    steps: list[tuple[str, int]] = []
+    for raw in path.split("."):
+        match = _STEP_RE.match(raw.strip())
+        if not match:
+            raise ValueError(f"malformed path step: {raw!r}")
+        index = int(match.group("index"))
+        if index < 1:
+            raise ValueError(f"path indexes are 1-based: {raw!r}")
+        steps.append((match.group("name").lower(), index))
+    if not steps:
+        raise ValueError("empty path")
+    return steps
+
+
+def format_path(steps: list[tuple[str, int]]) -> str:
+    """Inverse of :func:`parse_path`."""
+    return ".".join(f"{name}[{index}]" for name, index in steps)
+
+
+def node_at_path(root: TagNode, path: str) -> Node:
+    """Resolve a dot-notation path against ``root``.
+
+    The first step must match the root itself (name and index 1).  Raises
+    ``LookupError`` if any step does not resolve -- e.g. when a cached rule
+    is applied to a page whose structure changed (the failure mode the paper
+    discusses for conventional wrappers).
+    """
+    steps = parse_path(path)
+    name, index = steps[0]
+    if root.name != name or index != root.child_index:
+        raise LookupError(f"path root {name}[{index}] does not match {root.name}")
+    node: Node = root
+    for name, index in steps[1:]:
+        if not isinstance(node, TagNode) or index > len(node.children):
+            raise LookupError(f"no child {name}[{index}] under {path_of(node)}")
+        child = node.children[index - 1]
+        if child.name != name:
+            raise LookupError(
+                f"child at position {index} under {path_of(node)} is "
+                f"{child.name!r}, expected {name!r}"
+            )
+        node = child
+    return node

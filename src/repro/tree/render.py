@@ -1,0 +1,61 @@
+"""ASCII rendering of tag trees.
+
+Used by the examples to reproduce the paper's Figures 1, 2 and 5 (the tag
+trees of the Library of Congress and canoe.com pages) in a terminal.
+"""
+
+from __future__ import annotations
+
+from repro.tree.metrics import fanout, node_size, tag_count
+from repro.tree.node import ContentNode, Node, TagNode
+
+
+def _label(node: Node, *, metrics: bool, max_text: int) -> str:
+    if isinstance(node, ContentNode):
+        text = node.content.strip()
+        if len(text) > max_text:
+            text = text[: max_text - 1] + "…"
+        return f"#text {text!r}"
+    assert isinstance(node, TagNode)
+    label = node.name
+    if metrics:
+        label += (
+            f"  (fanout={fanout(node)}, size={node_size(node)},"
+            f" tags={tag_count(node)})"
+        )
+    return label
+
+
+def render_tree(
+    root: Node,
+    *,
+    metrics: bool = False,
+    max_depth: int | None = None,
+    max_text: int = 40,
+    show_text: bool = True,
+) -> str:
+    """Render the subtree at ``root`` as an indented ASCII tree.
+
+    ``metrics=True`` annotates each tag node with the Section 2.2 metrics,
+    which makes the HF/GSI/LTC rankings of Section 4 easy to eyeball --
+    exactly what Table 1 of the paper visualizes.
+    """
+    lines: list[str] = []
+    # Stack of (node, prefix, is_last, depth)
+    stack: list[tuple[Node, str, bool, int]] = [(root, "", True, 0)]
+    while stack:
+        node, prefix, is_last, depth = stack.pop()
+        if isinstance(node, ContentNode) and not show_text:
+            continue
+        connector = "" if depth == 0 else ("└── " if is_last else "├── ")
+        lines.append(prefix + connector + _label(node, metrics=metrics, max_text=max_text))
+        if max_depth is not None and depth >= max_depth:
+            continue
+        if isinstance(node, TagNode):
+            child_prefix = prefix if depth == 0 else prefix + ("    " if is_last else "│   ")
+            children = node.children if show_text else [
+                c for c in node.children if isinstance(c, TagNode)
+            ]
+            for idx in range(len(children) - 1, -1, -1):
+                stack.append((children[idx], child_prefix, idx == len(children) - 1, depth + 1))
+    return "\n".join(lines)

@@ -1,0 +1,103 @@
+"""Tree traversal helpers.
+
+Everything iterative (explicit stacks/deques), so arbitrarily deep pages --
+which the corpus generator can produce -- never hit the recursion limit.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Iterator
+
+from repro.tree.node import ContentNode, Node, TagNode
+
+
+def iter_nodes(root: Node, *, order: str = "pre") -> Iterator[Node]:
+    """Iterate every node of the subtree anchored at ``root``.
+
+    ``order`` is ``"pre"`` (document order, default), ``"post"``, or
+    ``"level"`` (breadth-first).
+    """
+    if order == "pre":
+        stack: list[Node] = [root]
+        while stack:
+            node = stack.pop()
+            yield node
+            if isinstance(node, TagNode):
+                stack.extend(reversed(node.children))
+    elif order == "post":
+        stack2: list[tuple[Node, bool]] = [(root, False)]
+        while stack2:
+            node, processed = stack2.pop()
+            if processed or isinstance(node, ContentNode):
+                yield node
+                continue
+            stack2.append((node, True))
+            assert isinstance(node, TagNode)
+            for child in reversed(node.children):
+                stack2.append((child, False))
+    elif order == "level":
+        queue: deque[Node] = deque([root])
+        while queue:
+            node = queue.popleft()
+            yield node
+            if isinstance(node, TagNode):
+                queue.extend(node.children)
+    else:
+        raise ValueError(f"unknown traversal order: {order!r}")
+
+
+def tag_nodes(root: Node) -> Iterator[TagNode]:
+    """Iterate the tag nodes of the subtree in document order."""
+    for node in iter_nodes(root):
+        if isinstance(node, TagNode):
+            yield node
+
+
+def leaf_nodes(root: Node) -> Iterator[ContentNode]:
+    """Iterate the content (leaf) nodes of the subtree in document order."""
+    for node in iter_nodes(root):
+        if isinstance(node, ContentNode):
+            yield node
+
+
+def find_all(root: Node, name: str) -> list[TagNode]:
+    """All tag nodes named ``name`` (lower-case) in document order."""
+    name = name.lower()
+    return [node for node in tag_nodes(root) if node.name == name]
+
+
+def find_first(root: Node, name: str) -> TagNode | None:
+    """First tag node named ``name`` in document order, or None."""
+    name = name.lower()
+    for node in tag_nodes(root):
+        if node.name == name:
+            return node
+    return None
+
+
+def descendants(node: Node) -> Iterator[Node]:
+    """All nodes strictly below ``node`` (i.e. reachable, excluding itself)."""
+    iterator = iter_nodes(node)
+    next(iterator)  # skip the node itself
+    yield from iterator
+
+
+def ancestors(node: Node) -> list[TagNode]:
+    """Ancestors of ``node`` from parent up to the root."""
+    return list(node.iter_ancestors())
+
+
+def is_ancestor(candidate: Node, node: Node) -> bool:
+    """True if ``candidate ==>* node`` per Definition 2 (includes equality)."""
+    current: Node | None = node
+    while current is not None:
+        if current is candidate:
+            return True
+        current = current.parent
+    return False
+
+
+def filter_nodes(root: Node, predicate: Callable[[Node], bool]) -> list[Node]:
+    """All nodes of the subtree satisfying ``predicate``, document order."""
+    return [node for node in iter_nodes(root) if predicate(node)]

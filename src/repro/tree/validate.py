@@ -1,0 +1,79 @@
+"""Executable checks for the tag-tree definitions of Section 2.2.
+
+Definition 1 constrains a tag tree: edges are antisymmetric and
+irreflexive, content nodes have no outgoing edges, and (from the tree
+reading) every node except the root has exactly one parent.  These hold by
+construction for trees built through :mod:`repro.tree.builder`, but
+hand-assembled trees (tests, external callers mutating nodes) can violate
+them in ways that surface as baffling metric values much later.
+
+:func:`validate_tree` walks a tree once and returns every violation found;
+:func:`assert_valid_tree` raises on the first problem.  Used by the
+property-test suite and available to library users as a debugging aid.
+"""
+
+from __future__ import annotations
+
+from repro.tree.node import ContentNode, Node, TagNode
+
+
+def validate_tree(root: Node) -> list[str]:
+    """Return human-readable descriptions of every invariant violation.
+
+    Checks, per Definition 1 (and the tree reading of it):
+
+    * acyclicity -- no node is its own ancestor;
+    * single ownership -- every node appears in exactly one child list;
+    * parent-link consistency -- ``child.parent`` is the node holding it;
+    * leaf condition -- content nodes have no children (structural: they
+      simply have no child list, so the check is that no node's children
+      contain the *root* and that nothing both is-a-leaf and owns nodes);
+    * the root has no parent.
+    """
+    problems: list[str] = []
+    if root.parent is not None:
+        problems.append("root has a parent; validate from the true root")
+
+    seen: dict[int, Node] = {}
+    stack: list[Node] = [root]
+    path: set[int] = set()
+
+    # Iterative DFS with an explicit ancestor set for cycle detection.
+    frames: list[tuple[Node, int]] = [(root, 0)]
+    while frames:
+        node, child_index = frames[-1]
+        if child_index == 0:
+            if id(node) in path:
+                problems.append(f"cycle through {node!r}")
+                frames.pop()
+                continue
+            path.add(id(node))
+            if id(node) in seen:
+                problems.append(f"{node!r} appears in more than one child list")
+            seen[id(node)] = node
+        children = node.children if isinstance(node, TagNode) else []
+        if child_index < len(children):
+            frames[-1] = (node, child_index + 1)
+            child = children[child_index]
+            if child is root:
+                problems.append(f"root appears as a child of {node!r}")
+                continue
+            if child.parent is not node:
+                problems.append(
+                    f"{child!r} is in {node!r}'s child list but its parent"
+                    f" link points to {child.parent!r}"
+                )
+            if isinstance(child, ContentNode) and getattr(child, "children", None):
+                problems.append(f"content node {child!r} has children")
+            frames.append((child, 0))
+        else:
+            path.discard(id(node))
+            frames.pop()
+    return problems
+
+
+def assert_valid_tree(root: Node) -> None:
+    """Raise ``ValueError`` with the first violation, if any."""
+    problems = validate_tree(root)
+    if problems:
+        raise ValueError(f"invalid tag tree: {problems[0]}")

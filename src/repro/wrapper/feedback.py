@@ -1,0 +1,144 @@
+"""Feedback-based refinement (Section 7's second future-work item).
+
+"Other potential future research directions include the automation of
+evaluation process and incorporation of feedback-based refinement of object
+extraction."
+
+The mechanism here closes the loop the paper left open: every user verdict
+on an extraction ("the separator was X and that was right/wrong; the
+correct one was Y") becomes a labeled page.  Accumulated verdicts re-estimate
+the per-heuristic rank-probability profiles -- the same Table 10/13
+estimation the harness performs on the labeled corpus, but driven by
+production feedback instead of a one-off training crawl.  Because the
+combined algorithm consumes nothing but those profiles, improved profiles
+immediately improve every future combination decision.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.core.separator.base import build_context, rank_of
+from repro.core.separator.combine import HeuristicProfile
+from repro.tree.builder import parse_document
+from repro.tree.node import TagNode
+
+
+@dataclass(frozen=True, slots=True)
+class Verdict:
+    """One piece of user feedback on an extraction."""
+
+    site: str
+    #: Dot-notation path of the region the user confirmed.
+    subtree_path: str
+    #: The separator tag the user confirmed as correct.
+    correct_separator: str
+    #: The page the verdict refers to (needed to re-rank heuristics).
+    html: str
+
+
+@dataclass
+class FeedbackStore:
+    """Accumulates verdicts; optionally persists them as JSON lines."""
+
+    path: Path | None = None
+    verdicts: list[Verdict] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.path is not None:
+            self.path = Path(self.path)
+            if self.path.exists():
+                self.load()
+
+    def add(self, verdict: Verdict) -> None:
+        """Record one verdict (and persist when a path is configured)."""
+        self.verdicts.append(verdict)
+        if self.path is not None:
+            with self.path.open("a", encoding="utf-8") as handle:
+                handle.write(
+                    json.dumps(
+                        {
+                            "site": verdict.site,
+                            "subtree_path": verdict.subtree_path,
+                            "correct_separator": verdict.correct_separator,
+                            "html": verdict.html,
+                        }
+                    )
+                    + "\n"
+                )
+
+    def load(self) -> int:
+        """Load persisted verdicts; returns how many were read."""
+        assert self.path is not None
+        count = 0
+        self.verdicts.clear()
+        for line in self.path.read_text(encoding="utf-8").splitlines():
+            if not line.strip():
+                continue
+            data = json.loads(line)
+            self.verdicts.append(Verdict(**data))
+            count += 1
+        return count
+
+    def __len__(self) -> int:
+        return len(self.verdicts)
+
+
+def refine_profiles(
+    heuristics: list,
+    store: FeedbackStore,
+    *,
+    prior: dict[str, HeuristicProfile] | None = None,
+    prior_weight: int = 20,
+    max_rank: int = 5,
+) -> dict[str, HeuristicProfile]:
+    """Re-estimate rank-probability profiles from accumulated feedback.
+
+    Each verdict contributes one observation per heuristic: the rank that
+    heuristic gave the user-confirmed separator on the verdict's page.
+    The counts are blended with the ``prior`` profiles (weighted as
+    ``prior_weight`` pseudo-observations) so a handful of early verdicts
+    cannot swing the system -- standard additive smoothing.
+    """
+    from repro.tree.paths import node_at_path
+
+    counts: dict[str, list[float]] = {
+        h.name: [0.0] * max_rank for h in heuristics
+    }
+    totals: dict[str, float] = {h.name: 0.0 for h in heuristics}
+
+    for verdict in store.verdicts:
+        root = parse_document(verdict.html)
+        try:
+            subtree = node_at_path(root, verdict.subtree_path)
+        except LookupError:
+            continue  # page no longer matches the recorded region
+        if not isinstance(subtree, TagNode):
+            continue
+        context = build_context(subtree)
+        for heuristic in heuristics:
+            ranking = heuristic.rank(context)
+            rank = rank_of(ranking, verdict.correct_separator)
+            totals[heuristic.name] += 1.0
+            if rank is not None and rank <= max_rank:
+                counts[heuristic.name][rank - 1] += 1.0
+
+    profiles: dict[str, HeuristicProfile] = {}
+    for heuristic in heuristics:
+        name = heuristic.name
+        observed = totals[name]
+        blended: list[float] = []
+        prior_profile = (prior or {}).get(name)
+        for index in range(max_rank):
+            prior_mass = (
+                prior_profile.probabilities[index] * prior_weight
+                if prior_profile and index < len(prior_profile.probabilities)
+                else 0.0
+            )
+            numerator = counts[name][index] + prior_mass
+            denominator = observed + (prior_weight if prior_profile else 0.0)
+            blended.append(numerator / denominator if denominator else 0.0)
+        profiles[name] = HeuristicProfile(name, tuple(blended))
+    return profiles

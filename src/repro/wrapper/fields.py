@@ -1,0 +1,182 @@
+"""Field-level normalization of extracted objects.
+
+An integration service cannot aggregate raw HTML fragments; it needs each
+object "in a normalized format" (Section 1).  :class:`FieldExtractor`
+decomposes an :class:`~repro.core.objects.ExtractedObject` into the fields
+the paper's e-commerce/search corpus actually carries, using the same kind
+of structural heuristics Omini uses at page level:
+
+* **title** -- the most prominent early text: the first text inside both an
+  anchor and emphasis (``a > b``/``b > a``), else the first emphasized
+  text, else whichever of the first anchor / first plain text run appears
+  earlier in the object (plain-text listings put the title first and hang
+  a generic "full record"-style link after it); leading list numbering
+  ("12. ") is stripped;
+* **url** -- the ``href`` of the anchor that supplied the title (falling
+  back to the object's first link);
+* **price** -- the first money pattern in the object's text;
+* **byline** -- the first italic/cite text that is not the title;
+* **description** -- the longest plain text run not already claimed.
+
+All heuristics are deliberately tag-structural (no dictionaries, no site
+knowledge): the same "fully automated" constraint the paper imposes on
+object discovery.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import asdict, dataclass, field
+
+from repro.core.objects import ExtractedObject
+from repro.tree.node import ContentNode, Node, TagNode
+
+#: Tags that emphasize their content (title carriers).
+_EMPHASIS = frozenset({"b", "strong", "h1", "h2", "h3", "h4", "em", "font"})
+#: Tags whose content reads as attribution / metadata.
+_BYLINE = frozenset({"i", "cite", "small", "address"})
+
+_MONEY_RE = re.compile(
+    r"(?:\$|£|€)\s*\d{1,6}(?:[.,]\d{2})?|\d{1,6}(?:[.,]\d{2})?\s*(?:USD|EUR|GBP)"
+)
+_WS_RE = re.compile(r"\s+")
+_LIST_NUMBER_RE = re.compile(r"^\s*\d{1,4}[.)]\s+")
+
+
+def _clean(text: str) -> str:
+    return _WS_RE.sub(" ", text).strip()
+
+
+@dataclass
+class ObjectFields:
+    """One object, normalized (the integration server's record format)."""
+
+    title: str = ""
+    url: str = ""
+    description: str = ""
+    price: str = ""
+    byline: str = ""
+    extras: dict = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        """Plain-dict form for JSON serialization / aggregation."""
+        return asdict(self)
+
+    @property
+    def is_empty(self) -> bool:
+        return not (self.title or self.description or self.url)
+
+
+@dataclass
+class _Candidates:
+    """Everything one walk over the object collects (document order).
+
+    Each entry carries its document-order position so title selection can
+    compare where the first anchor sits relative to the first plain text.
+    """
+
+    anchors: list[tuple[int, str, str]] = field(default_factory=list)  # (pos, text, href)
+    emphasized: list[tuple[int, str]] = field(default_factory=list)
+    emphasized_anchor: list[tuple[int, str, str]] = field(default_factory=list)
+    bylines: list[str] = field(default_factory=list)
+    texts: list[tuple[int, str]] = field(default_factory=list)
+    plain_texts: list[tuple[int, str]] = field(default_factory=list)
+
+
+class FieldExtractor:
+    """Stateless object -> fields decomposition (see module docstring)."""
+
+    def extract(self, obj: ExtractedObject) -> ObjectFields:
+        """Decompose one object into normalized fields."""
+        candidates = self._collect(obj)
+        fields = ObjectFields()
+
+        # Title + url: emphasized anchors beat emphasis; otherwise the
+        # earlier of (first anchor, first plain text) wins -- plain-text
+        # listings (LoC-style) lead with the title and append a generic
+        # "full record" link.
+        if candidates.emphasized_anchor:
+            _, fields.title, fields.url = candidates.emphasized_anchor[0]
+        elif candidates.emphasized:
+            _, fields.title = candidates.emphasized[0]
+        else:
+            anchor_pos = candidates.anchors[0][0] if candidates.anchors else None
+            text_pos = candidates.plain_texts[0][0] if candidates.plain_texts else None
+            if anchor_pos is not None and (text_pos is None or anchor_pos < text_pos):
+                _, fields.title, fields.url = candidates.anchors[0]
+            elif text_pos is not None:
+                first_line = candidates.plain_texts[0][1].strip().splitlines()[0]
+                fields.title = first_line
+        fields.title = _LIST_NUMBER_RE.sub("", _clean(fields.title))
+
+        if not fields.url and candidates.anchors:
+            fields.url = candidates.anchors[0][2]
+
+        # Price: first money-shaped token anywhere in the object.
+        match = _MONEY_RE.search(obj.text(" "))
+        if match:
+            fields.price = _clean(match.group(0))
+
+        # Byline: first attribution text that is not the title.
+        for byline in candidates.bylines:
+            cleaned = _clean(byline)
+            if cleaned and cleaned != fields.title:
+                fields.byline = cleaned
+                break
+
+        # Description: longest unclaimed text run.
+        claimed = {fields.title, fields.byline, fields.price}
+        best = ""
+        for _, text in candidates.texts:
+            cleaned = _clean(text)
+            if cleaned in claimed:
+                continue
+            if len(cleaned) > len(best):
+                best = cleaned
+        fields.description = best
+
+        return fields
+
+    def extract_all(self, objects: list[ExtractedObject]) -> list[ObjectFields]:
+        """Decompose every object of one page."""
+        return [self.extract(obj) for obj in objects]
+
+    # -- internals -----------------------------------------------------------
+
+    def _collect(self, obj: ExtractedObject) -> _Candidates:
+        candidates = _Candidates()
+        position = 0
+        # Walk with the enclosing-tag context so emphasis inside anchors
+        # (and vice versa) is recognized.
+        stack: list[tuple[Node, bool, str | None]] = [
+            (node, False, None) for node in reversed(obj.nodes)
+        ]
+        while stack:
+            node, emphasized, href = stack.pop()
+            if isinstance(node, ContentNode):
+                text = node.content
+                if not text.strip():
+                    continue
+                position += 1
+                candidates.texts.append((position, text))
+                if href is not None and emphasized:
+                    candidates.emphasized_anchor.append((position, text, href))
+                elif href is not None:
+                    candidates.anchors.append((position, text, href))
+                elif emphasized:
+                    candidates.emphasized.append((position, text))
+                else:
+                    candidates.plain_texts.append((position, text))
+                continue
+            assert isinstance(node, TagNode)
+            child_emphasized = emphasized or node.name in _EMPHASIS
+            child_href = href
+            if node.name == "a":
+                child_href = node.get("href", "") or ""
+            if node.name in _BYLINE:
+                text = node.text(" ")
+                if text.strip():
+                    candidates.bylines.append(text)
+            for child in reversed(node.children):
+                stack.append((child, child_emphasized, child_href))
+        return candidates

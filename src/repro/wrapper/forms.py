@@ -1,0 +1,172 @@
+"""Search-form discovery and query-request construction (Section 1).
+
+A wrapper's *first* task, per the paper: "it transforms a search request at
+the aggregation server to a search request at the remote information source
+provided by a content provider."  Hand-written wrappers hard-code each
+site's search URL and parameter names; this module discovers them from the
+site's page the same way Omini discovers record structure -- from the tag
+tree alone:
+
+* :func:`find_forms` lists every form on a page with its action, method and
+  inputs;
+* :func:`find_search_form` picks the form that looks like a *search* form
+  (a single free-text input, GET-ish, short) rather than a login or
+  checkout form;
+* :class:`SearchRequest`/:func:`build_search_request` slot the user's query
+  word into the free-text input and produce the URL + parameters a fetcher
+  would send.
+
+Together with :mod:`repro.wrapper.wrapper` this completes both halves of
+the paper's wrapper definition with zero per-site code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from urllib.parse import urlencode, urljoin
+
+from repro.tree.builder import parse_document
+from repro.tree.node import TagNode
+from repro.tree.traversal import find_all, tag_nodes
+
+#: Input types that can carry a free-text query.
+_TEXT_TYPES = frozenset({"", "text", "search"})
+#: Input types that submit buttons / pre-set values use.
+_BUTTON_TYPES = frozenset({"submit", "reset", "button", "image"})
+
+
+@dataclass(frozen=True, slots=True)
+class FormInput:
+    """One ``<input>``/``<select>``/``<textarea>`` of a form."""
+
+    name: str
+    type: str = "text"
+    value: str = ""
+
+
+@dataclass(frozen=True, slots=True)
+class FormSpec:
+    """A form's submission interface, as discovered from the page."""
+
+    action: str
+    method: str
+    inputs: tuple[FormInput, ...] = ()
+
+    @property
+    def text_inputs(self) -> tuple[FormInput, ...]:
+        return tuple(i for i in self.inputs if i.type in _TEXT_TYPES and i.name)
+
+    @property
+    def hidden_inputs(self) -> tuple[FormInput, ...]:
+        return tuple(i for i in self.inputs if i.type == "hidden" and i.name)
+
+
+@dataclass(frozen=True, slots=True)
+class SearchRequest:
+    """A ready-to-send search request for one provider."""
+
+    url: str
+    method: str
+    params: tuple[tuple[str, str], ...] = ()
+
+    @property
+    def full_url(self) -> str:
+        """The GET URL with parameters encoded (POST keeps them separate)."""
+        if self.method == "get" and self.params:
+            separator = "&" if "?" in self.url else "?"
+            return self.url + separator + urlencode(list(self.params))
+        return self.url
+
+
+def _form_spec(form: TagNode) -> FormSpec:
+    inputs: list[FormInput] = []
+    for node in tag_nodes(form):
+        if node.name == "input":
+            inputs.append(
+                FormInput(
+                    name=node.get("name", "") or "",
+                    type=(node.get("type", "text") or "text").lower(),
+                    value=node.get("value", "") or "",
+                )
+            )
+        elif node.name == "textarea":
+            inputs.append(FormInput(name=node.get("name", "") or "", type="text"))
+        elif node.name == "select":
+            # The first option's value is the default submission value.
+            options = find_all(node, "option")
+            value = options[0].get("value", "") if options else ""
+            inputs.append(
+                FormInput(
+                    name=node.get("name", "") or "",
+                    type="select",
+                    value=value or "",
+                )
+            )
+    return FormSpec(
+        action=form.get("action", "") or "",
+        method=(form.get("method", "get") or "get").lower(),
+        inputs=tuple(inputs),
+    )
+
+
+def find_forms(html: str) -> list[FormSpec]:
+    """All forms on a page, in document order."""
+    root = parse_document(html)
+    return [_form_spec(form) for form in find_all(root, "form")]
+
+
+def find_search_form(html: str) -> FormSpec | None:
+    """The form most likely to be the site's search box, or None.
+
+    Scoring (structural only, like everything else in Omini): a search form
+    has at least one named free-text input, few text inputs (a registration
+    form has many), prefers GET (bookmarkable results -- universal for
+    2000-era search), and smaller forms beat bigger ones.
+    """
+    best: FormSpec | None = None
+    best_score = float("-inf")
+    for spec in find_forms(html):
+        text_inputs = spec.text_inputs
+        if not text_inputs:
+            continue
+        score = 0.0
+        score -= 3.0 * (len(text_inputs) - 1)  # one query slot is the ideal
+        score += 2.0 if spec.method == "get" else 0.0
+        score -= 0.25 * len(spec.inputs)
+        lowered = spec.action.lower()
+        if any(hint in lowered for hint in ("search", "query", "find", "q=")):
+            score += 3.0
+        if score > best_score:
+            best, best_score = spec, score
+    return best
+
+
+def build_search_request(
+    html: str,
+    query: str,
+    *,
+    base_url: str = "",
+) -> SearchRequest:
+    """Construct the provider-side search request for ``query``.
+
+    Finds the page's search form, slots ``query`` into its free-text input,
+    carries every hidden input (session/state parameters), and resolves the
+    action against ``base_url``.  Raises ``LookupError`` when the page has
+    no recognizable search form -- the caller should fall back to manual
+    configuration for that provider.
+    """
+    spec = find_search_form(html)
+    if spec is None:
+        raise LookupError("no search form found on the page")
+    params: list[tuple[str, str]] = []
+    query_slotted = False
+    for form_input in spec.inputs:
+        if not form_input.name or form_input.type in _BUTTON_TYPES:
+            continue
+        if form_input.type in _TEXT_TYPES and not query_slotted:
+            params.append((form_input.name, query))
+            query_slotted = True
+        elif form_input.type in ("hidden", "select"):
+            params.append((form_input.name, form_input.value))
+    url = urljoin(base_url, spec.action) if base_url else spec.action
+    return SearchRequest(url=url, method=spec.method, params=tuple(params))

@@ -1,0 +1,50 @@
+"""Shared fixtures for the Omini test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.corpus import CorpusGenerator, TEST_SITES
+from repro.corpus.fixtures import canoe_page, library_of_congress_page
+from repro.core.separator.base import build_context
+from repro.tree.builder import parse_document
+from repro.tree.paths import node_at_path
+
+
+@pytest.fixture(scope="session")
+def canoe_tree():
+    """Parsed tag tree of the canoe.com fixture (Figures 4/5)."""
+    return parse_document(canoe_page())
+
+
+@pytest.fixture(scope="session")
+def loc_tree():
+    """Parsed tag tree of the Library of Congress fixture (Figures 1/2)."""
+    return parse_document(library_of_congress_page())
+
+
+@pytest.fixture(scope="session")
+def canoe_form4(canoe_tree):
+    """The canoe page's minimal subtree, ``html[1].body[2].form[4]``."""
+    return node_at_path(canoe_tree, "html[1].body[2].form[4]")
+
+
+@pytest.fixture(scope="session")
+def canoe_context(canoe_form4):
+    return build_context(canoe_form4)
+
+
+@pytest.fixture(scope="session")
+def loc_body(loc_tree):
+    return node_at_path(loc_tree, "html[1].body[2]")
+
+
+@pytest.fixture(scope="session")
+def loc_context(loc_body):
+    return build_context(loc_body)
+
+
+@pytest.fixture(scope="session")
+def small_corpus():
+    """Three labeled pages per test site: fast but layout-diverse."""
+    return CorpusGenerator(max_pages_per_site=3).generate(TEST_SITES)

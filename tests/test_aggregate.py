@@ -1,0 +1,254 @@
+"""Unit tests for the integration-service layer (repro.aggregate)."""
+
+import pytest
+
+from repro.aggregate import (
+    MetaSearch,
+    SyntheticProvider,
+    dedupe_records,
+    rank_records,
+)
+from repro.aggregate.merge import MergedRecord, Offer, title_similarity
+from repro.wrapper.fields import ObjectFields
+
+
+def fields(title, description="", url="", price=""):
+    return ObjectFields(title=title, description=description, url=url, price=price)
+
+
+class TestTitleSimilarity:
+    def test_identical_titles(self):
+        assert title_similarity("A River Atlas", "A River Atlas") == 1.0
+
+    def test_reordered_tokens(self):
+        assert title_similarity("River Atlas", "Atlas River") == 1.0
+
+    def test_disjoint_titles(self):
+        assert title_similarity("River Atlas", "Soup Dumplings") == 0.0
+
+    def test_partial_overlap(self):
+        value = title_similarity("River Atlas Maps", "River Atlas")
+        assert 0.5 < value < 1.0
+
+    def test_stopwords_ignored(self):
+        assert title_similarity("The Atlas of Rivers", "Atlas Rivers") == 1.0
+
+    def test_case_and_punctuation_insensitive(self):
+        assert title_similarity("RIVER-ATLAS!", "river atlas") == 1.0
+
+    def test_empty_title(self):
+        assert title_similarity("", "anything") == 0.0
+
+
+class TestDedupe:
+    def test_same_item_across_sites_merges(self):
+        records = [
+            ("siteA", fields("A River Atlas", price="$24.00")),
+            ("siteB", fields("A River Atlas", price="$22.50")),
+            ("siteC", fields("Soup Dumplings", price="$9.99")),
+        ]
+        merged = dedupe_records(records)
+        assert len(merged) == 2
+        atlas = next(m for m in merged if "Atlas" in m.title)
+        assert sorted(atlas.sites) == ["siteA", "siteB"]
+        assert {o.price for o in atlas.offers} == {"$24.00", "$22.50"}
+
+    def test_near_duplicate_titles_merge(self):
+        records = [
+            ("a", fields("Practical Celestial Navigation")),
+            ("b", fields("Practical Celestial Navigation (2nd ed)")),
+        ]
+        assert len(dedupe_records(records)) == 1
+
+    def test_distinct_titles_stay_apart(self):
+        records = [
+            ("a", fields("Practical Celestial Navigation")),
+            ("b", fields("Practical Soup Navigation of Dumplings")),
+        ]
+        assert len(dedupe_records(records, threshold=0.8)) == 2
+
+    def test_longest_description_kept(self):
+        records = [
+            ("a", fields("X Atlas", description="short")),
+            ("b", fields("X Atlas", description="a much longer description")),
+        ]
+        (merged,) = dedupe_records(records)
+        assert merged.description == "a much longer description"
+
+    def test_untitled_records_dropped(self):
+        records = [("a", fields(""))]
+        assert dedupe_records(records) == []
+
+    def test_threshold_configurable(self):
+        records = [
+            ("a", fields("alpha beta gamma delta")),
+            ("b", fields("alpha beta something else")),
+        ]
+        assert len(dedupe_records(records, threshold=0.2)) == 1
+        assert len(dedupe_records(records, threshold=0.9)) == 2
+
+
+class TestRanking:
+    def test_query_in_title_beats_description(self):
+        merged = [
+            MergedRecord(title="walnut desk", offers=[Offer("a")]),
+            MergedRecord(title="oak desk", description="walnut finish", offers=[Offer("a")]),
+        ]
+        ranked = rank_records(merged, "walnut")
+        assert ranked[0].title == "walnut desk"
+        assert ranked[0].relevance > ranked[1].relevance
+
+    def test_corroboration_breaks_ties(self):
+        merged = [
+            MergedRecord(title="walnut a", offers=[Offer("x")]),
+            MergedRecord(title="walnut b", offers=[Offer("x"), Offer("y")]),
+        ]
+        ranked = rank_records(merged, "walnut")
+        assert ranked[0].title == "walnut b"
+
+    def test_relevance_bounded(self):
+        merged = [
+            MergedRecord(
+                title="walnut walnut", description="walnut", offers=[Offer("a")]
+            )
+        ]
+        (record,) = rank_records(merged, "walnut")
+        assert 0.0 <= record.relevance <= 1.0
+
+    def test_empty_query(self):
+        merged = [MergedRecord(title="x", offers=[Offer("a")])]
+        assert rank_records(merged, "")[0].relevance == 0.0
+
+
+class TestSyntheticProvider:
+    def test_deterministic_per_query(self):
+        a = SyntheticProvider.for_site("www.bn.com").search("walnut")
+        b = SyntheticProvider.for_site("www.bn.com").search("walnut")
+        assert a == b
+
+    def test_different_queries_differ(self):
+        provider = SyntheticProvider.for_site("www.bn.com")
+        assert provider.search("walnut") != provider.search("zephyr")
+
+    def test_query_word_appears_in_records(self):
+        provider = SyntheticProvider.for_site("www.bn.com")
+        page = provider.search_labeled("walnut")
+        assert all("walnut" in t for t in page.truth.object_texts)
+
+    def test_sample_pages(self):
+        provider = SyntheticProvider.for_site("www.google.com")
+        samples = provider.sample_pages(2)
+        assert len(samples) == 2 and all(samples)
+
+
+class TestMetaSearch:
+    @pytest.fixture(scope="class")
+    def service(self):
+        service = MetaSearch()
+        for name in ("www.bn.com", "www.canoe.com", "www.gamelan.com"):
+            service.register(SyntheticProvider.for_site(name))
+        return service
+
+    def test_registration_generates_wrappers(self, service):
+        assert service.sites() == ["www.bn.com", "www.canoe.com", "www.gamelan.com"]
+        assert service.wrapper_for("www.bn.com").rule.separator == "tr"
+        assert service.wrapper_for("www.gamelan.com").rule.separator == "dt"
+
+    def test_search_fans_out_to_all_sites(self, service):
+        result = service.search("walnut")
+        assert sorted(result.sites_searched) == service.sites()
+        assert not result.sites_failed
+        sites_seen = {site for r in result.records for site in r.sites}
+        assert sites_seen == set(service.sites())
+
+    def test_results_ranked_by_relevance(self, service):
+        result = service.search("walnut")
+        relevances = [r.relevance for r in result.records]
+        assert relevances == sorted(relevances, reverse=True)
+        assert result.records[0].relevance > 0
+
+    def test_every_record_title_mentions_no_chrome(self, service):
+        result = service.search("walnut")
+        for record in result.records:
+            assert "Sponsored" not in record.title
+            assert "Copyright" not in record.title
+
+    def test_self_healing_on_redesign(self):
+        class RedesigningProvider:
+            """Serves bn-style pages, then switches layout mid-flight."""
+
+            name = "shifty.example"
+
+            def __init__(self):
+                self._inner = SyntheticProvider.for_site("www.bn.com")
+                self.redesigned = False
+
+            def search(self, query):
+                page = self._inner.search(query)
+                if self.redesigned:
+                    page = page.replace("<table id=", "<div><table id=").replace(
+                        "</table>", "</table></div>", 1
+                    )
+                return page
+
+        provider = RedesigningProvider()
+        service = MetaSearch()
+        service.register(provider)
+        old_rule = service.wrapper_for(provider.name).rule
+        provider.redesigned = True
+        result = service.search("walnut")
+        assert provider.name in result.sites_searched  # healed, not failed
+        assert result.records
+        assert service.wrapper_for(provider.name).rule != old_rule
+
+
+# -- property-based checks on the merge primitives ---------------------------
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+_title_words = st.lists(
+    st.sampled_from("alpha beta gamma delta epsilon zeta eta theta".split()),
+    min_size=1, max_size=4,
+)
+_titles = _title_words.map(" ".join)
+
+
+class TestMergeProperties:
+    @given(st.lists(st.tuples(st.sampled_from("abc"), _titles), max_size=20))
+    @settings(max_examples=60)
+    def test_dedupe_conserves_offers(self, pairs):
+        records = [(site, fields(title)) for site, title in pairs]
+        merged = dedupe_records(records)
+        total_offers = sum(len(m.offers) for m in merged)
+        assert total_offers == len(pairs)
+
+    @given(st.lists(st.tuples(st.sampled_from("abc"), _titles), max_size=20))
+    @settings(max_examples=60)
+    def test_dedupe_idempotent(self, pairs):
+        records = [(site, fields(title)) for site, title in pairs]
+        merged = dedupe_records(records)
+        again = dedupe_records(
+            [(o.site, fields(m.title, url=o.url, price=o.price))
+             for m in merged for o in m.offers]
+        )
+        assert len(again) == len(merged)
+
+    @given(st.lists(_titles, min_size=1, max_size=15), _titles)
+    @settings(max_examples=60)
+    def test_ranking_sorted_and_bounded(self, titles, query):
+        merged = [MergedRecord(title=t, offers=[Offer("x")]) for t in titles]
+        ranked = rank_records(merged, query)
+        relevances = [r.relevance for r in ranked]
+        assert relevances == sorted(relevances, reverse=True)
+        assert all(0.0 <= r <= 1.0 for r in relevances)
+
+    @given(_titles, _titles)
+    @settings(max_examples=60)
+    def test_similarity_symmetric(self, a, b):
+        assert title_similarity(a, b) == title_similarity(b, a)
+
+    @given(_titles)
+    @settings(max_examples=30)
+    def test_similarity_reflexive(self, t):
+        assert title_similarity(t, t) == 1.0

@@ -1,0 +1,43 @@
+"""Unit tests for the BYU baseline system (repro.baselines.byu, Section 6.7)."""
+
+from repro.baselines import BYUExtractor, byu_combination, byu_heuristics
+from repro.core.pipeline import OminiExtractor
+from repro.corpus import CorpusGenerator, HARD_SITES
+from repro.corpus.fixtures import library_of_congress_page
+from repro.eval import evaluate_pages, separator_outcomes
+from repro.eval.metrics import success_rate
+
+
+class TestConfiguration:
+    def test_four_heuristics(self):
+        names = [h.name for h in byu_heuristics()]
+        assert names == ["HC", "IT", "RP", "SD"]
+
+    def test_combination_name_is_htrs_permutation(self):
+        assert sorted(byu_combination().name) == sorted("HTRS")
+
+    def test_extractor_uses_hf_only_subtree(self):
+        extractor = BYUExtractor()
+        assert extractor.subtree_finder.dimensions == ("fanout",)
+
+    def test_extractor_accepts_overrides(self):
+        custom = OminiExtractor().separator_finder
+        extractor = BYUExtractor(separator_finder=custom)
+        assert extractor.separator_finder is custom
+
+
+class TestBehaviour:
+    def test_byu_works_on_loc_style_pages(self):
+        # The BYU system's home turf: hr-separated text listings.
+        result = BYUExtractor().extract(library_of_congress_page())
+        assert result.separator == "hr"
+
+    def test_byu_trails_omini_on_hard_sites(self):
+        """Table 19's conclusion: HTRS collapses where RSIPB holds."""
+        pages = CorpusGenerator(max_pages_per_site=6).generate(HARD_SITES)
+        evaluated = evaluate_pages(pages)
+        byu_rate = success_rate(separator_outcomes(byu_combination(), evaluated))
+        omini_rate = success_rate(
+            separator_outcomes(OminiExtractor().separator_finder, evaluated)
+        )
+        assert omini_rate > byu_rate + 0.15

@@ -1,0 +1,121 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.corpus.fixtures import canoe_page
+
+
+@pytest.fixture
+def page_file(tmp_path):
+    path = tmp_path / "canoe.html"
+    path.write_text(canoe_page(), encoding="utf-8")
+    return str(path)
+
+
+class TestExtract:
+    def test_extract_prints_objects(self, page_file, capsys):
+        assert main(["extract", page_file]) == 0
+        out = capsys.readouterr().out
+        assert "separator: table" in out
+        assert "objects:   12" in out
+
+    def test_extract_json(self, page_file, capsys):
+        assert main(["extract", page_file, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["separator"] == "table"
+        assert len(payload["objects"]) == 12
+        assert payload["subtree"] == "html[1].body[2].form[4]"
+
+    def test_extract_with_rules(self, page_file, tmp_path, capsys):
+        rules = str(tmp_path / "rules.json")
+        assert main(["extract", page_file, "--site", "canoe", "--rules", rules]) == 0
+        assert main(["extract", page_file, "--site", "canoe", "--rules", rules]) == 0
+        out = capsys.readouterr().out
+        assert "cached rule" in out
+
+
+class TestTree:
+    def test_tree_output(self, page_file, capsys):
+        assert main(["tree", page_file, "--depth", "2", "--no-text"]) == 0
+        out = capsys.readouterr().out
+        assert "html" in out and "body" in out
+
+    def test_tree_metrics(self, page_file, capsys):
+        main(["tree", page_file, "--metrics", "--depth", "1"])
+        assert "fanout=" in capsys.readouterr().out
+
+
+class TestRank:
+    def test_rank_shows_heuristics(self, page_file, capsys):
+        assert main(["rank", page_file]) == 0
+        out = capsys.readouterr().out
+        for name in ("HF", "GSI", "LTC", "SD", "RP", "IPS", "PP", "SB"):
+            assert name in out
+        assert "combined:" in out
+
+
+class TestCorpus:
+    def test_corpus_command(self, tmp_path, capsys):
+        outdir = str(tmp_path / "corpus")
+        assert main(["corpus", outdir, "--split", "test", "--pages", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "wrote" in out
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestWrapCommands:
+    def test_wrap_generate_and_apply(self, page_file, tmp_path, capsys):
+        wrapper_path = str(tmp_path / "canoe.wrapper.json")
+        assert main(["wrap-generate", "canoe", page_file, "-o", wrapper_path]) == 0
+        out = capsys.readouterr().out
+        assert "consensus 100%" in out
+
+        assert main(["wrap-apply", wrapper_path, page_file]) == 0
+        out = capsys.readouterr().out
+        assert "12 records" in out
+
+    def test_wrap_apply_json(self, page_file, tmp_path, capsys):
+        wrapper_path = str(tmp_path / "w.json")
+        main(["wrap-generate", "canoe", page_file, "-o", wrapper_path])
+        capsys.readouterr()
+        assert main(["wrap-apply", wrapper_path, page_file, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload) == 12
+        assert all(r["title"] for r in payload)
+
+    def test_wrap_apply_stale_exits_2(self, page_file, tmp_path, capsys):
+        wrapper_path = str(tmp_path / "w.json")
+        main(["wrap-generate", "canoe", page_file, "-o", wrapper_path])
+        stale_page = tmp_path / "redesign.html"
+        stale_page.write_text("<html><body><p>new site</p></body></html>")
+        assert main(["wrap-apply", wrapper_path, str(stale_page)]) == 2
+        assert "stale" in capsys.readouterr().out
+
+    def test_wrap_generate_failure_exits_1(self, tmp_path, capsys):
+        empty = tmp_path / "empty.html"
+        empty.write_text("<html><body>no records</body></html>")
+        out_path = str(tmp_path / "w.json")
+        assert main(["wrap-generate", "x", str(empty), "-o", out_path]) == 1
+
+
+class TestDiffCommand:
+    def test_diff_identical(self, page_file, capsys):
+        assert main(["diff", page_file, page_file]) == 0
+        assert "no structural differences" in capsys.readouterr().out
+
+    def test_diff_redesign(self, page_file, tmp_path, capsys):
+        redesigned = tmp_path / "new.html"
+        redesigned.write_text(
+            canoe_page().replace("<form action=\"/cgi-bin/next\"", "<div><form action=\"/cgi-bin/next\"")
+            .replace("</form>", "</form></div>", 1),
+            encoding="utf-8",
+        )
+        assert main(["diff", page_file, str(redesigned)]) == 0
+        out = capsys.readouterr().out
+        assert "inserted" in out or "removed" in out

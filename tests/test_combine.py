@@ -1,0 +1,180 @@
+"""Unit tests for the probabilistic combiner (Section 6, repro.core.separator.combine)."""
+
+import pytest
+
+from repro.core.separator import (
+    CombinedSeparatorFinder,
+    IPSHeuristic,
+    PPHeuristic,
+    RPHeuristic,
+    SBHeuristic,
+    SDHeuristic,
+)
+from repro.core.separator.combine import (
+    ALL_COMBINATIONS,
+    DEFAULT_PROFILES,
+    HeuristicProfile,
+    combination_name,
+    compound_probability,
+)
+from repro.core.separator.base import build_context
+from repro.tree.builder import parse_document
+from repro.tree.traversal import find_first
+
+
+def five():
+    return [SDHeuristic(), RPHeuristic(), IPSHeuristic(), PPHeuristic(), SBHeuristic()]
+
+
+class TestCompoundProbability:
+    def test_paper_worked_example(self):
+        # Section 6.2: 78%, 63%, 85% -> 89%... the paper rounds its own
+        # arithmetic loosely; the exact inclusion-exclusion value is 0.988.
+        value = compound_probability([0.78, 0.63, 0.85])
+        assert value == pytest.approx(1 - 0.22 * 0.37 * 0.15)
+
+    def test_two_way_matches_inclusion_exclusion(self):
+        a, b = 0.5, 0.4
+        assert compound_probability([a, b]) == pytest.approx(a + b - a * b)
+
+    def test_empty_evidence_is_zero(self):
+        assert compound_probability([]) == 0.0
+
+    def test_certain_evidence_dominates(self):
+        assert compound_probability([1.0, 0.1]) == 1.0
+
+    def test_zero_evidence_ignored(self):
+        assert compound_probability([0.0, 0.6]) == pytest.approx(0.6)
+
+    def test_monotone_in_each_argument(self):
+        assert compound_probability([0.5, 0.5]) < compound_probability([0.5, 0.6])
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            compound_probability([1.5])
+        with pytest.raises(ValueError):
+            compound_probability([-0.1])
+
+
+class TestProfiles:
+    def test_at_rank_in_range(self):
+        profile = HeuristicProfile("X", (0.8, 0.1, 0.05))
+        assert profile.at_rank(1) == 0.8
+        assert profile.at_rank(3) == 0.05
+
+    def test_at_rank_out_of_range_is_zero(self):
+        profile = HeuristicProfile("X", (0.8,))
+        assert profile.at_rank(2) == 0.0
+        assert profile.at_rank(None) == 0.0
+        assert profile.at_rank(0) == 0.0
+
+    def test_default_profiles_match_paper_table10(self):
+        assert DEFAULT_PROFILES["SD"][0] == 0.78
+        assert DEFAULT_PROFILES["PP"][0] == 0.85
+        assert DEFAULT_PROFILES["IPS"][1] == 0.46  # rank-2 heavy in Table 10
+
+
+class TestCombinationNames:
+    def test_full_omini_combination_is_rsipb(self):
+        assert combination_name(five()) == "RSIPB"
+
+    def test_subset_names(self):
+        assert combination_name([RPHeuristic(), SDHeuristic()]) == "RS"
+        assert combination_name([SBHeuristic(), IPSHeuristic()]) == "IB"
+
+    def test_byu_combination_name(self):
+        from repro.core.separator import HCHeuristic, ITHeuristic
+
+        name = combination_name(
+            [HCHeuristic(), ITHeuristic(), RPHeuristic(), SDHeuristic()]
+        )
+        assert name == "RSHT"
+
+
+class TestAllCombinations:
+    def test_twenty_six_combinations_of_five(self):
+        combos = ALL_COMBINATIONS(five())
+        assert len(combos) == 26  # C(5,2)+C(5,3)+C(5,4)+C(5,5)
+
+    def test_min_size_one_adds_singletons(self):
+        combos = ALL_COMBINATIONS(five(), min_size=1)
+        assert len(combos) == 31
+
+    def test_all_unique(self):
+        names = [combination_name(c) for c in ALL_COMBINATIONS(five())]
+        assert len(set(names)) == len(names)
+
+
+class TestCombinedFinder:
+    @pytest.fixture
+    def context(self):
+        rows = "".join(
+            f"<tr><td><b>item {i}</b><br>some descriptive text {i}</td></tr>"
+            for i in range(6)
+        )
+        tree = parse_document(f"<body><table>{rows}</table></body>")
+        return build_context(find_first(tree, "table"))
+
+    def test_chooses_true_separator(self, context):
+        finder = CombinedSeparatorFinder(five())
+        assert finder.choose(context) == "tr"
+
+    def test_rank_scores_are_probabilities(self, context):
+        for entry in CombinedSeparatorFinder(five()).rank(context):
+            assert 0.0 <= entry.score <= 1.0
+
+    def test_agreement_beats_single_heuristic(self, context):
+        full = CombinedSeparatorFinder(five()).rank(context)[0].score
+        solo = CombinedSeparatorFinder([SDHeuristic()]).rank(context)[0].score
+        assert full > solo
+
+    def test_abstains_below_threshold(self, context):
+        finder = CombinedSeparatorFinder(five(), abstain_below=0.999999)
+        assert finder.choose(context) is None
+
+    def test_abstains_on_rare_separator(self):
+        tree = parse_document("<body><p>one</p><p>two</p>some text</body>")
+        context = build_context(find_first(tree, "body"))
+        finder = CombinedSeparatorFinder(five())  # min_separator_count=3
+        assert finder.choose(context) is None
+
+    def test_min_separator_count_configurable(self):
+        tree = parse_document("<body><p>one</p><p>two</p>some text</body>")
+        context = build_context(find_first(tree, "body"))
+        finder = CombinedSeparatorFinder(five(), min_separator_count=2)
+        assert finder.choose(context) == "p"
+
+    def test_top_ties(self, context):
+        ties = CombinedSeparatorFinder(five()).top_ties(context)
+        assert ties == ["tr"]
+
+    def test_empty_heuristics_rejected(self):
+        with pytest.raises(ValueError):
+            CombinedSeparatorFinder([])
+
+    def test_unknown_heuristic_needs_profile(self):
+        class Weird:
+            name = "WEIRD"
+            letter = "W"
+
+            def rank(self, context):
+                return []
+
+        with pytest.raises(ValueError):
+            CombinedSeparatorFinder([Weird()])
+        # but works when a profile is supplied:
+        finder = CombinedSeparatorFinder(
+            [Weird()], profiles={"WEIRD": HeuristicProfile("WEIRD", (0.5,))}
+        )
+        assert finder.name == "W"
+
+    def test_custom_profiles_change_ranking(self, context):
+        # Zero out every heuristic except SB: the combined choice must then
+        # follow SB alone.
+        profiles = {
+            name: HeuristicProfile(name, (0.0,)) for name in ("SD", "RP", "IPS", "PP")
+        }
+        profiles["SB"] = HeuristicProfile("SB", (0.9,))
+        finder = CombinedSeparatorFinder(five(), profiles=profiles)
+        sb_top = SBHeuristic().rank(context)[0].tag
+        assert finder.rank(context)[0].tag == sb_top

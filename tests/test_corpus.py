@@ -1,0 +1,297 @@
+"""Unit tests for the synthetic corpus (repro.corpus)."""
+
+import random
+
+import pytest
+
+from repro.corpus import (
+    CorpusGenerator,
+    EXPERIMENTAL_SITES,
+    GroundTruth,
+    HARD_SITES,
+    TEST_SITES,
+    all_sites,
+    site_by_name,
+)
+from repro.corpus.dictionary import WORDS, phrase, random_words
+from repro.corpus.noise import ad_banner, footer, malform, nav_bar, search_form
+from repro.corpus.sites import EXPERIMENTAL_PAGE_TOTAL, HARD_SITE_NAMES, TEST_PAGE_TOTAL
+from repro.corpus.templates import TEMPLATES, ChromeConfig, make_records
+from repro.tree.builder import parse_document
+from repro.tree.paths import node_at_path
+from repro.tree.traversal import find_all
+
+
+class TestDictionary:
+    def test_words_are_distinct(self):
+        assert len(set(WORDS)) == len(WORDS)
+
+    def test_random_words_seeded(self):
+        a = random_words(random.Random(1), 100)
+        b = random_words(random.Random(1), 100)
+        assert a == b
+
+    def test_random_words_distinct(self):
+        words = random_words(random.Random(7), 100)
+        assert len(set(words)) == 100
+
+    def test_too_many_words_rejected(self):
+        with pytest.raises(ValueError):
+            random_words(random.Random(1), len(WORDS) + 1)
+
+    def test_phrase_length(self):
+        assert len(phrase(random.Random(3), 5).split()) == 5
+
+
+class TestNoise:
+    def test_nav_styles_parse(self):
+        rng = random.Random(1)
+        for style in ("font", "table", "list"):
+            tree = parse_document(nav_bar(rng, 8, style=style))
+            assert len(find_all(tree, "a")) == 8
+
+    def test_unknown_nav_style(self):
+        with pytest.raises(ValueError):
+            nav_bar(random.Random(1), 3, style="hologram")
+
+    def test_ad_banner_has_image(self):
+        tree = parse_document(ad_banner(random.Random(1)))
+        assert find_all(tree, "img")
+
+    def test_search_form_input_count(self):
+        tree = parse_document(search_form(random.Random(1), inputs=5))
+        assert len(find_all(tree, "input")) == 5
+
+    def test_footer_links(self):
+        tree = parse_document(footer(random.Random(1), links=3))
+        assert len(find_all(tree, "a")) == 3
+
+
+class TestMalform:
+    def test_zero_intensity_is_identity(self):
+        html = "<p>hello</p>"
+        assert malform(html, random.Random(1), intensity=0.0) == html
+
+    def test_intensity_bounds_checked(self):
+        with pytest.raises(ValueError):
+            malform("<p>x</p>", random.Random(1), intensity=1.5)
+
+    def test_malformed_page_still_parses(self):
+        html = (
+            "<html><body><table><tr><td>a</td><td>b</td></tr>"
+            "<tr><td>c</td></tr></table><ul><li>x</li><li>y</li></ul></body></html>"
+        )
+        soup = malform(html, random.Random(5), intensity=1.0)
+        tree = parse_document(soup)
+        assert len(find_all(tree, "td")) == 3
+        assert len(find_all(tree, "li")) == 2
+
+    def test_malform_preserves_region_structure(self, small_corpus):
+        # Ground-truth invariant by construction: the labeled subtree path
+        # always resolves on the malformed page.
+        for page in small_corpus:
+            root = parse_document(page.html)
+            node = node_at_path(root, page.truth.subtree_path)
+            assert node is not None
+
+
+class TestSiteManifest:
+    def test_split_sizes_match_paper(self):
+        assert len(TEST_SITES) == 15  # Table 9
+        assert len(EXPERIMENTAL_SITES) == 25  # Table 12
+        assert len(HARD_SITES) == 5  # Table 18
+
+    def test_page_totals_match_paper_scale(self):
+        assert 450 <= TEST_PAGE_TOTAL <= 750  # "500 web pages from 15 sites"
+        assert 1400 <= EXPERIMENTAL_PAGE_TOTAL <= 1600  # "1,500 web pages"
+
+    def test_hard_sites_are_the_table18_five(self):
+        assert set(HARD_SITE_NAMES) == {
+            "www.bookpool.com",
+            "www.ebay.com",
+            "www.goto.com",
+            "www.powells.com",
+            "www.signpost.org",
+        }
+
+    def test_site_by_name(self):
+        assert site_by_name("www.loc.gov").template.startswith("hr_pre")
+        with pytest.raises(KeyError):
+            site_by_name("www.nonexistent.example")
+
+    def test_every_site_uses_known_template(self):
+        for spec in all_sites():
+            assert spec.template in TEMPLATES, spec.name
+
+
+class TestTemplates:
+    @pytest.mark.parametrize("key", sorted(TEMPLATES))
+    def test_every_template_renders_and_labels(self, key):
+        rng = random.Random(42)
+        template = TEMPLATES[key]
+        records = make_records(rng, 6, site="t.example", query="quartz")
+        html, region = template.render_page(
+            records, rng, ChromeConfig(), site="t.example", query="quartz"
+        )
+        tree = parse_document(html)
+        # Region resolvable via its marker (or body).
+        if region.marker is None:
+            node = tree.children[-1]
+        else:
+            node = next(n for n in find_all(tree, "td") + find_all(tree, "table")
+                        + find_all(tree, "ul") + find_all(tree, "dl")
+                        + find_all(tree, "blockquote")
+                        if n.get("id") == region.marker)
+        # The declared separator occurs among the region's children.
+        names = [c.name for c in node.children if hasattr(c, "children")]
+        assert region.separators[0] in names
+
+    def test_record_titles_unique_per_page(self):
+        rng = random.Random(1)
+        records = make_records(rng, 20, site="s", query="w")
+        titles = [r.title for r in records]
+        assert len(set(titles)) == len(titles)
+
+
+class TestGenerator:
+    def test_deterministic(self):
+        spec = site_by_name("www.google.com")
+        a = CorpusGenerator(max_pages_per_site=3).pages_for_site(spec)
+        b = CorpusGenerator(max_pages_per_site=3).pages_for_site(spec)
+        assert [p.html for p in a] == [p.html for p in b]
+
+    def test_master_seed_changes_content(self):
+        spec = site_by_name("www.google.com")
+        a = CorpusGenerator(master_seed=1, max_pages_per_site=2).pages_for_site(spec)
+        b = CorpusGenerator(master_seed=2, max_pages_per_site=2).pages_for_site(spec)
+        assert a[0].html != b[0].html
+
+    def test_page_cap_respected(self):
+        spec = site_by_name("www.amazon.com")
+        pages = CorpusGenerator(max_pages_per_site=5).pages_for_site(spec)
+        assert len(pages) == 5
+
+    def test_full_site_count_without_cap(self):
+        spec = site_by_name("www.bookpool.com")  # only 4 pages
+        pages = CorpusGenerator().pages_for_site(spec)
+        assert len(pages) == spec.pages
+
+    def test_ground_truth_resolves(self, small_corpus):
+        for page in small_corpus:
+            root = parse_document(page.html)
+            node = node_at_path(root, page.truth.subtree_path)
+            if page.truth.object_count > 1:
+                child_names = {c.name for c in node.children if hasattr(c, "children")}
+                assert set(page.truth.separators) & child_names, page.truth.site
+
+    def test_record_count_in_spec_range(self, small_corpus):
+        for page in small_corpus:
+            if page.truth.object_count == 0:
+                continue
+            spec = site_by_name(page.truth.site)
+            assert spec.records_min <= page.truth.object_count <= spec.records_max
+
+    def test_no_result_pages_present(self):
+        gen = CorpusGenerator(max_pages_per_site=10)
+        pages = gen.generate(TEST_SITES)
+        kinds = {p.truth.layout for p in pages if p.truth.object_count == 0}
+        assert kinds  # at least one no-result page kind generated
+
+    def test_object_texts_present_on_page(self, small_corpus):
+        for page in small_corpus[:10]:
+            for key in page.truth.object_texts:
+                assert key in page.html
+
+
+class TestGroundTruthSerialization:
+    def test_json_round_trip(self):
+        truth = GroundTruth(
+            site="s", page_id=3, query="w",
+            subtree_path="html[1].body[2]",
+            separators=("tr", "table"),
+            object_count=7,
+            object_texts=("a", "b"),
+            layout="table_rows",
+        )
+        assert GroundTruth.from_json(truth.to_json()) == truth
+
+    def test_primary_separator(self):
+        truth = GroundTruth("s", 0, "q", "html[1]", ("dt", "dd"), 2)
+        assert truth.primary_separator == "dt"
+
+    def test_is_correct_separator(self):
+        truth = GroundTruth("s", 0, "q", "html[1]", ("dt", "dd"), 2)
+        assert truth.is_correct_separator("dd")
+        assert not truth.is_correct_separator("tr")
+        assert not truth.is_correct_separator(None)
+
+
+class TestPageCache:
+    def test_populate_fetch_round_trip(self, tmp_path):
+        from repro.corpus import PageCache
+
+        cache = PageCache(tmp_path / "corpus")
+        spec = site_by_name("www.google.com")
+        count = cache.populate((spec,), CorpusGenerator(max_pages_per_site=3))
+        assert count == 3
+        assert cache.sites() == ["www.google.com"]
+        paths = cache.page_paths("www.google.com")
+        assert len(paths) == 3
+        page = cache.fetch(paths[0])
+        assert page.truth.site == "www.google.com"
+        assert page.html
+
+    def test_fetch_all(self, tmp_path):
+        from repro.corpus import PageCache
+
+        cache = PageCache(tmp_path / "corpus")
+        cache.populate(
+            (site_by_name("www.google.com"), site_by_name("www.loc.gov")),
+            CorpusGenerator(max_pages_per_site=2),
+        )
+        assert len(cache.fetch_all()) == 4
+        assert len(cache.fetch_all("www.loc.gov")) == 2
+
+
+class TestPageForQuery:
+    def test_query_embedded_in_records(self):
+        gen = CorpusGenerator()
+        page = gen.page_for_query(site_by_name("www.bn.com"), "walnut")
+        assert page.truth.query == "walnut"
+        assert all("walnut" in t for t in page.truth.object_texts)
+
+    def test_deterministic_per_query(self):
+        gen = CorpusGenerator()
+        spec = site_by_name("www.bn.com")
+        assert gen.page_for_query(spec, "walnut").html == gen.page_for_query(spec, "walnut").html
+
+    def test_different_queries_differ(self):
+        gen = CorpusGenerator()
+        spec = site_by_name("www.bn.com")
+        assert gen.page_for_query(spec, "walnut").html != gen.page_for_query(spec, "zephyr").html
+
+    def test_unknown_template_rejected(self):
+        import dataclasses
+
+        gen = CorpusGenerator()
+        spec = dataclasses.replace(site_by_name("www.bn.com"), template="bogus")
+        with pytest.raises(KeyError):
+            gen.page_for_query(spec, "walnut")
+
+
+class TestExtraSites:
+    def test_table23_manifest_complete(self):
+        from repro.corpus.sites import EXTRA_SITES
+
+        assert len(all_sites()) == 48
+        assert len(EXTRA_SITES) == 8
+        assert sum(s.pages for s in all_sites()) >= 2000
+
+    def test_extras_generate_cleanly(self):
+        from repro.corpus.sites import EXTRA_SITES
+
+        gen = CorpusGenerator(max_pages_per_site=1)
+        for spec in EXTRA_SITES:
+            (page,) = gen.pages_for_site(spec)
+            root = parse_document(page.html)
+            assert node_at_path(root, page.truth.subtree_path) is not None

@@ -1,0 +1,32 @@
+"""Run the doctests embedded in the library's docstrings."""
+
+import doctest
+
+import pytest
+
+import repro.core.objects
+import repro.core.pipeline
+import repro.core.separator.combine
+import repro.html.entities
+import repro.html.normalizer
+import repro.html.tags
+import repro.tree.builder
+import repro.tree.paths
+
+MODULES = [
+    repro.core.objects,
+    repro.core.pipeline,
+    repro.core.separator.combine,
+    repro.html.entities,
+    repro.html.normalizer,
+    repro.html.tags,
+    repro.tree.builder,
+    repro.tree.paths,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    result = doctest.testmod(module, verbose=False)
+    assert result.attempted > 0, f"{module.__name__} lost its doctests"
+    assert result.failed == 0

@@ -1,0 +1,111 @@
+"""Edge-case and failure-injection tests across the pipeline."""
+
+import pytest
+
+from repro.core.pipeline import OminiExtractor, extract_objects
+from repro.core.separator.base import build_context
+from repro.core.subtree import CombinedSubtreeFinder
+from repro.tree.builder import parse_document
+from repro.tree.metrics import node_size
+from repro.tree.traversal import find_first
+
+
+class TestUnicode:
+    def test_multibyte_content_extracts(self):
+        rows = "".join(
+            f"<tr><td><b>Résumé №{i}</b><br>Üñïçødé déscription — तथ्य {i}</td></tr>"
+            for i in range(5)
+        )
+        result = OminiExtractor().extract(f"<body><table>{rows}</table></body>")
+        assert len(result.objects) == 5
+        assert "Résumé" in result.objects[0].text()
+
+    def test_node_size_counts_utf8_bytes(self):
+        tree = parse_document("<p>héllo</p>")  # é is 2 bytes
+        p = find_first(tree, "p")
+        assert node_size(p) == 6
+
+    def test_emoji_and_astral_plane(self):
+        result = extract_objects(
+            "<ul>" + "".join(f"<li>item {i} 🚀 detail text</li>" for i in range(4)) + "</ul>"
+        )
+        assert len(result) == 4
+
+
+class TestDegenerateInputs:
+    def test_empty_page(self):
+        result = OminiExtractor().extract("")
+        assert result.objects == []
+        assert result.separator is None
+
+    def test_whitespace_only_page(self):
+        assert OminiExtractor().extract("   \n\t  ").objects == []
+
+    def test_text_only_page(self):
+        result = OminiExtractor().extract("just a sentence of text")
+        assert result.objects == []
+
+    def test_single_record_page_abstains(self):
+        result = OminiExtractor().extract(
+            "<body><table><tr><td>only one record here</td></tr></table></body>"
+        )
+        assert result.objects == []  # min_separator_count floor
+
+    def test_page_of_only_images(self):
+        html = "<body><table><tr>" + "<td><img src='x.gif'></td>" * 6 + "</tr></table></body>"
+        result = OminiExtractor().extract(html)
+        # Zero-content page: whatever is chosen, nothing crashes and any
+        # "objects" carry no text.
+        assert all(not o.text().strip() for o in result.objects)
+
+    def test_gigantic_flat_text(self):
+        result = OminiExtractor().extract("<body><p>" + "word " * 50_000 + "</p></body>")
+        assert result.objects == []
+
+    def test_many_empty_elements(self):
+        html = "<body>" + "<br>" * 500 + "</body>"
+        result = OminiExtractor().extract(html)
+        # br is the only candidate and 500 boundary splits produce no
+        # non-empty groups.
+        assert result.objects == []
+
+
+class TestAdversarialStructure:
+    def test_deeply_nested_page(self):
+        depth = 300
+        html = "<div>" * depth + "<ul><li>a</li><li>b</li><li>c</li></ul>" + "</div>" * depth
+        result = OminiExtractor().extract(f"<body>{html}</body>")
+        assert len(result.objects) == 3
+
+    def test_thousands_of_siblings(self):
+        html = "<ul>" + "".join(f"<li>item {i} text body</li>" for i in range(3000)) + "</ul>"
+        result = OminiExtractor().extract(html)
+        assert len(result.objects) >= 2800
+
+    def test_attribute_bomb(self):
+        attrs = " ".join(f'data{i}="v{i}"' for i in range(500))
+        html = f"<body><table {attrs}>" + "".join(
+            f"<tr><td>r{i} content text</td></tr>" for i in range(4)
+        ) + "</table></body>"
+        result = OminiExtractor().extract(html)
+        assert len(result.objects) == 4
+
+    def test_all_tags_identical(self):
+        # A page that is nothing but the same tag: degenerate but stable.
+        html = "<body>" + "<p>x</p>" * 50 + "</body>"
+        result = OminiExtractor().extract(html)
+        assert result.separator == "p"
+        assert len(result.objects) == 50
+
+
+class TestSubtreeFinderEdges:
+    def test_single_node_tree(self):
+        tree = parse_document("x")
+        chosen = CombinedSubtreeFinder().choose(tree)
+        assert chosen is not None  # falls back to the root
+
+    def test_context_of_leaf_only_subtree(self):
+        tree = parse_document("<body>plain text</body>")
+        body = find_first(tree, "body")
+        context = build_context(body)
+        assert context.candidate_tags == []

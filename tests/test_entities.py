@@ -1,0 +1,81 @@
+"""Unit tests for the HTML entity codec (repro.html.entities)."""
+
+import pytest
+
+from repro.html.entities import decode_entities, encode_entities
+
+
+class TestDecode:
+    def test_basic_named_entities(self):
+        assert decode_entities("Tom &amp; Jerry") == "Tom & Jerry"
+        assert decode_entities("&lt;html&gt;") == "<html>"
+        assert decode_entities("say &quot;hi&quot;") == 'say "hi"'
+
+    def test_nbsp_becomes_plain_space(self):
+        assert decode_entities("a&nbsp;b") == "a b"
+
+    def test_decimal_reference(self):
+        assert decode_entities("&#65;&#66;&#67;") == "ABC"
+
+    def test_hex_reference_lower_and_upper_x(self):
+        assert decode_entities("&#x41;") == "A"
+        assert decode_entities("&#X41;") == "A"
+
+    def test_missing_semicolon_is_tolerated(self):
+        # Period browsers accepted "&amp" for "&".
+        assert decode_entities("a &amp b") == "a & b"
+
+    def test_unknown_named_entity_left_verbatim(self):
+        assert decode_entities("&bogusentity;") == "&bogusentity;"
+
+    def test_out_of_range_numeric_left_verbatim(self):
+        assert decode_entities("&#1114112;") == "&#1114112;"  # > 0x10FFFF
+
+    def test_zero_codepoint_left_verbatim(self):
+        assert decode_entities("&#0;") == "&#0;"
+
+    def test_text_without_ampersand_is_returned_unchanged(self):
+        text = "no entities here"
+        assert decode_entities(text) is text
+
+    def test_mixed_entities_in_one_string(self):
+        raw = "&copy; 2000 A&amp;B &#8212; caf&eacute;"
+        assert decode_entities(raw) == "© 2000 A&B — café"
+
+    def test_currency_entities(self):
+        assert decode_entities("&pound;5 &cent;99 &euro;3") == "£5 ¢99 €3"
+
+    def test_lone_ampersand_untouched(self):
+        assert decode_entities("AT&T") == "AT&T"
+
+
+class TestEncode:
+    def test_text_escapes_angle_brackets_and_ampersand(self):
+        assert encode_entities("a < b & c > d") == "a &lt; b &amp; c &gt; d"
+
+    def test_text_mode_leaves_quotes(self):
+        assert encode_entities('say "hi"') == 'say "hi"'
+
+    def test_attribute_mode_escapes_double_quotes(self):
+        assert encode_entities('say "hi"', attribute=True) == "say &quot;hi&quot;"
+
+    def test_empty_string(self):
+        assert encode_entities("") == ""
+
+    def test_unicode_passthrough(self):
+        assert encode_entities("café — ok") == "café — ok"
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "text",
+        ["plain", "a & b", "<tag>", 'attr="value"', "mix & <of> \"all\" '"],
+    )
+    def test_encode_then_decode_is_identity(self, text):
+        assert decode_entities(encode_entities(text)) == text
+
+    @pytest.mark.parametrize(
+        "text", ["a & b", "<t>", 'q"q']
+    )
+    def test_attribute_round_trip(self, text):
+        assert decode_entities(encode_entities(text, attribute=True)) == text

@@ -1,0 +1,181 @@
+"""Unit tests for the evaluation harness (repro.eval)."""
+
+import pytest
+
+from repro.core.separator import (
+    CombinedSeparatorFinder,
+    IPSHeuristic,
+    PPHeuristic,
+    RPHeuristic,
+    SBHeuristic,
+    SDHeuristic,
+)
+from repro.eval.combinations import best_combination, combination_sweep
+from repro.eval.harness import (
+    estimate_profiles,
+    evaluate_pages,
+    rank_distribution,
+    separator_outcomes,
+)
+from repro.eval.metrics import (
+    SeparatorOutcome,
+    per_site_average,
+    rank_histogram,
+    score_outcomes,
+    success_rate,
+)
+from repro.eval.report import format_table
+
+
+def five():
+    return [SDHeuristic(), RPHeuristic(), IPSHeuristic(), PPHeuristic(), SBHeuristic()]
+
+
+def outcome(site="s", answered=True, has_separator=True, rank=1, credit=1.0):
+    return SeparatorOutcome(site, answered, has_separator, rank, credit)
+
+
+class TestMetrics:
+    def test_success_rate_simple(self):
+        outcomes = [outcome(rank=1), outcome(rank=2, credit=0.0)]
+        assert success_rate(outcomes) == 0.5
+
+    def test_success_excludes_no_separator_pages(self):
+        outcomes = [outcome(rank=1), outcome(has_separator=False, rank=None, credit=0.0)]
+        assert success_rate(outcomes) == 1.0
+
+    def test_per_site_average_weights_sites_equally(self):
+        # Site A: 1 page, correct; site B: 3 pages, all wrong.
+        outcomes = [outcome(site="A", rank=1)] + [
+            outcome(site="B", rank=None, credit=0.0) for _ in range(3)
+        ]
+        # Pooled would be 0.25; per-site averaging gives 0.5.
+        assert success_rate(outcomes) == 0.5
+
+    def test_tie_credit_fractional(self):
+        outcomes = [outcome(rank=1, credit=0.5)]
+        assert success_rate(outcomes) == 0.5
+
+    def test_recall_equals_success_when_single_site(self):
+        outcomes = [outcome(rank=1), outcome(rank=2, credit=0.0), outcome(rank=1)]
+        score = score_outcomes(outcomes)
+        assert score.recall == pytest.approx(2 / 3)
+        assert score.success == pytest.approx(2 / 3)
+
+    def test_precision_eroded_only_by_no_separator_answers(self):
+        outcomes = [
+            outcome(rank=1),
+            outcome(rank=2, credit=0.0),  # wrong but separator exists: FN
+            outcome(has_separator=False, answered=True, rank=None, credit=0.0),  # FP
+            outcome(has_separator=False, answered=False, rank=None, credit=0.0),
+        ]
+        score = score_outcomes(outcomes)
+        assert score.precision == pytest.approx(1 / 2)
+        assert score.recall == pytest.approx(1 / 2)
+
+    def test_perfect_precision_when_abstaining(self):
+        outcomes = [
+            outcome(rank=1),
+            outcome(has_separator=False, answered=False, rank=None, credit=0.0),
+        ]
+        assert score_outcomes(outcomes).precision == 1.0
+
+    def test_rank_histogram(self):
+        outcomes = [outcome(rank=1), outcome(rank=2, credit=0.0), outcome(rank=2, credit=0.0)]
+        hist = rank_histogram(outcomes, max_rank=3)
+        assert hist[0] == pytest.approx(1 / 3)
+        assert hist[1] == pytest.approx(2 / 3)
+        assert hist[2] == 0.0
+
+    def test_empty_outcomes(self):
+        assert success_rate([]) == 0.0
+        assert per_site_average([], lambda o: 1.0) == 0.0
+
+
+class TestHarness:
+    def test_evaluate_pages_resolves_truth(self, small_corpus):
+        evaluated = evaluate_pages(small_corpus)
+        assert len(evaluated) == len(small_corpus)
+        for ep in evaluated:
+            assert ep.subtree is not None
+            assert ep.context.subtree is ep.subtree
+
+    def test_outcomes_one_per_page(self, small_corpus):
+        evaluated = evaluate_pages(small_corpus)
+        outcomes = separator_outcomes(PPHeuristic(), evaluated)
+        assert len(outcomes) == len(evaluated)
+
+    def test_rank_distribution_sums_below_one(self, small_corpus):
+        evaluated = evaluate_pages(small_corpus)
+        hist = rank_distribution(SDHeuristic(), evaluated)
+        assert len(hist) == 5
+        assert sum(hist) <= 1.0 + 1e-9
+
+    def test_estimate_profiles_keys(self, small_corpus):
+        evaluated = evaluate_pages(small_corpus)
+        profiles = estimate_profiles(five(), evaluated)
+        assert set(profiles) == {"SD", "RP", "IPS", "PP", "SB"}
+        for profile in profiles.values():
+            assert len(profile.probabilities) == 5
+
+    def test_combined_beats_or_matches_best_individual(self, small_corpus):
+        evaluated = evaluate_pages(small_corpus)
+        profiles = estimate_profiles(five(), evaluated)
+        individual_best = max(
+            success_rate(separator_outcomes(h, evaluated)) for h in five()
+        )
+        combined = CombinedSeparatorFinder(five(), profiles=dict(profiles))
+        combined_rate = success_rate(separator_outcomes(combined, evaluated))
+        assert combined_rate >= individual_best - 0.02
+
+
+class TestCombinationSweep:
+    def test_twenty_six_results_sorted(self, small_corpus):
+        evaluated = evaluate_pages(small_corpus)
+        profiles = estimate_profiles(five(), evaluated)
+        results = combination_sweep(five(), evaluated, profiles=profiles)
+        assert len(results) == 26
+        rates = [r.success for r in results]
+        assert rates == sorted(rates)
+
+    def test_full_combination_wins_or_ties(self, small_corpus):
+        evaluated = evaluate_pages(small_corpus)
+        profiles = estimate_profiles(five(), evaluated)
+        results = combination_sweep(five(), evaluated, profiles=profiles)
+        best = best_combination(results)
+        full = next(r for r in results if r.name == "RSIPB")
+        assert full.success >= best.success - 0.03  # Table 11's conclusion
+
+    def test_empty_sweep_rejected(self):
+        with pytest.raises(ValueError):
+            best_combination([])
+
+
+class TestReport:
+    def test_format_table_basic(self):
+        text = format_table(
+            ["Name", "Value"], [["alpha", 0.5], ["b", 10]], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "Name" in lines[1]
+        assert "0.50" in text
+        assert "10" in text
+
+    def test_column_alignment(self):
+        text = format_table(["A"], [["xxxxxxxx"], ["y"]])
+        lines = text.splitlines()
+        assert len(lines[1]) == len("xxxxxxxx")
+
+
+class TestFastSweepEquivalence:
+    def test_fast_sweep_matches_reference(self, small_corpus):
+        from repro.eval.combinations import fast_combination_sweep
+
+        evaluated = evaluate_pages(small_corpus)
+        profiles = estimate_profiles(five(), evaluated)
+        slow = combination_sweep(five(), evaluated, profiles=profiles)
+        fast = fast_combination_sweep(five(), evaluated, profiles=profiles)
+        assert {(r.name, round(r.success, 9)) for r in slow} == {
+            (r.name, round(r.success, 9)) for r in fast
+        }

@@ -1,0 +1,120 @@
+"""Unit tests for search-form discovery (repro.wrapper.forms)."""
+
+import random
+
+import pytest
+
+from repro.corpus import CorpusGenerator, site_by_name
+from repro.corpus.noise import search_form
+from repro.wrapper.forms import (
+    build_search_request,
+    find_forms,
+    find_search_form,
+)
+
+SEARCH_PAGE = """
+<html><body>
+<form action="/login" method="post">
+  <input type="text" name="user"><input type="password" name="pass">
+  <input type="text" name="realname"><input type="submit" value="Log in">
+</form>
+<form action="/cgi-bin/search" method="get">
+  <input type="hidden" name="db" value="books">
+  <input type="text" name="q">
+  <select name="scope"><option value="all">All</option><option value="new">New</option></select>
+  <input type="submit" value="Go">
+</form>
+</body></html>
+"""
+
+
+class TestFindForms:
+    def test_lists_all_forms(self):
+        forms = find_forms(SEARCH_PAGE)
+        assert len(forms) == 2
+        assert forms[0].action == "/login"
+        assert forms[1].action == "/cgi-bin/search"
+
+    def test_methods_lowercased(self):
+        forms = find_forms(SEARCH_PAGE)
+        assert forms[0].method == "post"
+        assert forms[1].method == "get"
+
+    def test_inputs_collected(self):
+        login, search = find_forms(SEARCH_PAGE)
+        assert {i.name for i in login.inputs} >= {"user", "pass", "realname"}
+        assert {i.name for i in search.inputs} >= {"db", "q", "scope"}
+
+    def test_text_and_hidden_classification(self):
+        _, search = find_forms(SEARCH_PAGE)
+        assert [i.name for i in search.text_inputs] == ["q"]
+        assert [i.name for i in search.hidden_inputs] == ["db"]
+
+    def test_page_without_forms(self):
+        assert find_forms("<p>nothing</p>") == []
+
+
+class TestFindSearchForm:
+    def test_prefers_single_text_get_form(self):
+        spec = find_search_form(SEARCH_PAGE)
+        assert spec is not None
+        assert spec.action == "/cgi-bin/search"
+
+    def test_action_hint_breaks_ties(self):
+        page = """
+        <form action="/newsletter" method="get"><input type="text" name="em"></form>
+        <form action="/search" method="get"><input type="text" name="q"></form>
+        """
+        assert find_search_form(page).action == "/search"
+
+    def test_none_when_no_text_inputs(self):
+        page = '<form action="/x"><input type="submit"></form>'
+        assert find_search_form(page) is None
+
+
+class TestBuildSearchRequest:
+    def test_query_slotted_into_text_input(self):
+        request = build_search_request(SEARCH_PAGE, "walnut")
+        params = dict(request.params)
+        assert params["q"] == "walnut"
+
+    def test_hidden_and_select_carried(self):
+        request = build_search_request(SEARCH_PAGE, "walnut")
+        params = dict(request.params)
+        assert params["db"] == "books"
+        assert params["scope"] == "all"
+
+    def test_get_url_encodes_params(self):
+        request = build_search_request(SEARCH_PAGE, "two words")
+        assert request.method == "get"
+        assert request.full_url.startswith("/cgi-bin/search?")
+        assert "q=two+words" in request.full_url
+
+    def test_base_url_resolution(self):
+        request = build_search_request(
+            SEARCH_PAGE, "x", base_url="http://www.example.com/home/"
+        )
+        assert request.url == "http://www.example.com/cgi-bin/search"
+
+    def test_raises_without_search_form(self):
+        with pytest.raises(LookupError):
+            build_search_request("<p>no forms</p>", "x")
+
+    def test_buttons_not_submitted(self):
+        request = build_search_request(SEARCH_PAGE, "x")
+        assert "Go" not in dict(request.params).values()
+
+
+class TestOnCorpusPages:
+    def test_corpus_chrome_form_discovered(self):
+        page = CorpusGenerator(max_pages_per_site=1).pages_for_site(
+            site_by_name("www.bn.com")
+        )[0]
+        request = build_search_request(page.html, "walnut")
+        assert request.url == "/cgi-bin/query"
+        assert "walnut" in dict(request.params).values()
+
+    def test_noise_module_form_roundtrip(self):
+        html = f"<body>{search_form(random.Random(1), inputs=3)}</body>"
+        request = build_search_request(html, "zephyr")
+        assert dict(request.params).get("f0") == "zephyr"

@@ -1,0 +1,174 @@
+"""Regression tests for the failure-mode knob semantics (docs/CORPUS.md).
+
+The per-split success rates of EXPERIMENTS.md emerge from which heuristics
+each ChromeConfig knob defeats *and which it spares*.  These tests pin that
+matrix directly: build one page per knob, run each heuristic against the
+labeled region, and assert the documented defeat/spare behaviour.  If a
+heuristic change silently flips one of these, the corpus tuning (and every
+Table 10/13/19 reproduction) shifts with it.
+"""
+
+import random
+
+import pytest
+
+from repro.core.separator import (
+    HCHeuristic,
+    IPSHeuristic,
+    ITHeuristic,
+    PPHeuristic,
+    RPHeuristic,
+    SBHeuristic,
+    SDHeuristic,
+)
+from repro.core.separator.base import build_context
+from repro.corpus.templates import ChromeConfig, TEMPLATES, make_records
+from repro.tree.builder import parse_document
+from repro.tree.traversal import tag_nodes
+
+
+def region_context(template_key: str, chrome: ChromeConfig, *, records=14, seed=5):
+    rng = random.Random(seed)
+    template = TEMPLATES[template_key]
+    recs = make_records(rng, records, site="knob.example", query="quartz")
+    html, region = template.render_page(
+        recs, rng, chrome, site="knob.example", query="quartz"
+    )
+    root = parse_document(html)
+    if region.marker is None:
+        node = next(n for n in tag_nodes(root) if n.name == "body")
+    else:
+        node = next(n for n in tag_nodes(root) if n.get("id") == region.marker)
+    return build_context(node), region.separators
+
+
+def top(heuristic, context):
+    ranking = heuristic.rank(context)
+    return ranking[0].tag if ranking else None
+
+
+class TestClusterImgs:
+    """cluster_imgs defeats SD (sigma = 0) but spares RP/PP/SB/IPS."""
+
+    @pytest.fixture(scope="class")
+    def ctx(self):
+        return region_context("table_rows", ChromeConfig(cluster_imgs=3))
+
+    def test_defeats_sd(self, ctx):
+        context, separators = ctx
+        assert top(SDHeuristic(), context) == "img"
+
+    @pytest.mark.parametrize("heuristic", [RPHeuristic, PPHeuristic, SBHeuristic, IPSHeuristic])
+    def test_spares_others(self, ctx, heuristic):
+        context, separators = ctx
+        assert top(heuristic(), context) in separators
+
+
+class TestSectionHeadersEvery2:
+    """headers_every=2 defeats SB but spares SD (header gaps span 2 records)."""
+
+    @pytest.fixture(scope="class")
+    def ctx(self):
+        return region_context(
+            "table_rows", ChromeConfig(section_headers_every=2), records=16
+        )
+
+    def test_defeats_sb(self, ctx):
+        context, separators = ctx
+        assert top(SBHeuristic(), context) == "b"
+
+    def test_spares_sd(self, ctx):
+        context, separators = ctx
+        assert top(SDHeuristic(), context) in separators
+
+    @pytest.mark.parametrize("heuristic", [RPHeuristic, PPHeuristic, IPSHeuristic])
+    def test_spares_count_heuristics(self, ctx, heuristic):
+        context, separators = ctx
+        assert top(heuristic(), context) in separators
+
+
+class TestInterRecordBreaks:
+    """breaks=2 defeats HC (br count 2n); breaks=3 also takes PP and SB."""
+
+    def test_two_breaks_defeat_hc_only(self):
+        context, separators = region_context(
+            "table_rows", ChromeConfig(inter_record_breaks=2)
+        )
+        assert top(HCHeuristic(), context) == "br"
+        for heuristic in (RPHeuristic(), PPHeuristic(), SBHeuristic()):
+            assert top(heuristic, context) in separators, heuristic.name
+
+    def test_three_breaks_defeat_pp_and_sb_too(self):
+        context, separators = region_context(
+            "table_rows", ChromeConfig(inter_record_breaks=3)
+        )
+        assert top(HCHeuristic(), context) == "br"
+        assert top(PPHeuristic(), context) == "br"
+        assert top(SBHeuristic(), context) == "br"
+
+
+class TestRegionRules:
+    """Decorative in-region <hr> defeats IT (fixed list starts with hr)."""
+
+    def test_defeats_it_spares_ips(self):
+        context, separators = region_context(
+            "table_rows", ChromeConfig(region_rules_every=4)
+        )
+        assert top(ITHeuristic(), context) == "hr"
+        assert top(IPSHeuristic(), context) in separators  # per-anchor list
+
+
+class TestSponsoredBlocks:
+    """Sponsored <p> blocks defeat IPS only where p precedes the separator
+    in the anchor's Table 4 list (td anchors; not table anchors)."""
+
+    def test_defeats_ips_on_td_anchor(self):
+        context, separators = region_context(
+            "div_blocks", ChromeConfig(sponsored_blocks=2)
+        )
+        assert top(IPSHeuristic(), context) == "p"
+
+    def test_spares_ips_on_table_anchor(self):
+        context, separators = region_context(
+            "table_rows", ChromeConfig(sponsored_blocks=2)
+        )
+        assert top(IPSHeuristic(), context) in separators
+
+
+class TestRelatedLinks:
+    """A big related-links <ul> defeats PP (ul.li out-counts) and no one else."""
+
+    @pytest.fixture(scope="class")
+    def ctx(self):
+        return region_context(
+            "table_rows", ChromeConfig(related_links=40), records=12
+        )
+
+    def test_defeats_pp(self, ctx):
+        context, separators = ctx
+        assert top(PPHeuristic(), context) == "ul"
+
+    @pytest.mark.parametrize("heuristic", [SDHeuristic, RPHeuristic, SBHeuristic, IPSHeuristic, HCHeuristic])
+    def test_spares_others(self, ctx, heuristic):
+        context, separators = ctx
+        assert top(heuristic(), context) in separators
+
+
+class TestPlainTemplates:
+    """Leading text in records silences RP (the 'no answer' case)."""
+
+    @pytest.mark.parametrize(
+        "template", ["bullet_list_plain", "paragraphs_plain", "definition_list_plain", "hr_pre_loose"]
+    )
+    def test_rp_silent(self, template):
+        # Defeat means RP never places the true separator first -- either
+        # it is silent (no text-free pairs) or its answer is wrong.
+        context, separators = region_context(template, ChromeConfig())
+        assert top(RPHeuristic(), context) not in separators
+
+    @pytest.mark.parametrize(
+        "template", ["bullet_list", "paragraphs", "definition_list", "hr_pre"]
+    )
+    def test_rp_works_on_rich_variants(self, template):
+        context, separators = region_context(template, ChromeConfig())
+        assert top(RPHeuristic(), context) in separators

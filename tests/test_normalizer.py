@@ -1,0 +1,216 @@
+"""Unit tests for the Tidy-equivalent normalizer (repro.html.normalizer).
+
+Each test checks one of the Section 2.1 well-formedness guarantees or one
+omitted-end-tag repair rule.
+"""
+
+from repro.html.normalizer import Normalizer, normalize
+from repro.html.tokenizer import EndTagToken, StartTagToken, TextToken
+
+
+def is_balanced(tokens):
+    """Every start tag has a matching end tag at the same nesting level."""
+    stack = []
+    for token in tokens:
+        if isinstance(token, StartTagToken):
+            stack.append(token.name)
+        elif isinstance(token, EndTagToken):
+            if not stack or stack[-1] != token.name:
+                return False
+            stack.pop()
+    return not stack
+
+
+def tag_sequence(tokens):
+    out = []
+    for token in tokens:
+        if isinstance(token, StartTagToken):
+            out.append(token.name)
+        elif isinstance(token, EndTagToken):
+            out.append("/" + token.name)
+    return out
+
+
+class TestBalance:
+    def test_well_formed_input_stays_balanced(self):
+        assert is_balanced(normalize("<html><body><p>x</p></body></html>"))
+
+    def test_unclosed_tags_are_closed(self):
+        tokens = normalize("<div><b>bold")
+        assert is_balanced(tokens)
+
+    def test_unmatched_end_tags_are_dropped(self):
+        tokens = normalize("</b>text</i>")
+        assert is_balanced(tokens)
+        assert not any(isinstance(t, EndTagToken) and t.name == "b" for t in tokens)
+
+    def test_overlapping_tags_repaired(self):
+        # <a>..<b>..</a>..</b>  ->  inner b closed before a.
+        tokens = normalize("<p><a>x<b>y</a>z</b></p>")
+        assert is_balanced(tokens)
+
+    def test_void_elements_immediately_paired(self):
+        seq = tag_sequence(normalize("<body>a<br>b</body>"))
+        i = seq.index("br")
+        assert seq[i + 1] == "/br"
+
+    def test_self_closing_xml_tag_paired(self):
+        seq = tag_sequence(normalize("<body><x/>text</body>"))
+        assert "/x" in seq
+
+    def test_end_tag_for_void_element_dropped(self):
+        tokens = normalize("<body><br></br></body>")
+        brs = [t for t in tokens if isinstance(t, EndTagToken) and t.name == "br"]
+        assert len(brs) == 1  # exactly the synthesized pair, not two
+
+
+class TestImpliedEndTags:
+    def test_unclosed_list_items(self):
+        seq = tag_sequence(normalize("<ul><li>a<li>b<li>c</ul>"))
+        assert seq.count("li") == 3
+        assert seq.count("/li") == 3
+
+    def test_nested_list_item_not_closed_by_inner_li(self):
+        tokens = normalize("<ul><li>a<ul><li>inner</ul><li>b</ul>")
+        assert is_balanced(tokens)
+        seq = tag_sequence(tokens)
+        assert seq.count("li") == 3
+
+    def test_unclosed_table_cells(self):
+        seq = tag_sequence(normalize("<table><tr><td>a<td>b<tr><td>c</table>"))
+        assert seq.count("td") == 3
+        assert seq.count("tr") == 2
+
+    def test_paragraph_closed_by_block(self):
+        seq = tag_sequence(normalize("<body><p>one<p>two<div>three</div></body>"))
+        assert seq.count("p") == 2
+        assert seq.count("/p") == 2
+
+    def test_dt_dd_sequence(self):
+        seq = tag_sequence(normalize("<dl><dt>t1<dd>d1<dt>t2<dd>d2</dl>"))
+        assert seq.count("dt") == 2 and seq.count("dd") == 2
+        assert seq.count("/dt") == 2 and seq.count("/dd") == 2
+
+
+class TestStructure:
+    def test_html_head_body_synthesized(self):
+        seq = tag_sequence(normalize("just text"))
+        assert seq[:2] == ["html", "body"]
+
+    def test_title_lands_in_head(self):
+        tokens = normalize("<title>T</title><p>body text")
+        seq = tag_sequence(tokens)
+        assert seq.index("title") > seq.index("head")
+        assert seq.index("title") < seq.index("/head")
+
+    def test_title_text_stays_in_title(self):
+        tokens = normalize("<html><head><title>Home Page</title><body>x")
+        for index, token in enumerate(tokens):
+            if isinstance(token, TextToken) and token.text == "Home Page":
+                opener = [
+                    t for t in tokens[:index] if isinstance(t, StartTagToken)
+                ][-1]
+                assert opener.name == "title"
+                return
+        raise AssertionError("title text lost")
+
+    def test_duplicate_html_ignored(self):
+        seq = tag_sequence(normalize("<html><html><body>x"))
+        assert seq.count("html") == 1
+
+    def test_body_content_closes_head(self):
+        seq = tag_sequence(normalize("<head><title>t</title><table><tr><td>x"))
+        assert seq.index("/head") < seq.index("table")
+
+
+class TestCleaning:
+    def test_comments_dropped(self):
+        tokens = normalize("<body>a<!-- hidden -->b</body>")
+        assert all(not isinstance(t, type(None)) for t in tokens)
+        texts = [t.text for t in tokens if isinstance(t, TextToken)]
+        assert "hidden" not in " ".join(texts)
+
+    def test_scripts_dropped(self):
+        tokens = normalize("<body><script>var x=1;</script>text</body>")
+        texts = " ".join(t.text for t in tokens if isinstance(t, TextToken))
+        assert "var x" not in texts
+        assert "text" in texts
+
+    def test_doctype_dropped(self):
+        seq = tag_sequence(normalize("<!DOCTYPE html><html><body>x"))
+        assert seq[0] == "html"
+
+    def test_whitespace_collapsed(self):
+        tokens = normalize("<body>  lots   of\n\n space  </body>")
+        texts = [t.text for t in tokens if isinstance(t, TextToken)]
+        assert texts == ["lots of space"]
+
+    def test_whitespace_preserved_in_pre(self):
+        tokens = normalize("<body><pre>a\n  b</pre></body>")
+        texts = [t.text for t in tokens if isinstance(t, TextToken)]
+        assert "a\n  b" in texts
+
+    def test_whitespace_only_text_dropped(self):
+        tokens = normalize("<ul> <li>a</li> <li>b</li> </ul>")
+        texts = [t.text for t in tokens if isinstance(t, TextToken)]
+        assert texts == ["a", "b"]
+
+
+class TestReport:
+    def test_report_counts_repairs(self):
+        normalizer = Normalizer()
+        normalizer.normalize("<ul><li>a<li>b</ul></bogus><div>unclosed")
+        report = normalizer.report
+        assert report.implied_end_tags >= 1
+        assert report.unmatched_end_tags_dropped >= 1
+        assert report.unclosed_tags_closed >= 1
+        assert report.total_repairs >= 3
+
+    def test_clean_document_needs_few_repairs(self):
+        normalizer = Normalizer()
+        normalizer.normalize(
+            "<html><head><title>t</title></head><body><p>x</p></body></html>"
+        )
+        assert normalizer.report.implied_end_tags == 0
+        assert normalizer.report.unmatched_end_tags_dropped == 0
+
+    def test_report_reset_between_documents(self):
+        normalizer = Normalizer()
+        normalizer.normalize("<ul><li>a<li>b</ul>")
+        first = normalizer.report.total_repairs
+        normalizer.normalize("<p>clean</p>")
+        assert normalizer.report.total_repairs < first
+
+
+class TestOptions:
+    def test_keep_scripts_option(self):
+        tokens = normalize("<body><script>x</script></body>", drop_scripts=False)
+        seq = tag_sequence(tokens)
+        assert "script" in seq
+
+    def test_no_structure_synthesis(self):
+        tokens = normalize("<p>x</p>", synthesize_structure=False)
+        seq = tag_sequence(tokens)
+        assert "html" not in seq
+
+    def test_no_whitespace_collapse(self):
+        tokens = normalize("<body>a   b</body>", collapse_whitespace=False)
+        texts = [t.text for t in tokens if isinstance(t, TextToken)]
+        assert "a   b" in texts
+
+
+class TestCommentPreservation:
+    def test_comments_kept_when_requested(self):
+        from repro.html.serializer import serialize_tokens
+
+        tokens = normalize("<body>a<!-- note -->b</body>", drop_comments=False)
+        text = serialize_tokens(tokens)
+        assert "<!-- note -->" in text
+
+    def test_kept_comments_do_not_affect_tree(self):
+        from repro.tree.builder import build_tag_tree
+
+        tokens = normalize("<body><p>x</p><!-- c --><p>y</p></body>", drop_comments=False)
+        root = build_tag_tree(tokens)
+        body = root.children[-1]
+        assert [c.name for c in body.children] == ["p", "p"]

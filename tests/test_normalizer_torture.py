@@ -1,0 +1,117 @@
+"""Torture battery: era-typical tag-soup patterns the normalizer must tame.
+
+Each case is a pattern observed in real 1999-2000 commercial HTML (the
+paper's corpus).  The contract for every case: no exception, a balanced
+stream, an ``html`` root, and the structural expectation stated per case.
+"""
+
+import pytest
+
+from repro.html.normalizer import normalize
+from repro.html.tokenizer import EndTagToken, StartTagToken
+from repro.tree.builder import parse_document
+from repro.tree.traversal import find_all, find_first, tag_nodes
+
+
+def balanced(tokens):
+    stack = []
+    for token in tokens:
+        if isinstance(token, StartTagToken):
+            stack.append(token.name)
+        elif isinstance(token, EndTagToken):
+            if not stack or stack[-1] != token.name:
+                return False
+            stack.pop()
+    return not stack
+
+
+TORTURE_CASES = [
+    # name, soup
+    ("unclosed_everything", "<table><tr><td>a<td>b<tr><td>c"),
+    ("font_soup", "<font><font><font>deep</font>text"),
+    ("interleaved_bi", "<b>one<i>two</b>three</i>"),
+    ("list_in_table_cell", "<table><tr><td><ul><li>x<li>y</td></tr></table>"),
+    ("nested_tables_unclosed", "<table><tr><td><table><tr><td>inner"),
+    ("form_spanning_rows", "<table><form><tr><td><input></td></tr></form></table>"),
+    ("p_swallowing", "<p>one<p>two<p>three<table><tr><td>x</td></tr></table>"),
+    ("header_chaos", "<h1>title<h2>sub<h3>subsub"),
+    ("attribute_noise", "<td width=100% align=left nowrap bgcolor=#ffffff>x</td>"),
+    ("duplicate_body", "<body>a</body><body>b</body>"),
+    ("stray_table_parts", "<tr><td>floating cell</td></tr>"),
+    ("center_era", "<center><table><tr><td><center>x</center></td></tr></table></center>"),
+    ("comments_inside_table", "<table><!-- row --><tr><td>x</td></tr></table>"),
+    ("marquee_blink", "<marquee><blink>hot deal</blink></marquee>"),
+    ("bare_ampersands", "<p>AT&T & T-Mobile prices from $9&up</p>"),
+    ("angle_in_text", "<p>for all x<y and y>z</p>"),
+    ("doctype_and_xml", "<?xml version='1.0'?><!DOCTYPE html><html><body>x"),
+    ("frameset_page", "<frameset><frame src=a><frame src=b></frameset>"),
+    ("select_options", "<select><option>a<option>b<option selected>c</select>"),
+    ("definition_soup", "<dl><dt>t1<dd>d1<dt>t2<dd>d2"),
+    ("pre_with_markup_chars", "<pre>if (a<b) { c>d }</pre>"),
+    ("upper_and_mixed_case", "<TABLE><Tr><tD>x</TD></tr></TABLE>"),
+    ("void_with_end_tags", "<br></br><hr></hr><img></img>"),
+    ("deeply_wrong_nesting", "<a><div><span><p></a></p></span></div>"),
+]
+
+
+@pytest.mark.parametrize("name,soup", TORTURE_CASES, ids=[c[0] for c in TORTURE_CASES])
+def test_torture_case_normalizes(name, soup):
+    tokens = normalize(soup)
+    assert balanced(tokens), name
+    root = parse_document(soup)
+    assert root.name == "html"
+
+
+class TestStructuralExpectations:
+    def test_unclosed_everything_preserves_cells(self):
+        tree = parse_document("<table><tr><td>a<td>b<tr><td>c")
+        assert len(find_all(tree, "td")) == 3
+        assert len(find_all(tree, "tr")) == 2
+
+    def test_list_in_table_cell_nests(self):
+        tree = parse_document("<table><tr><td><ul><li>x<li>y</td></tr></table>")
+        ul = find_first(tree, "ul")
+        assert ul is not None
+        assert [c.name for c in ul.children] == ["li", "li"]
+        td = find_first(tree, "td")
+        assert any(n is ul for n in tag_nodes(td))
+
+    def test_nested_tables_both_present(self):
+        tree = parse_document("<table><tr><td><table><tr><td>inner")
+        assert len(find_all(tree, "table")) == 2
+
+    def test_p_does_not_swallow_table(self):
+        tree = parse_document("<p>one<p>two<table><tr><td>x</td></tr></table>")
+        table = find_first(tree, "table")
+        assert table.parent.name == "body"  # not trapped inside <p>
+
+    def test_select_options_all_siblings(self):
+        tree = parse_document("<select><option>a<option>b<option>c</select>")
+        select = find_first(tree, "select")
+        assert [c.name for c in select.children] == ["option"] * 3
+
+    def test_definition_soup_pairs(self):
+        tree = parse_document("<dl><dt>t1<dd>d1<dt>t2<dd>d2")
+        dl = find_first(tree, "dl")
+        assert [c.name for c in dl.children] == ["dt", "dd", "dt", "dd"]
+
+    def test_pre_markup_chars_stay_text(self):
+        tree = parse_document("<pre>if (a<b) { c>d }</pre>")
+        pre = find_first(tree, "pre")
+        assert "a<b" in pre.text() or "a" in pre.text()
+        # No <b) element materialized out of the comparison operator.
+        assert find_first(tree, "b)") is None
+
+    def test_case_insensitive_matching(self):
+        tree = parse_document("<TABLE><Tr><tD>x</TD></tr></TABLE>")
+        assert len(find_all(tree, "table")) == 1
+        assert len(find_all(tree, "td")) == 1
+
+    def test_void_end_tags_dont_duplicate(self):
+        tree = parse_document("<body><br></br><hr></hr></body>")
+        assert len(find_all(tree, "br")) == 1
+        assert len(find_all(tree, "hr")) == 1
+
+    def test_duplicate_body_merges(self):
+        tree = parse_document("<body>a</body><body>b</body>")
+        assert len(find_all(tree, "body")) == 1

@@ -1,0 +1,134 @@
+"""Unit tests for candidate object construction (Phase 3, repro.core.objects)."""
+
+import pytest
+
+from repro.core.objects import ExtractedObject, construct_objects, _detect_mode
+from repro.tree.builder import parse_document
+from repro.tree.node import ContentNode, TagNode
+from repro.tree.traversal import find_first
+
+
+def region(html: str, name: str) -> TagNode:
+    return find_first(parse_document(html), name)
+
+
+class TestModeDetection:
+    def test_container_for_content_bearing_rows(self):
+        table = region("<table><tr><td>aaa</td></tr><tr><td>bbb</td></tr></table>", "table")
+        assert _detect_mode(table, "tr") == "container"
+
+    def test_boundary_for_empty_dividers(self):
+        body = region("<body>one<hr>two<hr>three</body>", "body")
+        assert _detect_mode(body, "hr") == "boundary"
+
+    def test_leading_for_partial_content(self):
+        dl = region(
+            "<dl><dt>t1</dt><dd>a much longer description body 1</dd>"
+            "<dt>t2</dt><dd>a much longer description body 2</dd></dl>",
+            "dl",
+        )
+        assert _detect_mode(dl, "dt") == "leading"
+
+    def test_tag_mass_fallback_for_textless_regions(self):
+        td = region(
+            "<table><tr><td>"
+            "<table><tr><td><img></td></tr></table>"
+            "<table><tr><td><img></td></tr></table>"
+            "</td></tr></table>",
+            "td",
+        )
+        assert _detect_mode(td, "table") == "container"
+
+
+class TestContainerMode:
+    def test_each_occurrence_is_one_object(self):
+        ul = region("<ul><li>a</li><li>b</li><li>c</li></ul>", "ul")
+        objects = construct_objects(ul, "li")
+        assert [o.text() for o in objects] == ["a", "b", "c"]
+
+    def test_non_separator_children_excluded(self):
+        ul = region("<ul><b>header</b><li>a</li><li>b</li></ul>", "ul")
+        objects = construct_objects(ul, "li", mode="container")
+        assert len(objects) == 2
+        assert all("header" not in o.text() for o in objects)
+
+
+class TestBoundaryMode:
+    def test_groups_between_separators(self):
+        body = region("<body><b>x</b><hr><i>y</i><hr><u>z</u></body>", "body")
+        objects = construct_objects(body, "hr", mode="boundary")
+        assert [o.text() for o in objects] == ["x", "y", "z"]
+
+    def test_whitespace_only_text_skipped(self):
+        body = region("<body><b>x</b> <hr> <i>y</i></body>", "body")
+        objects = construct_objects(body, "hr", mode="boundary")
+        assert len(objects) == 2
+
+    def test_loose_text_joins_group(self):
+        body = region("<body>intro<hr>text <b>bold</b> more<hr></body>", "body")
+        objects = construct_objects(body, "hr", mode="boundary")
+        assert objects[1].text() == "text bold more"
+
+    def test_no_separator_occurrence_returns_empty(self):
+        body = region("<body><b>x</b></body>", "body")
+        assert construct_objects(body, "hr", mode="boundary") == []
+
+    def test_empty_groups_not_emitted(self):
+        body = region("<body><hr><hr><b>x</b><hr></body>", "body")
+        objects = construct_objects(body, "hr", mode="boundary")
+        assert len(objects) == 1
+
+
+class TestLeadingMode:
+    def test_separator_included_at_head(self):
+        dl = region(
+            "<dl><dt>t1</dt><dd>body one</dd><dt>t2</dt><dd>body two</dd></dl>",
+            "dl",
+        )
+        objects = construct_objects(dl, "dt", mode="leading")
+        assert len(objects) == 2
+        assert objects[0].text() == "t1 body one"
+        assert objects[1].text() == "t2 body two"
+
+    def test_content_before_first_separator_is_separate(self):
+        dl = region("<dl><b>hdr</b><dt>t</dt><dd>d</dd></dl>", "dl")
+        objects = construct_objects(dl, "dt", mode="leading")
+        assert objects[0].text() == "hdr"
+        assert objects[1].text() == "t d"
+
+    def test_auto_uses_leading_for_dl(self):
+        dl = region(
+            "<dl><dt>t1</dt><dd>longer description one</dd>"
+            "<dt>t2</dt><dd>longer description two</dd></dl>",
+            "dl",
+        )
+        objects = construct_objects(dl, "dt")
+        assert all(o.text().startswith("t") for o in objects)
+
+
+class TestExtractedObject:
+    def test_size_and_tag_counts(self):
+        ul = region("<ul><li><b>a</b>bc</li></ul>", "ul")
+        (obj,) = construct_objects(ul, "li", mode="container")
+        assert obj.size == 3
+        assert obj.tag_counts >= 3
+
+    def test_tag_signature_includes_descendants(self):
+        ul = region('<ul><li><a href="x"><b>t</b></a><br>d</li></ul>', "ul")
+        (obj,) = construct_objects(ul, "li", mode="container")
+        assert obj.tag_signature() >= {"li", "a", "b", "br"}
+
+    def test_text_skips_empty(self):
+        obj = ExtractedObject([ContentNode("x"), TagNode("br")])
+        assert obj.text() == "x"
+
+    def test_bool(self):
+        assert not ExtractedObject()
+        assert ExtractedObject([ContentNode("x")])
+
+
+class TestValidation:
+    def test_unknown_mode_rejected(self):
+        body = region("<body><hr></body>", "body")
+        with pytest.raises(ValueError):
+            construct_objects(body, "hr", mode="sideways")

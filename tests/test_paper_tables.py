@@ -1,0 +1,221 @@
+"""Regression tests pinning the paper's worked examples (Tables 1-8).
+
+These are the strongest correctness anchors in the repository: the fixture
+pages were engineered so that the numbers printed in the paper fall out of
+the algorithms exactly.  If a refactor changes any of these, it changed the
+algorithm semantics, not just style.
+"""
+
+from repro.core.separator import (
+    IPSHeuristic,
+    PPHeuristic,
+    RPHeuristic,
+    SBHeuristic,
+    SDHeuristic,
+)
+from repro.core.separator.ips import IPS_LIST, IPS_SUBTREE_TAGS, SEPARATOR_PROBABILITY
+from repro.core.subtree import GSIHeuristic, HFHeuristic, LTCHeuristic
+
+
+class TestTable1SubtreeRankings:
+    """Table 1: top subtrees by HF / GSI / LTC on the canoe tag tree."""
+
+    def test_hf_rank1_is_nav_font(self, canoe_tree):
+        top = HFHeuristic().rank(canoe_tree, limit=1)[0]
+        assert top.path == "html[1].body[2].form[4].table[5].tr[1].td[2].font[1]"
+
+    def test_hf_rank2_is_form4_rank3_is_body(self, canoe_tree):
+        ranked = HFHeuristic().rank(canoe_tree, limit=3)
+        assert ranked[1].path == "html[1].body[2].form[4]"
+        assert ranked[2].path == "html[1].body[2]"
+
+    def test_hf_rank4_is_nav_td1(self, canoe_tree):
+        ranked = HFHeuristic().rank(canoe_tree, limit=4)
+        assert ranked[3].path == "html[1].body[2].form[4].table[5].tr[1].td[1]"
+
+    def test_gsi_rank1_is_form4(self, canoe_tree):
+        assert GSIHeuristic().rank(canoe_tree, limit=1)[0].path == "html[1].body[2].form[4]"
+
+    def test_gsi_rank2_is_body(self, canoe_tree):
+        assert GSIHeuristic().rank(canoe_tree, limit=2)[1].path == "html[1].body[2]"
+
+    def test_ltc_rank1_is_form4(self, canoe_tree):
+        assert LTCHeuristic().rank(canoe_tree, limit=1)[0].path == "html[1].body[2].form[4]"
+
+    def test_ltc_rank2_is_nav_font(self, canoe_tree):
+        ranked = LTCHeuristic().rank(canoe_tree, limit=2)
+        assert ranked[1].path == "html[1].body[2].form[4].table[5].tr[1].td[2].font[1]"
+
+    def test_ltc_rank3_is_nav_tr(self, canoe_tree):
+        ranked = LTCHeuristic().rank(canoe_tree, limit=3)
+        assert ranked[2].path == "html[1].body[2].form[4].table[5].tr[1]"
+
+    def test_ltc_rank4_is_body(self, canoe_tree):
+        ranked = LTCHeuristic().rank(canoe_tree, limit=4)
+        assert ranked[3].path == "html[1].body[2]"
+
+
+class TestTable2StandardDeviation:
+    """Table 2: SD ranks hr < pre < a on the Library of Congress subtree."""
+
+    def test_order_hr_pre_a(self, loc_context):
+        assert [r.tag for r in SDHeuristic().rank(loc_context)] == ["hr", "pre", "a"]
+
+    def test_deviations_close_together(self, loc_context):
+        # The paper's values (114/117/122) are within ~7% of each other;
+        # the *relationship*, not the magnitudes, is the reproducible part.
+        ranking = SDHeuristic().rank(loc_context)
+        assert ranking[0].score <= ranking[1].score <= ranking[2].score
+
+
+class TestTable3RepeatingPatterns:
+    """Table 3: the RP pair table on canoe's form[4], exactly."""
+
+    def test_full_pair_table(self, canoe_context):
+        rows = [
+            (s.pair, s.pair_count, s.difference)
+            for s in RPHeuristic().pair_scores(canoe_context)
+        ]
+        assert rows == [
+            (("table", "tr"), 13, 0),
+            (("img", "br"), 2, 0),
+            (("map", "table"), 1, 0),
+            (("form", "table"), 1, 0),
+            (("br", "img"), 1, 1),
+            (("br", "table"), 1, 1),
+        ]
+
+
+class TestTable4And5IPSData:
+    """Tables 4 and 5: the IPS per-subtree lists and separator distribution."""
+
+    def test_table4_lists_verbatim(self):
+        assert IPS_SUBTREE_TAGS["body"] == (
+            "table", "p", "hr", "ul", "li", "blockquote", "div", "pre", "b", "a",
+        )
+        assert IPS_SUBTREE_TAGS["table"] == ("tr", "b")
+        assert IPS_SUBTREE_TAGS["form"] == ("table", "p", "dl")
+        assert IPS_SUBTREE_TAGS["ul"] == ("li",)
+        assert IPS_SUBTREE_TAGS["dl"] == ("dt", "dd")
+
+    def test_ips_list_starts_as_table5(self):
+        assert IPS_LIST[:6] == ("tr", "table", "p", "li", "hr", "dt")
+
+    def test_table5_probabilities_sum_to_one(self):
+        assert abs(sum(SEPARATOR_PROBABILITY.values()) - 1.0) < 1e-9
+
+    def test_ips_list_ordered_by_table5_probability(self):
+        probabilities = [
+            SEPARATOR_PROBABILITY.get(tag, 0.0) for tag in IPS_LIST
+        ]
+        assert probabilities == sorted(probabilities, reverse=True)
+
+
+class TestTable6SiblingPairs:
+    """Table 6: SB pair tables for canoe and Library of Congress, exactly."""
+
+    def test_canoe_pairs(self, canoe_context):
+        rows = [(p.pair, p.count) for p in SBHeuristic().sibling_pairs(canoe_context)]
+        assert rows == [
+            (("table", "table"), 11),
+            (("img", "br"), 2),
+            (("br", "img"), 1),
+            (("br", "table"), 1),
+            (("table", "map"), 1),
+            (("map", "table"), 1),
+            (("table", "form"), 1),
+        ]
+
+    def test_loc_pairs(self, loc_context):
+        rows = [(p.pair, p.count) for p in SBHeuristic().sibling_pairs(loc_context)]
+        assert rows[:3] == [
+            (("hr", "pre"), 20),
+            (("pre", "a"), 20),
+            (("a", "hr"), 20),
+        ]
+        singles = dict(rows[3:])
+        for pair in (("h1", "i"), ("i", "hr"), ("hr", "a"), ("a", "br"),
+                     ("br", "form"), ("form", "p")):
+            assert singles[pair] == 1
+
+
+class TestTable7PartialPaths:
+    """Table 7: every >= 2-count partial path on canoe's form[4]."""
+
+    def test_all_table7_rows(self, canoe_context):
+        counts = {r.dotted: r.count for r in PPHeuristic().path_counts(canoe_context)}
+        table7 = {
+            "table.tr.td": 26,
+            "table.tr.td.table.tr.td.font.b": 24,
+            "table.tr.td.table.tr.td.font.br": 24,
+            "table.tr.td.table.tr.td": 24,
+            "table.tr": 13,
+            "table": 13,
+            "table.tr.td.table.tr.td.font.b.a": 12,
+            "table.tr.td.table.tr.td.font": 12,
+            "table.tr.td.table.tr.td.img": 12,
+            "table.tr.td.table.tr": 12,
+            "table.tr.td.table": 12,
+            "table.tr.td.img": 12,
+            "table.tr.td.br": 3,
+            "table.tr.td.a": 3,
+            "form.table.tr.td.input": 2,
+            "form.table.tr.td": 2,
+            "img": 2,
+            "br": 2,
+        }
+        for path, count in table7.items():
+            assert counts[path] == count, path
+
+
+class TestTable8PPRankings:
+    """Table 8: PP's candidate-tag ranking for both example pages."""
+
+    def test_canoe(self, canoe_context):
+        rows = [(r.tag, int(r.score)) for r in PPHeuristic().rank(canoe_context)]
+        assert rows[:4] == [("table", 26), ("form", 2), ("img", 2), ("br", 2)]
+
+    def test_loc(self, loc_context):
+        rows = [(r.tag, int(r.score)) for r in PPHeuristic().rank(loc_context)]
+        assert rows == [("hr", 21), ("a", 21), ("pre", 20), ("form", 8)]
+
+
+class TestSection51Counts:
+    """Section 5.1's prose: hr 21x, a 21x, pre 20x on the LoC subtree."""
+
+    def test_counts(self, loc_context):
+        assert loc_context.counts["hr"] == 21
+        assert loc_context.counts["a"] == 21
+        assert loc_context.counts["pre"] == 20
+
+    def test_ips_ranks_hr_first(self, loc_context):
+        assert IPSHeuristic().rank(loc_context)[0].tag == "hr"
+
+
+class TestFigureRenderings:
+    """Figures 1, 2 and 5: the rendered tag trees of the fixture pages."""
+
+    def test_figure1_loc_tree_shape(self, loc_tree):
+        from repro.tree.render import render_tree
+
+        art = render_tree(loc_tree, max_depth=2, show_text=False)
+        lines = art.splitlines()
+        assert lines[0] == "html"
+        assert any("head" in l for l in lines)
+        assert any("title" in l for l in lines)
+        # Figure 1's repeating body children.
+        assert sum("hr" in l for l in lines) == 21
+        assert sum("pre" in l for l in lines) == 20
+
+    def test_figure2_minimal_subtree_contains_all_hrs(self, loc_tree, loc_body):
+        from repro.tree.traversal import find_all
+
+        assert len(find_all(loc_body, "hr")) == len(find_all(loc_tree, "hr"))
+
+    def test_figure5_canoe_tree_shape(self, canoe_tree):
+        from repro.tree.render import render_tree
+
+        art = render_tree(canoe_tree, max_depth=3, show_text=False)
+        # body[2].form[4] with its 13 table children renders at depth 3.
+        assert sum(l.strip().endswith("table") for l in art.splitlines()) >= 13
+        assert "form" in art

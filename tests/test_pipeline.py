@@ -1,0 +1,145 @@
+"""Integration tests for the end-to-end pipeline (repro.core.pipeline)."""
+
+import pytest
+
+from repro.core.pipeline import ExtractionResult, OminiExtractor, extract_objects
+from repro.core.rules import RuleStore
+from repro.corpus.fixtures import canoe_page, library_of_congress_page
+
+
+def simple_page(records: int = 5) -> str:
+    rows = "".join(
+        f'<tr><td><a href="/i{i}"><b>item {i}</b></a><br>'
+        f"description of item number {i} goes here</td></tr>"
+        for i in range(records)
+    )
+    return (
+        "<html><head><title>shop</title></head><body>"
+        f'<p><a href="/">home</a></p><table>{rows}</table>'
+        "<p>footer text</p></body></html>"
+    )
+
+
+class TestExtract:
+    def test_extracts_all_records(self):
+        result = OminiExtractor().extract(simple_page(5))
+        assert result.separator == "tr"
+        assert len(result.objects) == 5
+
+    def test_result_fields(self):
+        result = OminiExtractor().extract(simple_page(4))
+        assert isinstance(result, ExtractionResult)
+        assert result.subtree_path.endswith("table[2]")
+        assert result.candidate_objects == 4
+        assert not result.used_cached_rule
+        assert result.separator_ranking  # evidence exposed
+
+    def test_timings_populated(self):
+        result = OminiExtractor().extract(simple_page())
+        timings = result.timings
+        assert timings.parse_page > 0
+        assert timings.choose_subtree > 0
+        assert timings.total >= timings.parse_page
+
+    def test_convenience_function(self):
+        objects = extract_objects(simple_page(6))
+        assert len(objects) == 6
+
+    def test_abstains_on_structureless_page(self):
+        result = OminiExtractor().extract(
+            "<html><body><h1>No results</h1>sorry, nothing matched</body></html>"
+        )
+        assert result.separator is None
+        assert result.objects == []
+
+    def test_extract_tree_runs_phases_two_and_three(self):
+        from repro.tree.builder import parse_document
+
+        tree = parse_document(simple_page(4))
+        result = OminiExtractor().extract_tree(tree)
+        assert len(result.objects) == 4
+
+    def test_extract_file(self, tmp_path):
+        page = tmp_path / "page.html"
+        page.write_text(simple_page(3), encoding="utf-8")
+        result = OminiExtractor().extract_file(page)
+        assert len(result.objects) == 3
+        assert result.timings.read_file > 0
+
+
+class TestPaperFixturesEndToEnd:
+    def test_canoe(self):
+        result = OminiExtractor().extract(canoe_page())
+        assert result.subtree_path == "html[1].body[2].form[4]"
+        assert result.separator == "table"
+        assert result.candidate_objects == 13
+        assert len(result.objects) == 12
+
+    def test_library_of_congress(self):
+        result = OminiExtractor().extract(library_of_congress_page())
+        assert result.subtree_path == "html[1].body[2]"
+        assert result.separator == "hr"
+        assert len(result.objects) == 20
+
+
+class TestRuleCaching:
+    def test_rule_learned_on_first_extract(self):
+        store = RuleStore()
+        extractor = OminiExtractor(rule_store=store)
+        result = extractor.extract(simple_page(), site="shop.example")
+        assert not result.used_cached_rule
+        assert store.get("shop.example") is not None
+        assert result.rule is not None
+
+    def test_rule_used_on_second_extract(self):
+        store = RuleStore()
+        extractor = OminiExtractor(rule_store=store)
+        extractor.extract(simple_page(4), site="shop.example")
+        result = extractor.extract(simple_page(7), site="shop.example")
+        assert result.used_cached_rule
+        assert len(result.objects) == 7
+        assert result.separator_ranking == []  # discovery skipped
+
+    def test_cached_rule_faster_phases(self):
+        store = RuleStore()
+        extractor = OminiExtractor(rule_store=store)
+        extractor.extract(simple_page(10), site="s")
+        cold = extractor.extract(simple_page(10))  # no site: rediscovers
+        warm = extractor.extract(simple_page(10), site="s")
+        assert warm.timings.object_separator == 0.0
+        assert warm.timings.choose_subtree < cold.timings.choose_subtree * 0.9
+
+    def test_stale_rule_falls_back_and_relearns(self):
+        store = RuleStore()
+        extractor = OminiExtractor(rule_store=store)
+        extractor.extract(simple_page(4), site="s")
+        old_rule = store.get("s")
+        # Redesign: results now live in a div-wrapped second table.
+        redesigned = simple_page(4).replace("<table>", "<div><i>new!</i></div><table>")
+        result = extractor.extract(redesigned, site="s")
+        assert not result.used_cached_rule
+        assert len(result.objects) == 4
+        assert store.get("s") != old_rule  # re-learned
+
+    def test_no_store_means_no_rules(self):
+        extractor = OminiExtractor()
+        result = extractor.extract(simple_page(), site="shop.example")
+        assert result.rule is None
+
+
+class TestTimingColumns:
+    def test_as_milliseconds_keys_match_tables_16_17(self):
+        result = OminiExtractor().extract(simple_page())
+        row = result.timings.as_milliseconds()
+        assert set(row) == {
+            "read_file",
+            "parse_page",
+            "choose_subtree",
+            "object_separator",
+            "combine_heuristics",
+            "construct_objects",
+            "total",
+        }
+        assert row["total"] == pytest.approx(
+            sum(v for k, v in row.items() if k != "total"), rel=1e-6
+        )

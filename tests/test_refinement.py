@@ -1,0 +1,108 @@
+"""Unit tests for object extraction refinement (Phase 3, repro.core.refinement)."""
+
+from repro.core.objects import construct_objects
+from repro.core.refinement import RefinementConfig, refine_objects
+from repro.tree.builder import parse_document
+from repro.tree.traversal import find_first
+
+
+def objects_from(html: str, container: str, separator: str):
+    node = find_first(parse_document(html), container)
+    return construct_objects(node, separator)
+
+
+def make_uniform(n: int, extra: str = "") -> str:
+    items = "".join(
+        f'<li><a href="/i{i}"><b>title {i}</b></a><br>description text {i}</li>'
+        for i in range(n)
+    )
+    return f"<ul>{extra}{items}</ul>"
+
+
+class TestSizeFilter:
+    def test_drops_tiny_outlier(self):
+        html = make_uniform(5, extra="<li>x</li>")
+        objects = objects_from(html, "ul", "li")
+        refined = refine_objects(objects)
+        assert len(refined) == 5
+        assert all("title" in o.text() for o in refined)
+
+    def test_drops_huge_outlier(self):
+        huge = "<li><a><b>t</b></a><br>" + "word " * 2000 + "</li>"
+        objects = objects_from(make_uniform(5, extra=huge), "ul", "li")
+        refined = refine_objects(objects)
+        assert len(refined) == 5
+
+    def test_disabled_size_filter_keeps_outliers(self):
+        html = make_uniform(5, extra="<li>x</li>")
+        objects = objects_from(html, "ul", "li")
+        config = RefinementConfig(
+            enable_size_filter=False,
+            enable_common_tag_filter=False,
+            enable_unique_tag_filter=False,
+        )
+        assert len(refine_objects(objects, config)) == 6
+
+
+class TestCommonTagFilter:
+    def test_drops_object_missing_common_tags(self):
+        # 5 records have a+b+br; the interloper has none of them.
+        html = make_uniform(5, extra="<li><i>sponsored text here xx</i></li>")
+        objects = objects_from(html, "ul", "li")
+        refined = refine_objects(objects)
+        assert len(refined) == 5
+
+    def test_majority_survives(self):
+        objects = objects_from(make_uniform(6), "ul", "li")
+        assert len(refine_objects(objects)) == 6
+
+
+class TestUniqueTagFilter:
+    def test_drops_object_with_many_unique_tags(self):
+        weird = (
+            "<li><a><b>t</b></a><br>desc words here"
+            "<form><input><select><option>x</option></select></form>"
+            "<u>u</u></li>"
+        )
+        objects = objects_from(make_uniform(6, extra=weird), "ul", "li")
+        refined = refine_objects(objects)
+        assert len(refined) == 6
+
+    def test_threshold_configurable(self):
+        weird = (
+            "<li><a><b>t</b></a><br>desc words here"
+            "<form><input><select><option>x</option></select></form>"
+            "<u>u</u></li>"
+        )
+        objects = objects_from(make_uniform(6, extra=weird), "ul", "li")
+        config = RefinementConfig(max_unique_tags=10, min_size_ratio=0.0, max_size_ratio=100.0)
+        assert len(refine_objects(objects, config)) == 7
+
+
+class TestMinObjects:
+    def test_small_sets_returned_unchanged(self):
+        objects = objects_from(make_uniform(2), "ul", "li")
+        assert refine_objects(objects) == objects
+
+    def test_boundary_at_min_objects(self):
+        objects = objects_from(make_uniform(3), "ul", "li")
+        assert len(refine_objects(objects)) == 3
+
+
+class TestPaperFixtures:
+    def test_canoe_navigation_table_refined_away(self, canoe_form4):
+        objects = construct_objects(canoe_form4, "table")
+        assert len(objects) == 13  # 12 news + 1 nav
+        refined = refine_objects(objects)
+        assert len(refined) == 12
+        assert all("SLAM" in o.text() or "CANOE" in o.text() or "JAM" in o.text()
+                   for o in refined)
+
+    def test_loc_header_and_footer_refined_away(self, loc_body):
+        objects = construct_objects(loc_body, "hr")
+        refined = refine_objects(objects)
+        assert len(refined) == 20
+        assert all("Call number" in o.text() for o in refined)
+
+    def test_empty_input(self):
+        assert refine_objects([]) == []

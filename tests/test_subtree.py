@@ -1,0 +1,166 @@
+"""Unit tests for the subtree heuristics (repro.core.subtree, Section 4)."""
+
+import pytest
+
+from repro.core.subtree import (
+    CombinedSubtreeFinder,
+    GSIHeuristic,
+    HFHeuristic,
+    LTCHeuristic,
+)
+from repro.core.subtree.base import ancestor_rerank
+from repro.tree.builder import parse_document
+from repro.tree.paths import node_at_path, path_of
+from repro.tree.traversal import find_first
+
+
+@pytest.fixture
+def nav_page():
+    """A page whose nav menu out-fans the 3-record result region."""
+    nav = "".join(f'<a href="/n{i}">L{i}</a><br>' for i in range(10))
+    rows = "".join(
+        f"<tr><td><b>Product {i}</b><br>A reasonably long description of "
+        f"product number {i} with details and a price.</td></tr>"
+        for i in range(3)
+    )
+    return parse_document(
+        f"<body><font>{nav}</font><table>{rows}</table></body>"
+    )
+
+
+class TestHF:
+    def test_ranks_by_fanout(self, nav_page):
+        top = HFHeuristic().rank(nav_page, limit=1)[0]
+        assert top.node.name == "font"  # the nav trap (Section 4.1)
+
+    def test_min_fanout_filters(self):
+        tree = parse_document("<body><p>only one child</p></body>")
+        ranked = HFHeuristic(min_fanout=3).rank(tree)
+        assert all(len(r.node.children) >= 3 for r in ranked)
+
+    def test_choose_returns_root_when_nothing_qualifies(self):
+        tree = parse_document("<p>x</p>")
+        assert HFHeuristic(min_fanout=99).choose(tree) is tree
+
+    def test_scores_descending(self, nav_page):
+        scores = [r.score for r in HFHeuristic().rank(nav_page)]
+        assert scores == sorted(scores, reverse=True)
+
+
+class TestGSI:
+    def test_prefers_content_region_over_nav(self, nav_page):
+        ranked = GSIHeuristic().rank(nav_page, limit=10)
+        names = [r.node.name for r in ranked]
+        assert names.index("table") < names.index("font")
+
+    def test_canoe_picks_form4(self, canoe_tree):
+        top = GSIHeuristic().rank(canoe_tree, limit=1)[0]
+        assert top.path == "html[1].body[2].form[4]"
+
+    def test_score_matches_formula(self, nav_page):
+        from repro.tree.metrics import fanout, node_size
+
+        top = GSIHeuristic().rank(nav_page, limit=1)[0]
+        expected = node_size(top.node) - node_size(top.node) / fanout(top.node)
+        assert top.score == pytest.approx(expected)
+
+
+class TestLTC:
+    def test_canoe_top_four_match_table1(self, canoe_tree):
+        """Table 1's LTC column: form[4], nav font, nav tr, body."""
+        paths = [r.path for r in LTCHeuristic().rank(canoe_tree, limit=4)]
+        assert paths[0] == "html[1].body[2].form[4]"
+        assert paths[1].endswith("table[5].tr[1].td[2].font[1]")
+        assert paths[2].endswith("form[4].table[5].tr[1]")
+        assert paths[3] == "html[1].body[2]"
+
+    def test_rerank_promotes_repetitive_descendant(self):
+        rows = "".join(f"<tr><td>r{i}</td></tr>" for i in range(8))
+        tree = parse_document(f"<body><p>intro</p><table>{rows}</table></body>")
+        top = LTCHeuristic().rank(tree, limit=1)[0]
+        # table's max child appearance (tr x8) beats body's and html's.
+        assert top.node.name == "table"
+
+
+class TestAncestorRerank:
+    def test_swaps_ancestor_below_repetitive_descendant(self):
+        tree = parse_document(
+            "<body>" + "".join(f"<li>item {i} text</li>" for i in range(6)) + "</body>"
+        )
+        body = tree.children[-1]
+        ordered = ancestor_rerank([tree, body])
+        assert ordered[0] is body  # li x6 beats html's single body child
+
+    def test_size_guard_blocks_tiny_descendant(self):
+        nav = "".join(f"<a>n{i}</a>" for i in range(10))
+        tree = parse_document(
+            f"<body><ul>{nav}</ul><p>{'long content ' * 50}</p></body>"
+        )
+        body = tree.children[-1]
+        ul = find_first(tree, "ul")
+        ordered = ancestor_rerank([body, ul], min_size_share=0.5)
+        assert ordered[0] is body  # ul carries almost no content
+
+    def test_unguarded_swap_promotes_tiny_descendant(self):
+        nav = "".join(f"<a>n{i}</a>" for i in range(10))
+        tree = parse_document(
+            f"<body><ul>{nav}</ul><p>{'long content ' * 50}</p></body>"
+        )
+        body = tree.children[-1]
+        ul = find_first(tree, "ul")
+        ordered = ancestor_rerank([body, ul], min_size_share=0.0)
+        assert ordered[0] is ul
+
+
+class TestCombinedFinder:
+    def test_canoe_chooses_form4(self, canoe_tree):
+        chosen = CombinedSubtreeFinder().choose(canoe_tree)
+        assert path_of(chosen) == "html[1].body[2].form[4]"
+
+    def test_loc_chooses_body(self, loc_tree):
+        chosen = CombinedSubtreeFinder().choose(loc_tree)
+        assert path_of(chosen) == "html[1].body[2]"
+
+    def test_nav_page_chooses_table(self, nav_page):
+        chosen = CombinedSubtreeFinder().choose(nav_page)
+        assert chosen.name == "table"
+
+    def test_volume_mode_available(self, canoe_tree):
+        finder = CombinedSubtreeFinder(mode="volume")
+        assert path_of(finder.choose(canoe_tree)) == "html[1].body[2].form[4]"
+
+    def test_single_dimension_reduces_to_hf(self, nav_page):
+        finder = CombinedSubtreeFinder(dimensions=("fanout",), rerank_window=0)
+        hf = HFHeuristic()
+        assert finder.rank(nav_page, limit=1)[0].node is hf.rank(nav_page, limit=1)[0].node
+
+    def test_rejects_unknown_dimension(self):
+        with pytest.raises(ValueError):
+            CombinedSubtreeFinder(dimensions=("bogus",))
+
+    def test_rejects_empty_dimensions(self):
+        with pytest.raises(ValueError):
+            CombinedSubtreeFinder(dimensions=())
+
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(ValueError):
+            CombinedSubtreeFinder(mode="geometric")
+
+    def test_limit_respected(self, canoe_tree):
+        assert len(CombinedSubtreeFinder().rank(canoe_tree, limit=3)) == 3
+
+    def test_empty_tree_returns_empty(self):
+        tree = parse_document("x")  # html > body > text: body fanout 1
+        ranked = CombinedSubtreeFinder(min_fanout=5).rank(tree)
+        assert ranked == []
+
+
+class TestHFTable1:
+    def test_canoe_hf_top_three_match_table1(self, canoe_tree):
+        """Table 1's HF column: nav font (24), form[4] (19), body (10)."""
+        ranked = HFHeuristic().rank(canoe_tree, limit=3)
+        assert ranked[0].path.endswith("table[5].tr[1].td[2].font[1]")
+        assert ranked[0].score == 24.0
+        assert ranked[1].path == "html[1].body[2].form[4]"
+        assert ranked[1].score == 19.0
+        assert ranked[2].path == "html[1].body[2]"

@@ -1,0 +1,88 @@
+"""Unit tests for tag metadata (repro.html.tags)."""
+
+from repro.html.tags import (
+    BLOCK_TAGS,
+    INLINE_TAGS,
+    VOID_TAGS,
+    closes_implicitly,
+    is_block,
+    is_inline,
+    is_raw_text,
+    is_void,
+    scope_boundary,
+)
+
+
+class TestClassification:
+    def test_void_tags(self):
+        for tag in ("br", "img", "hr", "input", "meta"):
+            assert is_void(tag)
+
+    def test_non_void_tags(self):
+        for tag in ("p", "table", "a", "div"):
+            assert not is_void(tag)
+
+    def test_case_insensitive(self):
+        assert is_void("BR")
+        assert is_block("TABLE")
+        assert is_inline("A")
+
+    def test_block_inline_disjoint_except_legacy(self):
+        # br/img/input are void inline elements; hr/isindex are void blocks.
+        overlap = BLOCK_TAGS & INLINE_TAGS
+        assert overlap == frozenset()
+
+    def test_raw_text_tags(self):
+        assert is_raw_text("script")
+        assert is_raw_text("style")
+        assert not is_raw_text("pre")
+
+
+class TestImpliedEndTags:
+    def test_li_closes_li(self):
+        assert closes_implicitly("li", "li")
+
+    def test_dt_dd_mutually_close(self):
+        assert closes_implicitly("dt", "dd")
+        assert closes_implicitly("dd", "dt")
+        assert closes_implicitly("dd", "dd")
+
+    def test_table_cells(self):
+        assert closes_implicitly("td", "td")
+        assert closes_implicitly("td", "th")
+        assert closes_implicitly("tr", "td")
+        assert closes_implicitly("tr", "tr")
+
+    def test_block_closes_paragraph(self):
+        assert closes_implicitly("div", "p")
+        assert closes_implicitly("table", "p")
+        assert closes_implicitly("p", "p")
+
+    def test_inline_does_not_close_paragraph(self):
+        assert not closes_implicitly("b", "p")
+        assert not closes_implicitly("a", "p")
+
+    def test_unrelated_tags(self):
+        assert not closes_implicitly("td", "li")
+        assert not closes_implicitly("li", "td")
+
+    def test_option_closes_option(self):
+        assert closes_implicitly("option", "option")
+
+
+class TestScopeBoundaries:
+    def test_li_bounded_by_lists(self):
+        assert "ul" in scope_boundary("li")
+        assert "ol" in scope_boundary("li")
+
+    def test_td_bounded_by_table_and_row(self):
+        assert "table" in scope_boundary("td")
+        assert "tr" in scope_boundary("td")
+
+    def test_unknown_tag_has_no_boundary(self):
+        assert scope_boundary("marquee") == frozenset()
+
+    def test_void_and_boundary_consistency(self):
+        # Every tag with an implied-end rule has a sane boundary set.
+        for tag in ("li", "dt", "dd", "tr", "td", "th", "option", "p"):
+            assert isinstance(scope_boundary(tag), frozenset)

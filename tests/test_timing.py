@@ -1,0 +1,63 @@
+"""Unit tests for the timing harness (repro.eval.timing)."""
+
+import pytest
+
+from repro.core.pipeline import PhaseTimings
+from repro.corpus import CorpusGenerator, PageCache, site_by_name
+from repro.eval.timing import PHASE_COLUMNS, TimingBreakdown, time_pipeline
+
+
+@pytest.fixture(scope="module")
+def cache(tmp_path_factory):
+    cache = PageCache(tmp_path_factory.mktemp("timing"))
+    cache.populate(
+        (site_by_name("www.google.com"),),
+        CorpusGenerator(max_pages_per_site=3),
+    )
+    return cache
+
+
+class TestTimingBreakdown:
+    def test_add_and_average(self):
+        breakdown = TimingBreakdown("x")
+        timings = PhaseTimings(parse_page=0.002, choose_subtree=0.001)
+        breakdown.add(timings)
+        breakdown.add(timings)
+        averages = breakdown.averages()
+        assert averages["parse_page"] == pytest.approx(2.0)  # ms
+        assert averages["choose_subtree"] == pytest.approx(1.0)
+        assert breakdown.pages == 2
+
+    def test_empty_breakdown_averages_zero(self):
+        assert TimingBreakdown("x").averages() == {c: 0.0 for c in PHASE_COLUMNS}
+
+    def test_merge_pools_pages(self):
+        a, b = TimingBreakdown("a"), TimingBreakdown("b")
+        a.add(PhaseTimings(parse_page=0.001))
+        b.add(PhaseTimings(parse_page=0.003))
+        merged = TimingBreakdown.merge("both", [a, b])
+        assert merged.pages == 2
+        assert merged.averages()["parse_page"] == pytest.approx(2.0)
+
+
+class TestTimePipeline:
+    def test_discovery_run(self, cache):
+        breakdown = time_pipeline(cache, label="t", repetitions=2)
+        assert breakdown.pages == 6  # 3 pages x 2 repetitions
+        averages = breakdown.averages()
+        assert averages["total"] > 0
+        assert averages["read_file"] > 0
+        assert averages["object_separator"] > 0
+
+    def test_rules_run_skips_discovery(self, cache):
+        breakdown = time_pipeline(cache, label="t", repetitions=1, use_rules=True)
+        averages = breakdown.averages()
+        assert averages["object_separator"] == 0.0
+        assert averages["combine_heuristics"] == 0.0
+        assert averages["total"] > 0
+
+    def test_site_filter(self, cache):
+        breakdown = time_pipeline(
+            cache, label="t", site="www.google.com", repetitions=1
+        )
+        assert breakdown.pages == 3

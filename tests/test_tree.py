@@ -1,0 +1,292 @@
+"""Unit tests for the tag-tree substrate (repro.tree)."""
+
+import pytest
+
+from repro.html.tokenizer import EndTagToken, StartTagToken, TextToken
+from repro.tree.builder import build_tag_tree, parse_document
+from repro.tree.metrics import (
+    fanout,
+    max_child_tag_appearance,
+    node_size,
+    size_increase,
+    subtree_size,
+    tag_count,
+)
+from repro.tree.node import ContentNode, TagNode
+from repro.tree.paths import format_path, node_at_path, parse_path, path_of
+from repro.tree.render import render_tree
+from repro.tree.traversal import (
+    ancestors,
+    descendants,
+    find_all,
+    find_first,
+    is_ancestor,
+    iter_nodes,
+    leaf_nodes,
+    tag_nodes,
+)
+
+
+@pytest.fixture
+def simple_tree():
+    return parse_document(
+        "<html><head><title>T</title></head>"
+        "<body><ul><li>aa</li><li>bbbb</li></ul><p>cc</p></body></html>"
+    )
+
+
+class TestNodeModel:
+    def test_parent_child_links(self, simple_tree):
+        body = simple_tree.children[1]
+        assert body.parent is simple_tree
+        assert all(c.parent is body for c in body.children)
+
+    def test_child_index_is_one_based(self, simple_tree):
+        head, body = simple_tree.children
+        assert head.child_index == 1
+        assert body.child_index == 2
+
+    def test_root_property(self, simple_tree):
+        li = find_first(simple_tree, "li")
+        assert li.root is simple_tree
+
+    def test_depth(self, simple_tree):
+        assert simple_tree.depth == 0
+        li = find_first(simple_tree, "li")
+        assert li.depth == 3  # html > body > ul > li
+
+    def test_append_rejects_attached_node(self):
+        a, b = TagNode("a"), TagNode("b")
+        a.append(b)
+        c = TagNode("c")
+        with pytest.raises(ValueError):
+            c.append(b)
+
+    def test_detach(self):
+        a, b = TagNode("a"), TagNode("b")
+        a.append(b)
+        a.detach(b)
+        assert b.parent is None and a.children == []
+
+    def test_text_concatenation(self, simple_tree):
+        ul = find_first(simple_tree, "ul")
+        assert ul.text() == "aa bbbb"
+
+    def test_content_node_pseudo_name(self):
+        leaf = ContentNode("x")
+        assert leaf.name == "#text"
+        assert leaf.is_leaf
+
+    def test_tag_node_attrs(self):
+        node = TagNode("a", (("href", "x"), ("class", "y")))
+        assert node.get("href") == "x"
+        assert node.get("missing") is None
+
+    def test_child_tag_names(self, simple_tree):
+        body = simple_tree.children[1]
+        assert body.child_tag_names() == ["ul", "p"]
+
+
+class TestBuilder:
+    def test_builds_from_balanced_stream(self):
+        tokens = [
+            StartTagToken("a"),
+            TextToken("x"),
+            EndTagToken("a"),
+        ]
+        root = build_tag_tree(tokens)
+        assert root.name == "a"
+        assert isinstance(root.children[0], ContentNode)
+
+    def test_rejects_unbalanced_stream(self):
+        with pytest.raises(ValueError):
+            build_tag_tree([StartTagToken("a")])
+
+    def test_rejects_mismatched_end(self):
+        with pytest.raises(ValueError):
+            build_tag_tree([StartTagToken("a"), EndTagToken("b")])
+
+    def test_rejects_multiple_roots(self):
+        with pytest.raises(ValueError):
+            build_tag_tree(
+                [StartTagToken("a"), EndTagToken("a"), StartTagToken("b"), EndTagToken("b")]
+            )
+
+    def test_rejects_empty_stream(self):
+        with pytest.raises(ValueError):
+            build_tag_tree([])
+
+    def test_parse_document_always_has_html_root(self):
+        assert parse_document("plain words").name == "html"
+
+
+class TestMetrics:
+    def test_leaf_node_size_in_bytes(self):
+        leaf = ContentNode("aaaa")
+        assert node_size(leaf) == 4
+
+    def test_leaf_node_size_utf8(self):
+        leaf = ContentNode("é")  # two bytes in UTF-8
+        assert node_size(leaf) == 2
+
+    def test_node_size_sums_leaves(self, simple_tree):
+        ul = find_first(simple_tree, "ul")
+        assert node_size(ul) == 6  # 'aa' + 'bbbb'
+
+    def test_subtree_size_equals_node_size(self, simple_tree):
+        body = simple_tree.children[1]
+        assert subtree_size(body) == node_size(body)
+
+    def test_fanout(self, simple_tree):
+        ul = find_first(simple_tree, "ul")
+        assert fanout(ul) == 2
+        assert fanout(ContentNode("x")) == 0
+
+    def test_tag_count_counts_all_nodes(self):
+        tree = parse_document("<body><p>x</p></body>")
+        # html(1) + body(1) + p(1) + text(1) = 4 (no head content, no head)
+        assert tag_count(tree) == 4
+
+    def test_tag_count_includes_synthesized_head(self):
+        tree = parse_document("<title>t</title><p>x</p>")
+        # html + head + title + 't' + body + p + 'x' = 7
+        assert tag_count(tree) == 7
+
+    def test_tag_count_of_leaf_is_one(self):
+        assert tag_count(ContentNode("x")) == 1
+
+    def test_size_increase_formula(self):
+        # node with 2 children sized 4 and 2: size 6, 6 - 6/2 = 3.
+        node = TagNode("d", children=[ContentNode("aaaa"), ContentNode("bb")])
+        assert size_increase(node) == pytest.approx(3.0)
+
+    def test_size_increase_of_leaf_is_zero(self):
+        assert size_increase(ContentNode("xx")) == 0.0
+
+    def test_metrics_cached_and_invalidated(self):
+        node = TagNode("d", children=[ContentNode("aaaa")])
+        assert node_size(node) == 4
+        node.append(ContentNode("bb"))
+        assert node_size(node) == 6  # cache invalidated by mutation
+
+    def test_max_child_tag_appearance(self, simple_tree):
+        ul = find_first(simple_tree, "ul")
+        assert max_child_tag_appearance(ul) == ("li", 2)
+
+    def test_max_child_tag_appearance_no_children(self):
+        assert max_child_tag_appearance(ContentNode("x")) == (None, 0)
+
+    def test_deep_tree_does_not_recurse(self):
+        # 5000 levels deep; recursion would explode, iteration must not.
+        root = node = TagNode("d0")
+        for i in range(5000):
+            child = TagNode(f"d{i + 1}")
+            node.append(child)
+            node = child
+        node.append(ContentNode("x"))
+        assert node_size(root) == 1
+        assert tag_count(root) == 5002
+
+
+class TestPaths:
+    def test_path_of_root(self, simple_tree):
+        assert path_of(simple_tree) == "html[1]"
+
+    def test_path_of_nested_node(self, simple_tree):
+        li = find_all(simple_tree, "li")[1]
+        assert path_of(li) == "html[1].body[2].ul[1].li[2]"
+
+    def test_parse_and_format_inverse(self):
+        path = "html[1].body[2].form[4]"
+        assert format_path(parse_path(path)) == path
+
+    def test_parse_path_rejects_garbage(self):
+        for bad in ("", "html", "html[0]", "html[x]", "[1]"):
+            with pytest.raises(ValueError):
+                parse_path(bad)
+
+    def test_node_at_path_round_trip(self, simple_tree):
+        for node in tag_nodes(simple_tree):
+            assert node_at_path(simple_tree, path_of(node)) is node
+
+    def test_node_at_path_bad_root(self, simple_tree):
+        with pytest.raises(LookupError):
+            node_at_path(simple_tree, "body[1]")
+
+    def test_node_at_path_missing_child(self, simple_tree):
+        with pytest.raises(LookupError):
+            node_at_path(simple_tree, "html[1].body[2].table[9]")
+
+    def test_node_at_path_wrong_name(self, simple_tree):
+        with pytest.raises(LookupError):
+            node_at_path(simple_tree, "html[1].body[2].ul[2]")
+
+
+class TestTraversal:
+    def test_preorder_is_document_order(self, simple_tree):
+        names = [n.name for n in tag_nodes(simple_tree)]
+        assert names == ["html", "head", "title", "body", "ul", "li", "li", "p"]
+
+    def test_postorder_visits_children_first(self, simple_tree):
+        order = [n.name for n in iter_nodes(simple_tree, order="post")]
+        assert order.index("li") < order.index("ul")
+        assert order[-1] == "html"
+
+    def test_level_order(self, simple_tree):
+        order = [n.name for n in iter_nodes(simple_tree, order="level")
+                 if isinstance(n, TagNode)]
+        assert order[0] == "html"
+        assert order.index("body") < order.index("ul")
+
+    def test_unknown_order_raises(self, simple_tree):
+        with pytest.raises(ValueError):
+            list(iter_nodes(simple_tree, order="spiral"))
+
+    def test_leaf_nodes(self, simple_tree):
+        assert [l.content for l in leaf_nodes(simple_tree)] == ["T", "aa", "bbbb", "cc"]
+
+    def test_find_all_and_first(self, simple_tree):
+        assert len(find_all(simple_tree, "li")) == 2
+        assert find_first(simple_tree, "li").text() == "aa"
+        assert find_first(simple_tree, "nosuch") is None
+
+    def test_descendants_excludes_self(self, simple_tree):
+        ul = find_first(simple_tree, "ul")
+        assert ul not in list(descendants(ul))
+
+    def test_ancestors(self, simple_tree):
+        li = find_first(simple_tree, "li")
+        assert [a.name for a in ancestors(li)] == ["ul", "body", "html"]
+
+    def test_is_ancestor_reflexive(self, simple_tree):
+        assert is_ancestor(simple_tree, simple_tree)
+
+    def test_is_ancestor(self, simple_tree):
+        ul = find_first(simple_tree, "ul")
+        li = find_first(simple_tree, "li")
+        assert is_ancestor(ul, li)
+        assert not is_ancestor(li, ul)
+
+
+class TestRender:
+    def test_render_contains_tag_names(self, simple_tree):
+        art = render_tree(simple_tree)
+        for name in ("html", "body", "ul", "li"):
+            assert name in art
+
+    def test_render_with_metrics(self, simple_tree):
+        art = render_tree(simple_tree, metrics=True)
+        assert "fanout=" in art and "size=" in art
+
+    def test_render_depth_limit(self, simple_tree):
+        art = render_tree(simple_tree, max_depth=1)
+        assert "li" not in art
+
+    def test_render_hide_text(self, simple_tree):
+        art = render_tree(simple_tree, show_text=False)
+        assert "#text" not in art
+
+    def test_render_truncates_long_text(self):
+        tree = parse_document("<p>" + "x" * 500 + "</p>")
+        art = render_tree(tree, max_text=20)
+        assert "…" in art

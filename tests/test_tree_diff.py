@@ -1,0 +1,85 @@
+"""Tests for the structural tree diff (repro.tree.diff)."""
+
+from repro.tree.builder import parse_document
+from repro.tree.diff import Change, diff_trees, summarize_staleness
+
+
+def trees(old_html: str, new_html: str):
+    return parse_document(old_html), parse_document(new_html)
+
+
+class TestDiff:
+    def test_identical_trees_no_changes(self):
+        old, new = trees("<body><p>x</p></body>", "<body><p>x</p></body>")
+        assert diff_trees(old, new) == []
+
+    def test_inserted_element(self):
+        old, new = trees(
+            "<body><table><tr><td>x</td></tr></table></body>",
+            "<body><div><i>new</i></div><table><tr><td>x</td></tr></table></body>",
+        )
+        changes = diff_trees(old, new)
+        assert any(c.kind == "inserted" and "<div>" in c.detail for c in changes)
+
+    def test_removed_element(self):
+        old, new = trees(
+            "<body><p>gone</p><table><tr><td>x</td></tr></table></body>",
+            "<body><table><tr><td>x</td></tr></table></body>",
+        )
+        changes = diff_trees(old, new)
+        assert any(c.kind == "removed" and "<p>" in c.detail for c in changes)
+
+    def test_renamed_root_child(self):
+        old, new = trees("<body><center>x</center></body>", "<body><div>x</div></body>")
+        changes = diff_trees(old, new)
+        kinds = {c.kind for c in changes}
+        # LCS treats a rename as remove + insert at the same level.
+        assert kinds & {"renamed", "removed", "inserted"}
+
+    def test_wrapping_div_detected(self):
+        """The canonical redesign: results table gets wrapped in a div."""
+        old, new = trees(
+            "<body><table><tr><td>r</td></tr></table></body>",
+            "<body><div><table><tr><td>r</td></tr></table></div></body>",
+        )
+        changes = diff_trees(old, new)
+        assert any(c.kind == "inserted" and "<div>" in c.detail for c in changes)
+        assert any(c.kind == "removed" and "<table>" in c.detail for c in changes)
+
+    def test_deep_change_localized(self):
+        old, new = trees(
+            "<body><table><tr><td><b>x</b></td></tr></table></body>",
+            "<body><table><tr><td><i>x</i></td></tr></table></body>",
+        )
+        changes = diff_trees(old, new)
+        assert changes
+        assert all("td" in c.path or "b" in c.path or "i" in c.path for c in changes)
+
+    def test_attrs_ignored_by_default(self):
+        old, new = trees('<body><p class="a">x</p></body>', '<body><p class="b">x</p></body>')
+        assert diff_trees(old, new) == []
+
+    def test_attrs_compared_when_asked(self):
+        old, new = trees('<body><p class="a">x</p></body>', '<body><p class="b">x</p></body>')
+        changes = diff_trees(old, new, compare_attrs=True)
+        assert any(c.kind == "attrs" for c in changes)
+
+    def test_max_changes_caps_output(self):
+        old = "<body>" + "".join(f"<p>x{i}</p>" for i in range(50)) + "</body>"
+        new = "<body>" + "".join(f"<div>y{i}</div>" for i in range(50)) + "</body>"
+        changes = diff_trees(*trees(old, new), max_changes=10)
+        assert len(changes) == 10
+
+
+class TestStalenessSummary:
+    def test_names_the_shallowest_change(self):
+        old, new = trees(
+            "<body><table><tr><td>r</td></tr></table></body>",
+            "<body><div><table><tr><td>r</td></tr></table></div></body>",
+        )
+        summary = summarize_staleness(old, new, "html[1].body[1].table[1]")
+        assert "inserted" in summary or "removed" in summary
+
+    def test_identical_trees(self):
+        old, new = trees("<body><p>x</p></body>", "<body><p>x</p></body>")
+        assert "no structural differences" in summarize_staleness(old, new, "html[1]")

@@ -1,0 +1,65 @@
+"""Tests for the tag-tree invariant validator (repro.tree.validate)."""
+
+import pytest
+
+from repro.tree.builder import parse_document
+from repro.tree.node import ContentNode, TagNode
+from repro.tree.validate import assert_valid_tree, validate_tree
+
+
+class TestValidTrees:
+    def test_parsed_documents_are_valid(self):
+        for soup in (
+            "<p>x</p>",
+            "<table><tr><td>a<td>b</table>",
+            "",
+            "<ul><li>a<li>b<li>c</ul><hr><p>end",
+        ):
+            assert validate_tree(parse_document(soup)) == []
+
+    def test_hand_built_valid_tree(self):
+        root = TagNode("a", children=[TagNode("b"), ContentNode("x")])
+        assert_valid_tree(root)  # must not raise
+
+    def test_fixture_pages_are_valid(self, canoe_tree, loc_tree):
+        assert validate_tree(canoe_tree) == []
+        assert validate_tree(loc_tree) == []
+
+
+class TestViolations:
+    def test_broken_parent_link(self):
+        root = TagNode("a")
+        child = TagNode("b")
+        root.children.append(child)  # bypass append(): parent never set
+        problems = validate_tree(root)
+        assert any("parent link" in p for p in problems)
+
+    def test_node_in_two_child_lists(self):
+        shared = TagNode("s")
+        root = TagNode("a", children=[shared])
+        other = TagNode("b")
+        other.children.append(shared)  # second owner, bypassing append()
+        root.children.append(other)
+        other.parent = root
+        problems = validate_tree(root)
+        assert any("more than one child list" in p for p in problems)
+
+    def test_cycle_detected(self):
+        a = TagNode("a")
+        b = TagNode("b")
+        a.children.append(b)
+        b.parent = a
+        b.children.append(a)  # cycle, bypassing append()
+        problems = validate_tree(a)
+        assert any("cycle" in p or "root appears" in p for p in problems)
+
+    def test_validating_from_non_root(self):
+        root = TagNode("a", children=[TagNode("b")])
+        problems = validate_tree(root.children[0])
+        assert any("root has a parent" in p for p in problems)
+
+    def test_assert_raises_on_invalid(self):
+        root = TagNode("a")
+        root.children.append(TagNode("b"))
+        with pytest.raises(ValueError, match="invalid tag tree"):
+            assert_valid_tree(root)

@@ -1,0 +1,223 @@
+"""Unit tests for the wrapper-generation layer (repro.wrapper)."""
+
+import pytest
+
+from repro.core.pipeline import OminiExtractor
+from repro.core.separator import PPHeuristic, SDHeuristic
+from repro.corpus import CorpusGenerator, site_by_name
+from repro.corpus.fixtures import canoe_page
+from repro.wrapper import (
+    FeedbackStore,
+    FieldExtractor,
+    Wrapper,
+    WrapperError,
+    generate_wrapper,
+    refine_profiles,
+)
+from repro.wrapper.feedback import Verdict
+
+
+def result_pages(site_name: str, count: int = 4):
+    spec = site_by_name(site_name)
+    pages = CorpusGenerator(max_pages_per_site=count + 2).pages_for_site(spec)
+    return [p for p in pages if p.truth.object_count > 0][:count]
+
+
+class TestFieldExtractor:
+    @pytest.fixture
+    def fields(self):
+        result = OminiExtractor().extract(
+            "<html><body><table>"
+            '<tr><td><a href="/b1"><b>A River Atlas</b></a><br>'
+            "Maps of every navigable river.</td>"
+            "<td><i>Hartwell Press</i><br>$24.00</td></tr>"
+            '<tr><td><a href="/b2"><b>Night Ferry</b></a><br>'
+            "A novel of the crossing.</td>"
+            "<td><i>Mandrel Books</i><br>$11.50</td></tr>"
+            '<tr><td><a href="/b3"><b>Celestial Navigation</b></a><br>'
+            "Sextant drills for sailors.</td>"
+            "<td><i>Hartwell Press</i><br>$18.75</td></tr>"
+            "</table></body></html>"
+        )
+        return FieldExtractor().extract_all(result.objects)
+
+    def test_titles(self, fields):
+        assert [f.title for f in fields] == [
+            "A River Atlas", "Night Ferry", "Celestial Navigation",
+        ]
+
+    def test_urls(self, fields):
+        assert [f.url for f in fields] == ["/b1", "/b2", "/b3"]
+
+    def test_prices(self, fields):
+        assert [f.price for f in fields] == ["$24.00", "$11.50", "$18.75"]
+
+    def test_bylines(self, fields):
+        assert fields[0].byline == "Hartwell Press"
+
+    def test_descriptions(self, fields):
+        assert "navigable river" in fields[0].description
+
+    def test_as_dict_round_trip_keys(self, fields):
+        data = fields[0].as_dict()
+        assert set(data) == {"title", "url", "description", "price", "byline", "extras"}
+
+    def test_plain_text_object(self):
+        from repro.core.objects import ExtractedObject
+        from repro.tree.node import ContentNode
+
+        obj = ExtractedObject([ContentNode("just words, no markup")])
+        fields = FieldExtractor().extract(obj)
+        assert fields.title == "just words, no markup"
+        assert not fields.url
+
+    def test_empty_object(self):
+        from repro.core.objects import ExtractedObject
+
+        fields = FieldExtractor().extract(ExtractedObject())
+        assert fields.is_empty
+
+    def test_euro_price(self):
+        from repro.core.objects import ExtractedObject
+        from repro.tree.node import ContentNode
+
+        obj = ExtractedObject([ContentNode("only 12,50 EUR today")])
+        assert FieldExtractor().extract(obj).price == "12,50 EUR"
+
+
+class TestGenerateWrapper:
+    def test_unanimous_samples(self):
+        pages = result_pages("www.bn.com")
+        wrapper = generate_wrapper("www.bn.com", [p.html for p in pages])
+        assert wrapper.consensus == 1.0
+        assert wrapper.sample_pages == len(pages)
+        assert wrapper.rule.separator == "tr"
+
+    def test_wrap_produces_fields(self):
+        pages = result_pages("www.bn.com")
+        wrapper = generate_wrapper("www.bn.com", [p.html for p in pages])
+        records = wrapper.wrap(pages[0].html)
+        assert records
+        titles = {r.title for r in records}
+        assert titles & set(pages[0].truth.object_texts)
+
+    def test_no_samples_rejected(self):
+        with pytest.raises(WrapperError):
+            generate_wrapper("x", [])
+
+    def test_structureless_samples_rejected(self):
+        with pytest.raises(WrapperError):
+            generate_wrapper("x", ["<html><body>nothing here</body></html>"])
+
+    def test_mixed_samples_fail_consensus(self):
+        table_pages = result_pages("www.bn.com", 2)
+        list_pages = result_pages("www.google.com", 2)
+        with pytest.raises(WrapperError):
+            generate_wrapper(
+                "mixed",
+                [p.html for p in table_pages + list_pages],
+                min_consensus=0.9,
+            )
+
+    def test_stale_wrapper_raises(self):
+        pages = result_pages("www.bn.com")
+        wrapper = generate_wrapper("www.bn.com", [p.html for p in pages])
+        with pytest.raises(WrapperError):
+            wrapper.wrap("<html><body><div>redesigned site</div></body></html>")
+
+
+class TestWrapperSerialization:
+    def test_json_round_trip(self):
+        pages = result_pages("www.canoe.com", 3)
+        wrapper = generate_wrapper("www.canoe.com", [p.html for p in pages])
+        restored = Wrapper.from_json(wrapper.to_json())
+        assert restored.rule == wrapper.rule
+        assert restored.site == wrapper.site
+        # A restored wrapper extracts the same records.
+        original = [r.title for r in wrapper.wrap(pages[0].html)]
+        again = [r.title for r in restored.wrap(pages[0].html)]
+        assert original == again
+
+    def test_fixture_wrapper_on_canoe(self):
+        wrapper = generate_wrapper("canoe-fixture", [canoe_page()])
+        records = wrapper.wrap(canoe_page())
+        assert len(records) == 12
+        assert all(r.title for r in records)
+        assert all(r.url.startswith("/cgi-bin/story") for r in records)
+
+
+class TestFeedback:
+    def _verdicts(self, count=4):
+        pages = result_pages("www.bn.com", count)
+        return [
+            Verdict(
+                site="www.bn.com",
+                subtree_path=p.truth.subtree_path,
+                correct_separator=p.truth.primary_separator,
+                html=p.html,
+            )
+            for p in pages
+        ]
+
+    def test_store_accumulates(self):
+        store = FeedbackStore()
+        for verdict in self._verdicts(3):
+            store.add(verdict)
+        assert len(store) == 3
+
+    def test_store_persists(self, tmp_path):
+        path = tmp_path / "feedback.jsonl"
+        store = FeedbackStore(path)
+        for verdict in self._verdicts(2):
+            store.add(verdict)
+        restored = FeedbackStore(path)
+        assert len(restored) == 2
+        assert restored.verdicts[0].correct_separator == "tr"
+
+    def test_refine_profiles_from_feedback(self):
+        store = FeedbackStore()
+        for verdict in self._verdicts(4):
+            store.add(verdict)
+        profiles = refine_profiles([SDHeuristic(), PPHeuristic()], store)
+        # PP nails tr at rank 1 on bn-style pages.
+        assert profiles["PP"].probabilities[0] > 0.9
+        assert sum(profiles["PP"].probabilities) <= 1.0 + 1e-9
+
+    def test_prior_blending(self):
+        from repro.core.separator.combine import HeuristicProfile
+
+        store = FeedbackStore()
+        store.add(self._verdicts(1)[0])
+        prior = {"PP": HeuristicProfile("PP", (0.5, 0.1, 0.0, 0.0, 0.0))}
+        profiles = refine_profiles(
+            [PPHeuristic()], store, prior=prior, prior_weight=100
+        )
+        # One observation cannot overpower a weight-100 prior.
+        assert abs(profiles["PP"].probabilities[0] - 0.5) < 0.05
+
+    def test_stale_verdict_skipped(self):
+        store = FeedbackStore()
+        store.add(
+            Verdict(
+                site="s",
+                subtree_path="html[1].body[2].table[9]",
+                correct_separator="tr",
+                html="<html><body><p>changed</p></body></html>",
+            )
+        )
+        profiles = refine_profiles([PPHeuristic()], store)
+        assert sum(profiles["PP"].probabilities) == 0.0
+
+
+class TestDiagnose:
+    def test_names_the_redesign(self):
+        pages = result_pages("www.bn.com", 2)
+        wrapper = generate_wrapper("www.bn.com", [p.html for p in pages])
+        redesigned = pages[0].html.replace("<table id=", "<div><table id=").replace(
+            "</table>", "</table></div>", 1
+        )
+        with pytest.raises(WrapperError):
+            wrapper.wrap(redesigned)
+        explanation = wrapper.diagnose(pages[0].html, redesigned)
+        assert "inserted" in explanation or "removed" in explanation
+        assert "html[1]" in explanation
