@@ -1,0 +1,80 @@
+"""Batch-engine throughput: pages/sec for workers in {1, 4}.
+
+Not a paper table -- this bench guards the ROADMAP's scaling direction: the
+concurrent :class:`~repro.core.batch.BatchExtractor` must (a) produce
+*identical* objects and separators to sequential extraction over a 100-page
+corpus slice (the batch engine is a scheduler, never an approximation), and
+(b) report its throughput so regressions in the stage engine's hot path
+show up as pages/sec, not vibes.
+
+Pure-Python discovery is CPU-bound, so thread workers buy little under the
+GIL (the win is on file I/O and any future native parse path); the bench
+records both figures rather than asserting a speedup.
+"""
+
+import pytest
+
+from repro.core.batch import BatchExtractor, PageTask
+from repro.corpus import CorpusGenerator, EXPERIMENTAL_SITES, TEST_SITES
+from repro.eval.report import format_table
+
+
+@pytest.fixture(scope="module")
+def corpus_slice():
+    """A ~100-page slice across every site family (layout-diverse)."""
+    sites = TEST_SITES + EXPERIMENTAL_SITES[:12]
+    pages = CorpusGenerator(max_pages_per_site=4).generate(sites)
+    assert len(pages) >= 100
+    return [
+        PageTask(source=page.html, site=page.site, page_id=f"{page.site}#{index}")
+        for index, page in enumerate(pages[:100])
+    ]
+
+
+def test_batch_throughput(benchmark, corpus_slice):
+    outcomes = {}
+
+    def run():
+        for workers in (1, 4):
+            outcomes[workers] = BatchExtractor().extract_many(
+                corpus_slice, workers=workers
+            )
+        return outcomes
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    sequential, parallel = outcomes[1], outcomes[4]
+
+    # (a) Concurrency never changes the answer: identical objects and
+    # separators, page for page, in input order.
+    assert len(sequential) == len(parallel) == 100
+    assert not sequential.failures and not parallel.failures
+    for seq, par in zip(sequential.results, parallel.results):
+        assert seq.separator == par.separator
+        assert seq.subtree_path == par.subtree_path
+        assert [obj.text() for obj in seq.objects] == [
+            obj.text() for obj in par.objects
+        ]
+
+    # (b) The throughput record.
+    print()
+    rows = [
+        [
+            f"workers={workers}",
+            outcome.stats.pages,
+            outcome.stats.elapsed,
+            outcome.stats.pages_per_second,
+            outcome.stats.failed,
+        ]
+        for workers, outcome in sorted(outcomes.items())
+    ]
+    print(
+        format_table(
+            ["Config", "Pages", "Elapsed (s)", "Pages/s", "Failed"],
+            rows,
+            title="Batch throughput over a 100-page corpus slice",
+            float_format="{:.2f}",
+        )
+    )
+    for outcome in outcomes.values():
+        assert outcome.stats.pages_per_second > 0

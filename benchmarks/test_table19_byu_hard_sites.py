@@ -13,7 +13,7 @@ from conftest import omini_heuristics
 
 from repro.baselines import byu_heuristics
 from repro.core.separator import CombinedSeparatorFinder
-from repro.eval import score_outcomes, separator_outcomes
+from repro.eval import separator_outcomes
 from repro.eval.metrics import success_rate
 from repro.eval.report import format_table
 

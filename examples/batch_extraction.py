@@ -1,0 +1,67 @@
+"""Concurrent batch extraction with the stage engine.
+
+The single-page :class:`OminiExtractor` is the paper's Figure 3; serving
+heavy traffic means running that pipeline over *streams* of pages.  This
+example drives :class:`repro.core.batch.BatchExtractor` over a multi-site
+corpus slice and shows the three batch guarantees:
+
+1. ``workers=4`` produces exactly the same objects and separators as
+   sequential execution (results come back in input order);
+2. a page that explodes mid-pipeline becomes a ``FailedExtraction`` record
+   in its slot -- the batch always completes;
+3. attaching a ``RuleStore`` makes the first page of each site learn the
+   Section 6.6 rule that every later page applies via the cached fast
+   path (watch the ``cached_rule_hits`` counter).
+
+Run with::
+
+    python examples/batch_extraction.py
+"""
+
+from repro import BatchExtractor, RuleStore
+from repro.core.batch import PageTask
+from repro.corpus import CorpusGenerator, TEST_SITES
+
+
+def main() -> None:
+    # A layout-diverse slice: a few pages from each test-split site.
+    pages = CorpusGenerator(max_pages_per_site=3).generate(TEST_SITES[:8])
+    tasks = [
+        PageTask(source=page.html, site=page.site, page_id=f"{page.site}#{i}")
+        for i, page in enumerate(pages)
+    ]
+    print(f"corpus slice: {len(tasks)} pages from 8 sites\n")
+
+    # 1. Parallel == sequential, page for page.
+    sequential = BatchExtractor().extract_many(tasks, workers=1)
+    parallel = BatchExtractor().extract_many(tasks, workers=4)
+    for seq, par in zip(sequential.results, parallel.results):
+        assert seq.separator == par.separator
+        assert [o.text() for o in seq.objects] == [o.text() for o in par.objects]
+    print(
+        f"sequential: {sequential.stats.pages_per_second:6.1f} pages/s   "
+        f"workers=4: {parallel.stats.pages_per_second:6.1f} pages/s   "
+        "(identical objects)"
+    )
+
+    # 2. Error isolation: a corrupt "page" cannot kill the batch.
+    poisoned = [tasks[0], PageTask(path="/nonexistent/page.html"), tasks[1]]
+    outcome = BatchExtractor().extract_many(poisoned, workers=2)
+    assert len(outcome.failures) == 1
+    assert len(outcome.succeeded) == 2
+    failure = outcome.failures[0]
+    print(f"\npoisoned batch: {failure.error_type} on {failure.page} "
+          f"-- other {len(outcome.succeeded)} pages unaffected")
+
+    # 3. Per-site rule reuse: later pages of a site skip discovery.
+    cached = BatchExtractor(rule_store=RuleStore()).extract_many(tasks)
+    print(
+        f"\nwith a rule store: {cached.stats.cached_rule_hits} of "
+        f"{cached.stats.pages} pages took the cached-rule fast path "
+        f"({cached.stats.fallbacks} stale-rule fallbacks)"
+    )
+    assert cached.stats.cached_rule_hits > 0
+
+
+if __name__ == "__main__":
+    main()

@@ -26,7 +26,7 @@ from repro.core.subtree import (
     LTCHeuristic,
 )
 from repro.corpus.fixtures import CANOE_EXPECTED, canoe_page
-from repro.tree.paths import node_at_path, path_of
+from repro.tree.paths import node_at_path
 
 
 def main() -> None:

@@ -22,7 +22,7 @@ Run with::
 
 import random
 
-from repro import OminiExtractor
+from repro import BatchExtractor
 from repro.corpus import CorpusGenerator, site_by_name
 from repro.corpus.dictionary import random_words
 from repro.wrapper.forms import build_search_request
@@ -34,7 +34,6 @@ WORDS = 12  # the paper used 100; a dozen keeps the demo quick
 def main() -> None:
     spec = site_by_name(SITE)
     generator = CorpusGenerator()
-    extractor = OminiExtractor()
 
     # 1. Random query words (seeded draw from the bundled dictionary).
     words = random_words(random.Random(2000), WORDS)
@@ -56,15 +55,17 @@ def main() -> None:
         kept.append(page)
     print(f"\nretrieved {len(words)} pages, kept {len(kept)} with results")
 
-    # 5. Extract.
-    total_records = total_extracted = 0
-    for page in kept:
-        result = extractor.extract(page.html)
-        total_records += page.truth.object_count
-        total_extracted += len(result.objects)
+    # 5. Extract -- the whole crawl in one concurrent batch call.
+    outcome = BatchExtractor().extract_many(
+        [page.html for page in kept], workers=4
+    )
+    total_records = sum(page.truth.object_count for page in kept)
+    total_extracted = sum(len(result.objects) for result in outcome.succeeded)
+    stats = outcome.stats
     print(
         f"extracted {total_extracted} objects from {total_records} records "
-        f"({total_extracted / total_records:.1%})"
+        f"({total_extracted / total_records:.1%}) at "
+        f"{stats.pages_per_second:.1f} pages/s, {stats.failed} failures"
     )
 
     assert request.method == "get"

@@ -22,11 +22,15 @@ Package map:
 """
 
 from repro.core import (
+    BatchExtractor,
+    BatchResult,
     CombinedSeparatorFinder,
     CombinedSubtreeFinder,
     ExtractedObject,
     ExtractionResult,
     ExtractionRule,
+    ExtractorConfig,
+    FailedExtraction,
     GSIHeuristic,
     HFHeuristic,
     IPSHeuristic,
@@ -52,11 +56,15 @@ from repro.aggregate import MetaSearch, SyntheticProvider
 __version__ = "1.0.0"
 
 __all__ = [
+    "BatchExtractor",
+    "BatchResult",
     "CombinedSeparatorFinder",
     "CombinedSubtreeFinder",
     "ExtractedObject",
     "ExtractionResult",
     "ExtractionRule",
+    "ExtractorConfig",
+    "FailedExtraction",
     "GSIHeuristic",
     "HFHeuristic",
     "IPSHeuristic",

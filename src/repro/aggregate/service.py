@@ -23,6 +23,8 @@ from dataclasses import dataclass, field
 
 from repro.aggregate.merge import MergedRecord, dedupe_records, rank_records
 from repro.aggregate.sources import ContentProvider
+from repro.core.batch import parallel_map
+from repro.core.stages.config import ExtractorConfig
 from repro.wrapper import Wrapper, WrapperError, generate_wrapper
 
 
@@ -41,11 +43,26 @@ class SearchResult:
 
 
 class MetaSearch:
-    """An integration service over any number of content providers."""
+    """An integration service over any number of content providers.
 
-    def __init__(self, *, sample_count: int = 3, dedupe_threshold: float = 0.6) -> None:
+    ``workers`` fans each query out to the providers concurrently (the
+    heavy-traffic posture: provider latency overlaps instead of summing);
+    ``config`` is the consolidated pipeline configuration used when
+    generating and regenerating wrappers.
+    """
+
+    def __init__(
+        self,
+        *,
+        sample_count: int = 3,
+        dedupe_threshold: float = 0.6,
+        workers: int = 1,
+        config: ExtractorConfig | None = None,
+    ) -> None:
         self.sample_count = sample_count
         self.dedupe_threshold = dedupe_threshold
+        self.workers = workers
+        self.config = config
         self._providers: dict[str, ContentProvider] = {}
         self._wrappers: dict[str, Wrapper] = {}
 
@@ -58,7 +75,7 @@ class MetaSearch:
         paper's scalability argument in executable form.
         """
         samples = self._sample_pages(provider)
-        wrapper = generate_wrapper(provider.name, samples)
+        wrapper = generate_wrapper(provider.name, samples, config=self.config)
         self._providers[provider.name] = provider
         self._wrappers[provider.name] = wrapper
         return wrapper
@@ -73,14 +90,27 @@ class MetaSearch:
     # -- searching ------------------------------------------------------------
 
     def search(self, query: str) -> SearchResult:
-        """Fan one query out to every provider; merge and rank the results."""
+        """Fan one query out to every provider; merge and rank the results.
+
+        With ``workers > 1`` the providers are queried concurrently;
+        results are gathered in registration order either way, so ranking
+        is deterministic.
+        """
+        providers = list(self._providers.items())
+
+        def ask(item: tuple[str, ContentProvider]):
+            name, provider = item
+            try:
+                return name, self._wrap_with_healing(name, provider, query)
+            except WrapperError:
+                return name, None
+
+        answers = parallel_map(ask, providers, workers=self.workers)
         gathered: list[tuple[str, object]] = []
         searched: list[str] = []
         failed: list[str] = []
-        for name, provider in self._providers.items():
-            try:
-                records = self._wrap_with_healing(name, provider, query)
-            except WrapperError:
+        for name, records in answers:
+            if records is None:
                 failed.append(name)
                 continue
             searched.append(name)

@@ -2,7 +2,8 @@
 
 Usage::
 
-    omini extract PAGE.html [--site NAME --rules RULES.json] [--json]
+    omini extract PAGE.html [PAGE2.html ...] [--site NAME --rules RULES.json]
+                  [--workers N] [--json]
     omini tree PAGE.html [--metrics] [--depth N]
     omini rank PAGE.html              # subtree + separator rankings
     omini corpus OUTDIR [--split test|experimental|all] [--pages N]
@@ -11,7 +12,9 @@ Usage::
     omini diff OLD.html NEW.html
 
 ``extract`` runs the full three-phase pipeline and prints one object per
-block; ``tree`` prints the Phase 1 tag tree (Figures 1/5 style); ``rank``
+block; given several pages (or ``--workers N``) it switches to the
+concurrent batch engine and reports per-page outcomes plus throughput
+counters; ``tree`` prints the Phase 1 tag tree (Figures 1/5 style); ``rank``
 shows the Phase 2 evidence (how each heuristic voted); ``corpus``
 materializes the synthetic evaluation corpus to disk; the ``wrap-*``
 commands drive the Section 7 wrapper-generation layer.
@@ -38,8 +41,10 @@ from repro.tree.render import render_tree
 
 def _cmd_extract(args: argparse.Namespace) -> int:
     store = RuleStore(args.rules) if args.rules else None
+    if len(args.page) > 1 or args.workers > 1:
+        return _extract_batch(args, store)
     extractor = OminiExtractor(rule_store=store)
-    result = extractor.extract_file(args.page, site=args.site)
+    result = extractor.extract_file(args.page[0], site=args.site)
     if store is not None and args.rules:
         store.save()
     if args.json:
@@ -62,6 +67,59 @@ def _cmd_extract(args: argparse.Namespace) -> int:
         print(f"\n--- object {index} ---")
         print(obj.text())
     return 0
+
+
+def _extract_batch(args: argparse.Namespace, store: RuleStore | None) -> int:
+    """Many pages (or --workers): run the concurrent batch engine."""
+    from repro.core.batch import BatchExtractor, FailedExtraction, PageTask
+
+    tasks = [PageTask(path=page, site=args.site) for page in args.page]
+    batch = BatchExtractor(rule_store=store)
+    outcome = batch.extract_many(tasks, workers=args.workers)
+    if store is not None and args.rules:
+        store.save()
+
+    if args.json:
+        payloads = []
+        for task, result in zip(tasks, outcome.results):
+            if isinstance(result, FailedExtraction):
+                payloads.append(
+                    {
+                        "page": result.page,
+                        "error": result.error,
+                        "error_type": result.error_type,
+                    }
+                )
+            else:
+                payloads.append(
+                    {
+                        "page": str(task.path),
+                        "subtree": result.subtree_path,
+                        "separator": result.separator,
+                        "candidates": result.candidate_objects,
+                        "objects": [obj.text() for obj in result.objects],
+                        "used_cached_rule": result.used_cached_rule,
+                        "timings_ms": result.timings.as_milliseconds(),
+                    }
+                )
+        print(json.dumps({"pages": payloads, "stats": outcome.stats.as_dict()}, indent=2))
+    else:
+        for task, result in zip(tasks, outcome.results):
+            if isinstance(result, FailedExtraction):
+                print(f"{task.path}: FAILED ({result.error_type}: {result.error})")
+            else:
+                cached = " [cached rule]" if result.used_cached_rule else ""
+                print(
+                    f"{task.path}: {len(result.objects)} objects via "
+                    f"<{result.separator}> at {result.subtree_path}{cached}"
+                )
+        stats = outcome.stats
+        print(
+            f"\n{stats.pages} pages in {stats.elapsed:.2f}s "
+            f"({stats.pages_per_second:.1f} pages/s), "
+            f"{stats.failed} failed, {stats.cached_rule_hits} cached-rule hits"
+        )
+    return 0 if not outcome.failures else 1
 
 
 def _cmd_tree(args: argparse.Namespace) -> int:
@@ -190,10 +248,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p = sub.add_parser("extract", help="extract objects from an HTML file")
-    p.add_argument("page", help="path to the HTML file")
+    p = sub.add_parser("extract", help="extract objects from HTML files")
+    p.add_argument("page", nargs="+", help="path(s) to HTML file(s); several switch to batch mode")
     p.add_argument("--site", help="site key for rule caching")
     p.add_argument("--rules", help="JSON rule-store path (enables Section 6.6 caching)")
+    p.add_argument("--workers", type=int, default=1, help="batch-mode worker threads")
     p.add_argument("--json", action="store_true", help="machine-readable output")
     p.set_defaults(func=_cmd_extract)
 

@@ -13,13 +13,34 @@ Three-phase object extraction (Figure 3 of the paper):
 
 :class:`repro.core.pipeline.OminiExtractor` ties the phases together and is
 the main public entry point; :mod:`repro.core.rules` adds the cached
-extraction-rule fast path of Section 6.6.
+extraction-rule fast path of Section 6.6.  The phases themselves run as an
+explicit staged pipeline (:mod:`repro.core.stages`): a :class:`Stage`
+protocol, an :class:`ExtractorConfig` consolidating every knob, and
+pluggable instrumentation.  :class:`repro.core.batch.BatchExtractor` drives
+the same stage engine over many pages concurrently.
 """
 
+from repro.core.batch import (
+    BatchExtractor,
+    BatchResult,
+    BatchStats,
+    ExtractionSummary,
+    FailedExtraction,
+    PageTask,
+    parallel_map,
+)
 from repro.core.objects import ExtractedObject, construct_objects
 from repro.core.pipeline import ExtractionResult, OminiExtractor, PhaseTimings, extract_objects
 from repro.core.refinement import RefinementConfig, refine_objects
 from repro.core.rules import ExtractionRule, RuleStore
+from repro.core.stages import (
+    ExtractionContext,
+    ExtractorConfig,
+    Instrumentation,
+    Stage,
+    StageEngine,
+    TimingInstrumentation,
+)
 from repro.core.separator import (
     CombinedSeparatorFinder,
     HCHeuristic,
@@ -40,11 +61,23 @@ from repro.core.subtree import (
 )
 
 __all__ = [
+    "BatchExtractor",
+    "BatchResult",
+    "BatchStats",
     "CombinedSeparatorFinder",
     "CombinedSubtreeFinder",
     "ExtractedObject",
+    "ExtractionContext",
     "ExtractionResult",
     "ExtractionRule",
+    "ExtractionSummary",
+    "ExtractorConfig",
+    "FailedExtraction",
+    "Instrumentation",
+    "PageTask",
+    "Stage",
+    "StageEngine",
+    "TimingInstrumentation",
     "GSIHeuristic",
     "HCHeuristic",
     "HFHeuristic",
@@ -63,5 +96,6 @@ __all__ = [
     "SubtreeHeuristic",
     "construct_objects",
     "extract_objects",
+    "parallel_map",
     "refine_objects",
 ]

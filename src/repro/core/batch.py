@@ -1,0 +1,358 @@
+"""Concurrent batch extraction on top of the stage engine.
+
+Every internal caller used to hand-roll its own page loop (the eval
+harness, the timing bench, the CLI, the metasearch service, wrapper
+generation).  :class:`BatchExtractor` is the one batch driver they now
+share: ``extract_many(pages, workers=N)`` runs the staged pipeline over a
+corpus with
+
+* **thread or process pools** (``executor="thread"`` shares one extractor
+  and rule store across workers; ``executor="process"`` ships the picklable
+  :class:`~repro.core.stages.ExtractorConfig` to each worker and returns
+  compact :class:`ExtractionSummary` records, since parsed tag trees are
+  not worth hauling across process boundaries);
+* **per-site rule-store reuse** -- pass a :class:`RuleStore` and the first
+  page of each site learns the Section 6.6 rule that every later page of
+  that site applies via the cached fast path;
+* **error isolation** -- a page that raises anywhere in the pipeline
+  yields a :class:`FailedExtraction` record in its slot instead of killing
+  the batch;
+* **throughput/failure counters** -- :class:`BatchStats` plus the same
+  instrumentation hooks the single-page engine emits
+  (``on_page_start/on_page_end/on_page_error`` and the per-stage hooks).
+
+Results always come back in input order, so ``workers=4`` is
+output-equivalent to sequential execution (pinned by
+``benchmarks/test_batch_throughput.py``).
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Iterable, Sequence
+
+from repro.core.pipeline import OminiExtractor
+from repro.core.rules import RuleStore
+from repro.core.stages.config import ExtractorConfig
+from repro.core.stages.context import ExtractionResult, PhaseTimings
+from repro.core.stages.instrumentation import (
+    CompositeInstrumentation,
+    Instrumentation,
+    StageCounters,
+)
+
+__all__ = [
+    "BatchExtractor",
+    "BatchResult",
+    "BatchStats",
+    "ExtractionSummary",
+    "FailedExtraction",
+    "PageTask",
+    "parallel_map",
+]
+
+
+def parallel_map(fn: Callable, items: Sequence, *, workers: int = 1) -> list:
+    """Order-preserving map, threaded when ``workers > 1``.
+
+    Exceptions propagate to the caller (use :class:`BatchExtractor` when
+    you want per-item isolation instead).
+    """
+    items = list(items)
+    if workers <= 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    with ThreadPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(fn, items))
+
+
+@dataclass(frozen=True)
+class PageTask:
+    """One unit of batch work: HTML text or a file path, plus metadata."""
+
+    source: str | None = None
+    path: str | Path | None = None
+    site: str | None = None
+    #: Label used in results/failures; defaults to the path or batch index.
+    page_id: str | None = None
+
+    def label(self, index: int) -> str:
+        if self.page_id is not None:
+            return self.page_id
+        if self.path is not None:
+            return str(self.path)
+        return f"page[{index}]"
+
+
+@dataclass(frozen=True)
+class FailedExtraction:
+    """A page the pipeline could not process; fills the page's result slot."""
+
+    page: str
+    site: str | None
+    error: str
+    error_type: str
+
+    def __bool__(self) -> bool:  # failures are falsy: filter with `if r`
+        return False
+
+
+@dataclass
+class ExtractionSummary:
+    """Picklable digest of an :class:`ExtractionResult` (process mode)."""
+
+    page: str
+    site: str | None
+    subtree_path: str
+    separator: str | None
+    object_texts: list[str]
+    candidate_objects: int
+    used_cached_rule: bool
+    timings: PhaseTimings
+
+    @classmethod
+    def from_result(
+        cls, result: ExtractionResult, *, page: str, site: str | None
+    ) -> "ExtractionSummary":
+        return cls(
+            page=page,
+            site=site,
+            subtree_path=result.subtree_path,
+            separator=result.separator,
+            object_texts=[obj.text() for obj in result.objects],
+            candidate_objects=result.candidate_objects,
+            used_cached_rule=result.used_cached_rule,
+            timings=result.timings,
+        )
+
+
+@dataclass
+class BatchStats:
+    """Throughput and failure counters for one ``extract_many`` call."""
+
+    pages: int = 0
+    succeeded: int = 0
+    failed: int = 0
+    cached_rule_hits: int = 0
+    fallbacks: int = 0
+    elapsed: float = 0.0
+
+    @property
+    def pages_per_second(self) -> float:
+        return self.pages / self.elapsed if self.elapsed > 0 else 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "pages": self.pages,
+            "succeeded": self.succeeded,
+            "failed": self.failed,
+            "cached_rule_hits": self.cached_rule_hits,
+            "fallbacks": self.fallbacks,
+            "elapsed_s": self.elapsed,
+            "pages_per_second": self.pages_per_second,
+        }
+
+
+@dataclass
+class BatchResult:
+    """Per-page outcomes (input order) plus aggregate counters."""
+
+    results: list  # ExtractionResult | ExtractionSummary | FailedExtraction
+    stats: BatchStats
+
+    def __iter__(self):
+        return iter(self.results)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    @property
+    def succeeded(self) -> list:
+        return [r for r in self.results if not isinstance(r, FailedExtraction)]
+
+    @property
+    def failures(self) -> list[FailedExtraction]:
+        return [r for r in self.results if isinstance(r, FailedExtraction)]
+
+
+class BatchExtractor:
+    """Extract objects from many pages concurrently.
+
+    Usage::
+
+        batch = BatchExtractor(rule_store=RuleStore())
+        outcome = batch.extract_many(pages, workers=4)
+        for result in outcome.succeeded:
+            ...
+
+    Parameters
+    ----------
+    config:
+        Consolidated pipeline configuration; None uses the paper defaults.
+    rule_store:
+        Optional shared store enabling per-site rule reuse across the
+        batch (and across batches).  Pass ``PageTask(site=...)`` items (or
+        use ``extract_files(..., site_from_dir=True)``) to key it.
+    instrumentation:
+        Extra observer receiving stage- and page-level hooks.
+    executor:
+        ``"thread"`` (default) or ``"process"``.  Process mode returns
+        :class:`ExtractionSummary` records and keeps a rule store per
+        worker process.
+    """
+
+    def __init__(
+        self,
+        config: ExtractorConfig | None = None,
+        *,
+        rule_store: RuleStore | None = None,
+        instrumentation: Instrumentation | None = None,
+        executor: str = "thread",
+    ) -> None:
+        if executor not in ("thread", "process"):
+            raise ValueError(f"unknown executor {executor!r}")
+        self.config = config or ExtractorConfig()
+        self.rule_store = rule_store
+        self.instrumentation = instrumentation
+        self.executor = executor
+
+    # -- public API ----------------------------------------------------------
+
+    def extract_many(
+        self, pages: Iterable[str | PageTask], *, workers: int = 1
+    ) -> BatchResult:
+        """Run the pipeline over ``pages``; one result slot per page.
+
+        ``pages`` items are HTML strings or :class:`PageTask` values.  A
+        page that raises produces a :class:`FailedExtraction` in its slot;
+        the batch always completes.
+        """
+        tasks = [
+            page if isinstance(page, PageTask) else PageTask(source=page)
+            for page in pages
+        ]
+        if self.executor == "process" and workers > 1:
+            return self._run_processes(tasks, workers)
+        return self._run_threads(tasks, workers)
+
+    def extract_files(
+        self,
+        paths: Iterable[str | Path],
+        *,
+        workers: int = 1,
+        site_from_dir: bool = False,
+    ) -> BatchResult:
+        """Batch-extract files on disk (the Table 16/17 layout).
+
+        With ``site_from_dir=True`` each file's parent directory name is
+        its site key -- the :class:`~repro.corpus.fetcher.PageCache` layout
+        -- enabling per-site rule reuse when a rule store is attached.
+        """
+        tasks = [
+            PageTask(
+                path=path,
+                site=Path(path).parent.name if site_from_dir else None,
+            )
+            for path in paths
+        ]
+        return self.extract_many(tasks, workers=workers)
+
+    # -- thread execution -----------------------------------------------------
+
+    def _run_threads(self, tasks: list[PageTask], workers: int) -> BatchResult:
+        counters = StageCounters()
+        observers: list[Instrumentation] = [counters]
+        if self.instrumentation is not None:
+            observers.append(self.instrumentation)
+        observer = CompositeInstrumentation(observers)
+        extractor = OminiExtractor.from_config(
+            self.config, rule_store=self.rule_store, instrumentation=observer
+        )
+
+        def one(indexed: tuple[int, PageTask]):
+            index, task = indexed
+            observer.on_page_start(task)
+            try:
+                if task.source is not None:
+                    result = extractor.extract(task.source, site=task.site)
+                else:
+                    result = extractor.extract_file(task.path, site=task.site)
+            except Exception as error:  # noqa: BLE001 - isolation is the point
+                observer.on_page_error(task, error)
+                return FailedExtraction(
+                    page=task.label(index),
+                    site=task.site,
+                    error=str(error),
+                    error_type=type(error).__name__,
+                )
+            observer.on_page_end(task, result)
+            return result
+
+        start = time.perf_counter()
+        results = parallel_map(one, list(enumerate(tasks)), workers=workers)
+        elapsed = time.perf_counter() - start
+        return BatchResult(results, self._stats(results, elapsed, counters))
+
+    # -- process execution ----------------------------------------------------
+
+    def _run_processes(self, tasks: list[PageTask], workers: int) -> BatchResult:
+        start = time.perf_counter()
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_init_process_worker,
+            initargs=(self.config, self.rule_store is not None),
+        ) as pool:
+            results = list(pool.map(_run_process_task, list(enumerate(tasks))))
+        elapsed = time.perf_counter() - start
+        return BatchResult(results, self._stats(results, elapsed, None))
+
+    # -- counters -------------------------------------------------------------
+
+    def _stats(
+        self, results: list, elapsed: float, counters: StageCounters | None
+    ) -> BatchStats:
+        stats = BatchStats(pages=len(results), elapsed=elapsed)
+        for result in results:
+            if isinstance(result, FailedExtraction):
+                stats.failed += 1
+            else:
+                stats.succeeded += 1
+                if getattr(result, "used_cached_rule", False):
+                    stats.cached_rule_hits += 1
+        if counters is not None:
+            stats.fallbacks = counters.fallbacks
+        return stats
+
+
+# -- process-pool workers (module level so they pickle) -----------------------
+
+_WORKER_EXTRACTOR: OminiExtractor | None = None
+
+
+def _init_process_worker(config: ExtractorConfig, use_rules: bool) -> None:
+    global _WORKER_EXTRACTOR
+    _WORKER_EXTRACTOR = OminiExtractor.from_config(
+        config, rule_store=RuleStore() if use_rules else None
+    )
+
+
+def _run_process_task(indexed: tuple[int, PageTask]):
+    index, task = indexed
+    assert _WORKER_EXTRACTOR is not None, "worker initializer did not run"
+    try:
+        if task.source is not None:
+            result = _WORKER_EXTRACTOR.extract(task.source, site=task.site)
+        else:
+            result = _WORKER_EXTRACTOR.extract_file(task.path, site=task.site)
+        return ExtractionSummary.from_result(
+            result, page=task.label(index), site=task.site
+        )
+    except Exception as error:  # noqa: BLE001 - isolation is the point
+        return FailedExtraction(
+            page=task.label(index),
+            site=task.site,
+            error=str(error),
+            error_type=type(error).__name__,
+        )

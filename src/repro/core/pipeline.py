@@ -1,32 +1,37 @@
 """The end-to-end Omini pipeline (Figure 3 of the paper).
 
-:class:`OminiExtractor` wires the three phases together:
+:class:`OminiExtractor` is the friendly single-page facade over the staged
+pipeline in :mod:`repro.core.stages`:
 
-1. read + normalize + parse (``repro.html`` / ``repro.tree``),
-2. choose the minimal object-rich subtree (``repro.core.subtree``) and the
-   object separator (``repro.core.separator``),
-3. construct and refine objects (``repro.core.objects`` /
-   ``repro.core.refinement``).
+1. read + normalize + parse (``ReadStage`` / ``ParseStage``),
+2. choose the minimal object-rich subtree and the object separator
+   (``SubtreeStage -> SeparatorStage -> CombineStage``),
+3. construct and refine objects (``ConstructStage -> RefineStage``).
 
-Every stage is timed individually into :class:`PhaseTimings`, whose fields
-are exactly the columns of Tables 16 and 17 (read file, parse page, choose
-subtree, object separator, combine heuristics, construct objects, total), so
-the timing benches print rows in the paper's own format.
+Every stage is timed by the default
+:class:`~repro.core.stages.instrumentation.TimingInstrumentation` into
+:class:`PhaseTimings`, whose fields are exactly the columns of Tables 16
+and 17 (read file, parse page, choose subtree, object separator, combine
+heuristics, construct objects, total), so the timing benches print rows in
+the paper's own format.
 
-The extractor also implements the Section 6.6 fast path: given a
-:class:`~repro.core.rules.RuleStore` and a site key, discovery is skipped
-whenever a cached rule applies, with automatic fallback + rule re-learning
-when the rule has gone stale.
+The Section 6.6 fast path is an alternate *stage plan*, not a parallel
+code path: given a :class:`~repro.core.rules.RuleStore` and a site key, the
+engine runs ``ApplyRuleStage -> ConstructStage -> RefineStage`` whenever a
+cached rule applies, with automatic fallback + rule re-learning when the
+rule has gone stale.
+
+For many pages at once, use :class:`repro.core.batch.BatchExtractor`,
+which drives the same engine concurrently.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
-from repro.core.objects import ExtractedObject, construct_objects
-from repro.core.refinement import RefinementConfig, refine_objects
-from repro.core.rules import ExtractionRule, RuleStore, StaleRuleError
+from repro.core.objects import ExtractedObject
+from repro.core.refinement import RefinementConfig
+from repro.core.rules import RuleStore
 from repro.core.separator import (
     CombinedSeparatorFinder,
     IPSHeuristic,
@@ -35,64 +40,27 @@ from repro.core.separator import (
     SBHeuristic,
     SDHeuristic,
 )
-from repro.core.separator.base import CandidateContext, RankedTag, build_context
+from repro.core.stages.config import ExtractorConfig
+from repro.core.stages.context import (
+    ExtractionContext,
+    ExtractionResult,
+    PhaseTimings,
+)
+from repro.core.stages.engine import StageEngine
+from repro.core.stages.instrumentation import (
+    CompositeInstrumentation,
+    Instrumentation,
+    TimingInstrumentation,
+)
 from repro.core.subtree import CombinedSubtreeFinder
-from repro.tree.builder import parse_document
 from repro.tree.node import TagNode
-from repro.tree.paths import path_of
 
-
-@dataclass
-class PhaseTimings:
-    """Wall-clock seconds per pipeline stage (Tables 16/17 columns)."""
-
-    read_file: float = 0.0
-    parse_page: float = 0.0
-    choose_subtree: float = 0.0
-    object_separator: float = 0.0
-    combine_heuristics: float = 0.0
-    construct_objects: float = 0.0
-
-    @property
-    def total(self) -> float:
-        return (
-            self.read_file
-            + self.parse_page
-            + self.choose_subtree
-            + self.object_separator
-            + self.combine_heuristics
-            + self.construct_objects
-        )
-
-    def as_milliseconds(self) -> dict[str, float]:
-        """The Table 16/17 row for this run, in milliseconds."""
-        return {
-            "read_file": self.read_file * 1e3,
-            "parse_page": self.parse_page * 1e3,
-            "choose_subtree": self.choose_subtree * 1e3,
-            "object_separator": self.object_separator * 1e3,
-            "combine_heuristics": self.combine_heuristics * 1e3,
-            "construct_objects": self.construct_objects * 1e3,
-            "total": self.total * 1e3,
-        }
-
-
-@dataclass
-class ExtractionResult:
-    """Everything the pipeline learned about one page."""
-
-    objects: list[ExtractedObject]
-    subtree: TagNode
-    separator: str | None
-    candidate_objects: int
-    separator_ranking: list[RankedTag]
-    timings: PhaseTimings
-    used_cached_rule: bool = False
-    rule: ExtractionRule | None = None
-
-    @property
-    def subtree_path(self) -> str:
-        return path_of(self.subtree)
+__all__ = [
+    "ExtractionResult",
+    "OminiExtractor",
+    "PhaseTimings",
+    "extract_objects",
+]
 
 
 def _default_separator_finder() -> CombinedSeparatorFinder:
@@ -126,6 +94,12 @@ class OminiExtractor:
     rule_store:
         Optional :class:`RuleStore` enabling the Section 6.6 cached-rule
         fast path (pass ``site=`` to :meth:`extract`).
+    instrumentation:
+        Optional extra observer receiving the stage hooks alongside the
+        built-in timing observer.
+
+    Prefer :meth:`from_config` to assemble an extractor from a single
+    declarative :class:`~repro.core.stages.ExtractorConfig`.
     """
 
     subtree_finder: CombinedSubtreeFinder = field(default_factory=CombinedSubtreeFinder)
@@ -134,6 +108,31 @@ class OminiExtractor:
     )
     refinement: RefinementConfig = field(default_factory=RefinementConfig)
     rule_store: RuleStore | None = None
+    instrumentation: Instrumentation | None = None
+
+    @classmethod
+    def from_config(
+        cls,
+        config: ExtractorConfig | None = None,
+        *,
+        rule_store: RuleStore | None = None,
+        instrumentation: Instrumentation | None = None,
+    ) -> "OminiExtractor":
+        """Build an extractor from one consolidated config object."""
+        config = config or ExtractorConfig()
+        return cls(
+            subtree_finder=config.build_subtree_finder(),
+            separator_finder=config.build_separator_finder(),
+            refinement=config.build_refinement(),
+            rule_store=rule_store,
+            instrumentation=instrumentation,
+        )
+
+    def config(self) -> ExtractorConfig:
+        """Snapshot this extractor's knobs as an :class:`ExtractorConfig`."""
+        return ExtractorConfig.from_extractor(self)
+
+    # -- public API ----------------------------------------------------------
 
     def extract(self, source: str, *, site: str | None = None) -> ExtractionResult:
         """Extract objects from raw HTML ``source``.
@@ -142,154 +141,62 @@ class OminiExtractor:
         applied when available (falling back to discovery if stale) and a
         freshly discovered rule is stored for next time.
         """
-        timings = PhaseTimings()
-
-        start = time.perf_counter()
-        root = parse_document(source)
-        timings.parse_page = time.perf_counter() - start
-
-        rule: ExtractionRule | None = None
-        if site is not None and self.rule_store is not None:
-            rule = self.rule_store.get(site)
-
-        if rule is not None:
-            try:
-                return self._extract_with_rule(root, rule, timings)
-            except StaleRuleError:
-                self.rule_store.invalidate(site)  # type: ignore[union-attr]
-                rule = None
-
-        result = self._discover(root, timings)
-        if site is not None and self.rule_store is not None and result.separator:
-            learned = ExtractionRule(
-                site=site,
-                subtree_path=result.subtree_path,
-                separator=result.separator,
-            )
-            self.rule_store.put(learned)
-            result.rule = learned
-        return result
+        return self._engine().extract(self._context(source=source, site=site))
 
     def extract_file(self, path, *, site: str | None = None) -> ExtractionResult:
         """Extract from a file on disk, timing the read (Table 16 column 1)."""
-        start = time.perf_counter()
-        with open(path, "r", encoding="utf-8", errors="replace") as handle:
-            source = handle.read()
-        read_time = time.perf_counter() - start
-        result = self.extract(source, site=site)
-        result.timings.read_file = read_time
-        return result
+        return self._engine().extract(self._context(path=path, site=site))
 
     def extract_tree(self, root: TagNode) -> ExtractionResult:
         """Run Phases 2-3 on an already-parsed tag tree."""
-        return self._discover(root, PhaseTimings())
+        return self._engine().extract(self._context(root=root))
 
     # -- internals -----------------------------------------------------------
 
-    def _discover(self, root: TagNode, timings: PhaseTimings) -> ExtractionResult:
-        start = time.perf_counter()
-        subtree = self.subtree_finder.choose(root)
-        timings.choose_subtree = time.perf_counter() - start
+    def _engine(self) -> StageEngine:
+        observer: Instrumentation = TimingInstrumentation()
+        if self.instrumentation is not None:
+            observer = CompositeInstrumentation([observer, self.instrumentation])
+        return StageEngine(observer)
 
-        # Individual heuristic rankings (the "Object Separator" column) and
-        # their probabilistic fusion (the "Combine Heuristics" column) are
-        # timed separately, as in Table 16.
-        start = time.perf_counter()
-        context = build_context(subtree)
-        per_heuristic = [
-            (h, h.rank(context)) for h in self.separator_finder.heuristics
-        ]
-        timings.object_separator = time.perf_counter() - start
-
-        start = time.perf_counter()
-        ranking = self._combine(context, per_heuristic)
-        separator = ranking[0].tag if ranking else None
-        if separator is not None and (
-            ranking[0].score < self.separator_finder.abstain_below
-            or context.counts.get(separator, 0)
-            < self.separator_finder.min_separator_count
-        ):
-            separator = None  # the finder abstains (Section 6.5)
-        timings.combine_heuristics = time.perf_counter() - start
-
-        start = time.perf_counter()
-        if separator is None:
-            candidates: list[ExtractedObject] = []
-            objects: list[ExtractedObject] = []
-        else:
-            candidates = construct_objects(subtree, separator)
-            objects = refine_objects(candidates, self.refinement)
-        timings.construct_objects = time.perf_counter() - start
-
-        return ExtractionResult(
-            objects=objects,
-            subtree=subtree,
-            separator=separator,
-            candidate_objects=len(candidates),
-            separator_ranking=ranking,
-            timings=timings,
-        )
-
-    def _combine(
-        self,
-        context: CandidateContext,
-        per_heuristic: list,
-    ) -> list[RankedTag]:
-        """Fuse precomputed rankings (avoids ranking twice for timing)."""
-        finder = self.separator_finder
-        rank_maps = {
-            h.name: {entry.tag: i + 1 for i, entry in enumerate(ranking)}
-            for h, ranking in per_heuristic
-        }
-        scored: list[RankedTag] = []
-        for tag in context.candidate_tags:
-            evidence = []
-            for heuristic, _ in per_heuristic:
-                rank = rank_maps[heuristic.name].get(tag)
-                evidence.append(finder.profiles[heuristic.name].at_rank(rank))
-            probability = 1.0
-            for p in evidence:
-                probability *= 1.0 - p
-            probability = 1.0 - probability
-            if probability > 0:
-                scored.append(RankedTag(tag, probability))
-        scored.sort(key=lambda entry: -entry.score)
-        return scored
-
-    def _extract_with_rule(
-        self, root: TagNode, rule: ExtractionRule, timings: PhaseTimings
-    ) -> ExtractionResult:
-        start = time.perf_counter()
-        subtree = rule.apply(root)  # raises StaleRuleError on mismatch
-        timings.choose_subtree = time.perf_counter() - start
-
-        start = time.perf_counter()
-        candidates = construct_objects(
-            subtree,
-            rule.separator,
-            mode=rule.construction_mode,
-        )
-        objects = refine_objects(candidates, self.refinement)
-        timings.construct_objects = time.perf_counter() - start
-
-        return ExtractionResult(
-            objects=objects,
-            subtree=subtree,
-            separator=rule.separator,
-            candidate_objects=len(candidates),
-            separator_ranking=[],
-            timings=timings,
-            used_cached_rule=True,
-            rule=rule,
+    def _context(self, **inputs) -> ExtractionContext:
+        return ExtractionContext(
+            subtree_finder=self.subtree_finder,
+            separator_finder=self.separator_finder,
+            refinement=self.refinement,
+            rule_store=self.rule_store,
+            **inputs,
         )
 
 
-def extract_objects(source: str, **kwargs) -> list[ExtractedObject]:
+def extract_objects(
+    source: str,
+    *,
+    site: str | None = None,
+    config: ExtractorConfig | None = None,
+    rule_store: RuleStore | None = None,
+    **kwargs,
+) -> list[ExtractedObject]:
     """One-call convenience API: HTML text in, refined objects out.
+
+    Forwards ``site=`` (with ``rule_store=`` or a store inside ``kwargs``)
+    to enable the cached-rule fast path, and accepts either a consolidated
+    :class:`~repro.core.stages.ExtractorConfig` via ``config=`` or the
+    classic :class:`OminiExtractor` keyword arguments.
 
     >>> html = "<ul>" + "".join(f"<li>item {i} details here</li>" for i in range(5)) + "</ul>"
     >>> objs = extract_objects(html)
     >>> len(objs)
     5
     """
-    return OminiExtractor(**kwargs).extract(source).objects
+    if config is not None:
+        if kwargs:
+            raise TypeError(
+                "pass either config= or OminiExtractor keyword arguments, not both"
+            )
+        extractor = OminiExtractor.from_config(config, rule_store=rule_store)
+    else:
+        if rule_store is not None:
+            kwargs["rule_store"] = rule_store
+        extractor = OminiExtractor(**kwargs)
+    return extractor.extract(source, site=site).objects

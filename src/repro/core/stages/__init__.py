@@ -1,0 +1,82 @@
+"""Staged pipeline architecture for the Omini extraction path.
+
+The monolithic ``OminiExtractor._discover`` is decomposed into explicit,
+independently swappable stages (the NEXT-EVAL/AMBER architecture argument:
+credible evaluation and scaling both demand composable, measurable phases):
+
+* :mod:`~repro.core.stages.plan` -- the :class:`Stage` protocol, the six
+  concrete stages (``Parse -> Subtree -> Separator -> Combine -> Construct
+  -> Refine``), the cached-rule stages, and the two plans;
+* :mod:`~repro.core.stages.context` -- :class:`ExtractionContext`, the
+  state flowing through a plan, plus :class:`PhaseTimings` and
+  :class:`ExtractionResult`;
+* :mod:`~repro.core.stages.config` -- :class:`ExtractorConfig`, the single
+  consolidated (and picklable) knob object;
+* :mod:`~repro.core.stages.instrumentation` -- the observer interface
+  (``on_stage_start/on_stage_end/on_fallback`` + batch page hooks) with the
+  timing default that reproduces Tables 16/17;
+* :mod:`~repro.core.stages.engine` -- :class:`StageEngine`, which runs
+  plans and implements the stale-rule self-healing loop.
+
+:class:`repro.core.pipeline.OminiExtractor` remains the friendly facade;
+:class:`repro.core.batch.BatchExtractor` is the concurrent driver built on
+the same engine.
+"""
+
+from repro.core.stages.config import (
+    DEFAULT_HEURISTICS,
+    HEURISTIC_REGISTRY,
+    ExtractorConfig,
+)
+from repro.core.stages.context import (
+    ExtractionContext,
+    ExtractionResult,
+    PhaseTimings,
+)
+from repro.core.stages.engine import StageEngine
+from repro.core.stages.instrumentation import (
+    CompositeInstrumentation,
+    Instrumentation,
+    StageCounters,
+    TimingInstrumentation,
+)
+from repro.core.stages.plan import (
+    ApplyRuleStage,
+    CombineStage,
+    ConstructStage,
+    LearnRuleStage,
+    ParseStage,
+    ReadStage,
+    RefineStage,
+    SeparatorStage,
+    Stage,
+    SubtreeStage,
+    cached_plan,
+    discovery_plan,
+)
+
+__all__ = [
+    "ApplyRuleStage",
+    "CombineStage",
+    "CompositeInstrumentation",
+    "ConstructStage",
+    "DEFAULT_HEURISTICS",
+    "ExtractionContext",
+    "ExtractionResult",
+    "ExtractorConfig",
+    "HEURISTIC_REGISTRY",
+    "Instrumentation",
+    "LearnRuleStage",
+    "ParseStage",
+    "PhaseTimings",
+    "ReadStage",
+    "RefineStage",
+    "SeparatorStage",
+    "Stage",
+    "StageCounters",
+    "StageEngine",
+    "SubtreeStage",
+    "TimingInstrumentation",
+    "cached_plan",
+    "discovery_plan",
+]

@@ -1,0 +1,84 @@
+"""The stage engine: run plans, time stages, heal stale rules.
+
+:class:`StageEngine` owns the mechanics the old monolithic
+``OminiExtractor._discover`` interleaved with phase logic:
+
+* bracketing every stage with the instrumentation hooks
+  (``on_stage_start`` / ``on_stage_end``, with wall-clock measured by the
+  engine, not the stages);
+* plan selection -- cached-rule fast path when the context's rule store
+  holds a rule for the page's site, full discovery otherwise;
+* the Section 6.6 self-healing loop: a
+  :class:`~repro.core.rules.StaleRuleError` invalidates the rule, fires
+  ``on_fallback``, resets the context, and reruns the discovery plan.
+
+The engine is deliberately tiny and stateless between calls: one engine
+can serve any number of extractions concurrently (the batch extractor
+shares a single engine across its worker threads).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.core.rules import StaleRuleError
+from repro.core.stages.context import ExtractionContext, ExtractionResult
+from repro.core.stages.instrumentation import Instrumentation, TimingInstrumentation
+from repro.core.stages.plan import (
+    ParseStage,
+    ReadStage,
+    Stage,
+    cached_plan,
+    discovery_plan,
+)
+
+
+@dataclass
+class StageEngine:
+    """Execute stage plans over extraction contexts."""
+
+    instrumentation: Instrumentation = field(default_factory=TimingInstrumentation)
+
+    def run_stage(self, stage: Stage, ctx: ExtractionContext) -> None:
+        """Run one stage, bracketed by the instrumentation hooks."""
+        self.instrumentation.on_stage_start(stage, ctx)
+        start = time.perf_counter()
+        stage.run(ctx)
+        self.instrumentation.on_stage_end(stage, ctx, time.perf_counter() - start)
+
+    def run_plan(self, plan: list[Stage], ctx: ExtractionContext) -> ExtractionContext:
+        """Run ``plan``'s stages in order; exceptions abort the plan."""
+        for stage in plan:
+            self.run_stage(stage, ctx)
+        return ctx
+
+    def extract(self, ctx: ExtractionContext) -> ExtractionResult:
+        """Drive ``ctx`` through prologue + the appropriate plan.
+
+        Prologue: :class:`ReadStage` when only a path was given, then
+        :class:`ParseStage` (skipped when the caller supplied a parsed
+        tree).  Plan: :func:`cached_plan` when a rule is cached for
+        ``ctx.site``, with automatic invalidation + discovery fallback on
+        staleness; :func:`discovery_plan` otherwise.
+        """
+        if ctx.root is None:
+            if ctx.source is None and ctx.path is not None:
+                self.run_stage(ReadStage(), ctx)
+            self.run_stage(ParseStage(), ctx)
+
+        rule = None
+        if ctx.site is not None and ctx.rule_store is not None:
+            rule = ctx.rule_store.get(ctx.site)
+        if rule is not None:
+            ctx.rule = rule
+            try:
+                self.run_plan(cached_plan(), ctx)
+                return ctx.to_result()
+            except StaleRuleError as error:
+                ctx.rule_store.invalidate(ctx.site)  # type: ignore[union-attr]
+                self.instrumentation.on_fallback(ctx, error)
+                ctx.reset_for_discovery()
+
+        self.run_plan(discovery_plan(), ctx)
+        return ctx.to_result()

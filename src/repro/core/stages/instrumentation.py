@@ -1,0 +1,160 @@
+"""Pluggable observers for the staged pipeline.
+
+The old ``OminiExtractor._discover`` interleaved ``time.perf_counter()``
+bookkeeping with phase logic; the stage engine externalizes that into an
+observer interface so timing, counting, tracing, or metrics export are all
+just different :class:`Instrumentation` implementations:
+
+* ``on_stage_start(stage, ctx)`` / ``on_stage_end(stage, ctx, elapsed)``
+  bracket every stage execution (``elapsed`` in seconds);
+* ``on_fallback(ctx, error)`` fires when a cached-rule plan dies with a
+  :class:`~repro.core.rules.StaleRuleError` and the engine reruns discovery;
+* ``on_page_start/on_page_end/on_page_error`` are the batch-level hooks
+  :class:`~repro.core.batch.BatchExtractor` emits around whole pages.
+
+:class:`TimingInstrumentation` is the default and reproduces the historical
+:class:`~repro.core.stages.context.PhaseTimings` behaviour exactly: each
+stage's elapsed time is charged to the Table 16/17 column it declares via
+``Stage.timing_column`` (construct + refine share the ``construct_objects``
+column, as the paper times them together), and a stale-rule fallback wipes
+the partial discovery columns so the final row reflects only the run that
+actually produced the objects.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.stages.context import ExtractionContext
+    from repro.core.stages.plan import Stage
+
+
+class Instrumentation:
+    """Base observer: every hook is a no-op.  Subclass what you need."""
+
+    # -- stage-level hooks ------------------------------------------------
+
+    def on_stage_start(self, stage: "Stage", ctx: "ExtractionContext") -> None:
+        """A stage is about to run."""
+
+    def on_stage_end(
+        self, stage: "Stage", ctx: "ExtractionContext", elapsed: float
+    ) -> None:
+        """A stage finished successfully after ``elapsed`` seconds."""
+
+    def on_fallback(self, ctx: "ExtractionContext", error: Exception) -> None:
+        """A cached-rule plan went stale; discovery is about to rerun."""
+
+    # -- page-level hooks (batch engine) ----------------------------------
+
+    def on_page_start(self, page: object) -> None:
+        """The batch engine picked up ``page``."""
+
+    def on_page_end(self, page: object, result: object) -> None:
+        """The batch engine finished ``page`` with ``result``."""
+
+    def on_page_error(self, page: object, error: Exception) -> None:
+        """``page`` raised and was isolated into a failure record."""
+
+
+#: Columns that belong to the discovery phases and must be wiped when a
+#: stale cached rule forces a rerun (read/parse survive: the page is fine).
+DISCOVERY_COLUMNS = (
+    "choose_subtree",
+    "object_separator",
+    "combine_heuristics",
+    "construct_objects",
+)
+
+
+class TimingInstrumentation(Instrumentation):
+    """Fill :class:`PhaseTimings` exactly as the monolithic pipeline did."""
+
+    def on_stage_end(
+        self, stage: "Stage", ctx: "ExtractionContext", elapsed: float
+    ) -> None:
+        column = getattr(stage, "timing_column", None)
+        if column is not None:
+            setattr(ctx.timings, column, getattr(ctx.timings, column) + elapsed)
+
+    def on_fallback(self, ctx: "ExtractionContext", error: Exception) -> None:
+        for column in DISCOVERY_COLUMNS:
+            setattr(ctx.timings, column, 0.0)
+
+
+class CompositeInstrumentation(Instrumentation):
+    """Fan every hook out to several observers, in order."""
+
+    def __init__(self, observers: list[Instrumentation]) -> None:
+        self.observers = list(observers)
+
+    def on_stage_start(self, stage, ctx) -> None:
+        for observer in self.observers:
+            observer.on_stage_start(stage, ctx)
+
+    def on_stage_end(self, stage, ctx, elapsed) -> None:
+        for observer in self.observers:
+            observer.on_stage_end(stage, ctx, elapsed)
+
+    def on_fallback(self, ctx, error) -> None:
+        for observer in self.observers:
+            observer.on_fallback(ctx, error)
+
+    def on_page_start(self, page) -> None:
+        for observer in self.observers:
+            observer.on_page_start(page)
+
+    def on_page_end(self, page, result) -> None:
+        for observer in self.observers:
+            observer.on_page_end(page, result)
+
+    def on_page_error(self, page, error) -> None:
+        for observer in self.observers:
+            observer.on_page_error(page, error)
+
+
+@dataclass
+class StageCounters(Instrumentation):
+    """Thread-safe aggregate counters over any number of extractions.
+
+    ``stage_seconds`` accumulates wall-clock per stage *name* (finer grained
+    than the Table 16/17 columns: construct and refine count separately),
+    ``fallbacks`` counts stale-rule reruns, and the page-level counters feed
+    :class:`~repro.core.batch.BatchStats`.
+    """
+
+    stage_seconds: dict[str, float] = field(default_factory=dict)
+    stage_calls: dict[str, int] = field(default_factory=dict)
+    fallbacks: int = 0
+    pages_started: int = 0
+    pages_succeeded: int = 0
+    pages_failed: int = 0
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+
+    def on_stage_end(self, stage, ctx, elapsed) -> None:
+        with self._lock:
+            self.stage_seconds[stage.name] = (
+                self.stage_seconds.get(stage.name, 0.0) + elapsed
+            )
+            self.stage_calls[stage.name] = self.stage_calls.get(stage.name, 0) + 1
+
+    def on_fallback(self, ctx, error) -> None:
+        with self._lock:
+            self.fallbacks += 1
+
+    def on_page_start(self, page) -> None:
+        with self._lock:
+            self.pages_started += 1
+
+    def on_page_end(self, page, result) -> None:
+        with self._lock:
+            self.pages_succeeded += 1
+
+    def on_page_error(self, page, error) -> None:
+        with self._lock:
+            self.pages_failed += 1

@@ -39,22 +39,29 @@ class EvaluatedPage:
         return self.page.site
 
 
-def evaluate_pages(pages: list[LabeledPage]) -> list[EvaluatedPage]:
-    """Parse pages and resolve their labeled minimal subtrees (once)."""
-    evaluated: list[EvaluatedPage] = []
-    for page in pages:
+def evaluate_pages(
+    pages: list[LabeledPage], *, workers: int = 1
+) -> list[EvaluatedPage]:
+    """Parse pages and resolve their labeled minimal subtrees (once).
+
+    Parsing dominates harness start-up on large corpora; ``workers > 1``
+    fans it out over the shared thread-pool helper of the batch engine
+    (results stay in page order, so scoring is unaffected).
+    """
+    from repro.core.batch import parallel_map
+
+    def prepare(page: LabeledPage) -> EvaluatedPage:
         root = parse_document(page.html)
         subtree = node_at_path(root, page.truth.subtree_path)
         assert isinstance(subtree, TagNode)
-        evaluated.append(
-            EvaluatedPage(
-                page=page,
-                root=root,
-                subtree=subtree,
-                context=build_context(subtree),
-            )
+        return EvaluatedPage(
+            page=page,
+            root=root,
+            subtree=subtree,
+            context=build_context(subtree),
         )
-    return evaluated
+
+    return parallel_map(prepare, pages, workers=workers)
 
 
 def _outcome_for_ranking(

@@ -13,6 +13,7 @@ from pathlib import Path
 
 from repro.core.pipeline import OminiExtractor, PhaseTimings
 from repro.core.rules import RuleStore
+from repro.core.stages.config import ExtractorConfig
 from repro.corpus.fetcher import PageCache
 
 #: Column order of Tables 16/17.
@@ -67,15 +68,22 @@ def time_pipeline(
     repetitions: int = 10,
     use_rules: bool = False,
     extractor: OminiExtractor | None = None,
+    config: ExtractorConfig | None = None,
 ) -> TimingBreakdown:
     """Time the extractor over cached pages, ``repetitions`` runs per page.
 
     With ``use_rules=True``, a rule is learned from each site's first page
     and all timed runs take the cached-rule fast path -- the Table 17
     configuration.  Without it every run performs full discovery (Table 16).
+    Runs are sequential on purpose (concurrency would distort per-phase
+    wall-clock); each row is the stage engine's uniform timing row, so
+    discovery and cached runs carry the same columns.  ``config`` builds
+    the extractor from a consolidated :class:`ExtractorConfig`.
     """
     if extractor is None:
-        extractor = OminiExtractor(rule_store=RuleStore() if use_rules else None)
+        extractor = OminiExtractor.from_config(
+            config, rule_store=RuleStore() if use_rules else None
+        )
     elif use_rules and extractor.rule_store is None:
         extractor.rule_store = RuleStore()
     breakdown = TimingBreakdown(label, repetitions=repetitions)

@@ -22,7 +22,7 @@ the paper's wrapper definition with zero per-site code.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from urllib.parse import urlencode, urljoin
 
 from repro.tree.builder import parse_document

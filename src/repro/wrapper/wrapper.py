@@ -18,6 +18,7 @@ from __future__ import annotations
 import json
 from collections import Counter
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.core.objects import construct_objects
 from repro.core.pipeline import OminiExtractor
@@ -25,6 +26,9 @@ from repro.core.refinement import RefinementConfig, refine_objects
 from repro.core.rules import ExtractionRule, StaleRuleError
 from repro.tree.builder import parse_document
 from repro.wrapper.fields import FieldExtractor, ObjectFields
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.stages.config import ExtractorConfig
 
 
 class WrapperError(RuntimeError):
@@ -111,22 +115,51 @@ def generate_wrapper(
     sample_pages: list[str],
     *,
     extractor: OminiExtractor | None = None,
+    config: "ExtractorConfig | None" = None,
     min_consensus: float = 0.6,
+    workers: int = 1,
 ) -> Wrapper:
     """Learn a wrapper for ``site`` from sample result pages.
 
-    Runs full Omini discovery on every sample, takes the majority
-    (subtree-path, separator) pair, and records the consensus level.  A
-    consensus below ``min_consensus`` means the samples disagree too much
-    to trust a cached rule (mixed page types were supplied, or the site is
-    mid-redesign) and raises :class:`WrapperError`.
+    Runs full Omini discovery on every sample (through the batch engine,
+    so a malformed sample is isolated as a no-vote rather than aborting
+    generation, and ``workers > 1`` discovers samples concurrently), takes
+    the majority (subtree-path, separator) pair, and records the consensus
+    level.  A consensus below ``min_consensus`` means the samples disagree
+    too much to trust a cached rule (mixed page types were supplied, or
+    the site is mid-redesign) and raises :class:`WrapperError`.  Configure
+    discovery with either a prebuilt ``extractor`` or a declarative
+    ``config`` (not both).
     """
+    from repro.core.batch import BatchExtractor, parallel_map
+    from repro.core.stages.config import ExtractorConfig
+
     if not sample_pages:
         raise WrapperError("no sample pages supplied")
-    extractor = extractor or OminiExtractor()
+    if extractor is not None and config is not None:
+        raise ValueError("pass either extractor= or config=, not both")
+    if extractor is not None:
+        # A prebuilt extractor may carry custom heuristic instances that a
+        # declarative config cannot name; drive it directly, isolated.
+        refinement = extractor.refinement
+
+        def discover(html: str):
+            try:
+                return extractor.extract(html)
+            except Exception:  # noqa: BLE001 - a bad sample is a no-vote
+                return None
+
+        results = [
+            r for r in parallel_map(discover, sample_pages, workers=workers) if r
+        ]
+    else:
+        config = config or ExtractorConfig()
+        refinement = config.build_refinement()
+        results = BatchExtractor(config).extract_many(
+            sample_pages, workers=workers
+        ).succeeded
     votes: Counter[tuple[str, str]] = Counter()
-    for html in sample_pages:
-        result = extractor.extract(html)
+    for result in results:
         if result.separator is None:
             continue  # a no-result page slipped into the samples
         votes[(result.subtree_path, result.separator)] += 1
@@ -149,5 +182,5 @@ def generate_wrapper(
         rule=rule,
         sample_pages=len(sample_pages),
         consensus=consensus,
-        refinement=extractor.refinement,
+        refinement=refinement,
     )

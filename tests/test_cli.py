@@ -37,6 +37,50 @@ class TestExtract:
         assert "cached rule" in out
 
 
+class TestExtractBatch:
+    def test_multiple_pages_batch_text(self, page_file, tmp_path, capsys):
+        other = tmp_path / "other.html"
+        other.write_text(canoe_page(), encoding="utf-8")
+        assert main(["extract", page_file, str(other), "--workers", "2"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("12 objects") == 2
+        assert "pages/s" in out and "0 failed" in out
+
+    def test_batch_json_payload(self, page_file, capsys):
+        assert main(["extract", page_file, page_file, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["pages"]) == 2
+        assert all(p["separator"] == "table" for p in payload["pages"])
+        assert payload["stats"]["pages"] == 2
+        assert payload["stats"]["failed"] == 0
+
+    def test_batch_isolates_bad_page(self, page_file, tmp_path, capsys):
+        missing = str(tmp_path / "missing.html")
+        assert main(["extract", page_file, missing, "--json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        good, bad = payload["pages"]
+        assert good["separator"] == "table"
+        assert bad["error_type"] == "FileNotFoundError"
+        assert payload["stats"]["failed"] == 1
+
+    def test_workers_flag_forces_batch_output(self, page_file, capsys):
+        assert main(["extract", page_file, "--workers", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "12 objects" in out and "pages/s" in out
+
+    def test_batch_with_rules_hits_fast_path(self, page_file, tmp_path, capsys):
+        rules = str(tmp_path / "rules.json")
+        assert (
+            main(
+                ["extract", page_file, page_file, page_file,
+                 "--site", "canoe", "--rules", rules]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "2 cached-rule hits" in out
+
+
 class TestTree:
     def test_tree_output(self, page_file, capsys):
         assert main(["tree", page_file, "--depth", "2", "--no-text"]) == 0

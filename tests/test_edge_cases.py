@@ -1,7 +1,5 @@
 """Edge-case and failure-injection tests across the pipeline."""
 
-import pytest
-
 from repro.core.pipeline import OminiExtractor, extract_objects
 from repro.core.separator.base import build_context
 from repro.core.subtree import CombinedSubtreeFinder

@@ -10,7 +10,7 @@ from repro.core.subtree import (
 )
 from repro.core.subtree.base import ancestor_rerank
 from repro.tree.builder import parse_document
-from repro.tree.paths import node_at_path, path_of
+from repro.tree.paths import path_of
 from repro.tree.traversal import find_first
 
 

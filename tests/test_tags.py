@@ -3,7 +3,6 @@
 from repro.html.tags import (
     BLOCK_TAGS,
     INLINE_TAGS,
-    VOID_TAGS,
     closes_implicitly,
     is_block,
     is_inline,

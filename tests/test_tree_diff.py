@@ -1,7 +1,7 @@
 """Tests for the structural tree diff (repro.tree.diff)."""
 
 from repro.tree.builder import parse_document
-from repro.tree.diff import Change, diff_trees, summarize_staleness
+from repro.tree.diff import diff_trees, summarize_staleness
 
 
 def trees(old_html: str, new_html: str):
