@@ -15,6 +15,8 @@ records both figures rather than asserting a speedup.
 import pytest
 
 from repro.core.batch import BatchExtractor, PageTask
+
+pytestmark = pytest.mark.slow
 from repro.corpus import CorpusGenerator, EXPERIMENTAL_SITES, TEST_SITES
 from repro.eval.report import format_table
 

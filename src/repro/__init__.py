@@ -17,6 +17,9 @@ Package map:
   object construction/refinement, rule caching (Sections 3-6)
 * :mod:`repro.baselines`  -- the BYU comparison system (Section 6.7)
 * :mod:`repro.corpus`     -- synthetic labeled web corpus (Section 6.3)
+* :mod:`repro.fetch`      -- resilient document acquisition: HTTP fetching
+  with retries/backoff/circuit breaking, TTL'd caching, and deterministic
+  fault injection for chaos testing
 * :mod:`repro.eval`       -- success/precision/recall harness and the
   combination sweep (Section 6)
 """
@@ -51,7 +54,13 @@ from repro.wrapper import (
     WrapperError,
     generate_wrapper,
 )
-from repro.aggregate import MetaSearch, SyntheticProvider
+from repro.aggregate import HttpProvider, MetaSearch, SyntheticProvider
+from repro.fetch import (
+    CachingFetcher,
+    FaultInjectingFetcher,
+    FetchError,
+    HttpFetcher,
+)
 
 __version__ = "1.0.0"
 
@@ -75,7 +84,12 @@ __all__ = [
     "RuleStore",
     "SBHeuristic",
     "SDHeuristic",
+    "CachingFetcher",
+    "FaultInjectingFetcher",
+    "FetchError",
     "FieldExtractor",
+    "HttpFetcher",
+    "HttpProvider",
     "MetaSearch",
     "ObjectFields",
     "SyntheticProvider",

@@ -27,10 +27,11 @@ project.
 
 from repro.aggregate.merge import MergedRecord, dedupe_records, rank_records
 from repro.aggregate.service import MetaSearch, SearchResult
-from repro.aggregate.sources import ContentProvider, SyntheticProvider
+from repro.aggregate.sources import ContentProvider, HttpProvider, SyntheticProvider
 
 __all__ = [
     "ContentProvider",
+    "HttpProvider",
     "MergedRecord",
     "MetaSearch",
     "SearchResult",

@@ -7,17 +7,21 @@ request at the remote information source provided by a content provider."
 needs: given a query word, return the provider's result page (HTML).
 :class:`SyntheticProvider` backs it with the corpus generator -- the same
 substitution the whole evaluation uses (the paper itself ran against cached
-local copies, not the live sites).  A real deployment would implement the
-same protocol with an HTTP fetch of the site's search URL.
+local copies, not the live sites).  :class:`HttpProvider` is the real
+deployment: the same protocol over the :mod:`repro.fetch` acquisition stack
+(an HTTP fetch of the site's search URL, with whatever retry/caching/fault
+layers the fetcher composes).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import Protocol
+from urllib.parse import quote_plus
 
 from repro.corpus.generator import CorpusGenerator, LabeledPage
 from repro.corpus.sites import SiteSpec, site_by_name
+from repro.fetch.base import Fetcher
 
 
 class ContentProvider(Protocol):
@@ -66,3 +70,40 @@ class SyntheticProvider:
     def sample_pages(self, count: int = 3) -> list[str]:
         """Result pages for wrapper generation (distinct synthetic queries)."""
         return [self.search(f"__sample_{i}") for i in range(count)]
+
+
+@dataclass
+class HttpProvider:
+    """A live content provider: query forwarding over the fetch stack.
+
+    ``search_url`` is a template with a ``{query}`` placeholder, e.g.
+    ``"http://books.example.com/search?q={query}"``; the query is
+    URL-encoded before substitution.  Any :class:`~repro.fetch.base.Fetcher`
+    works -- :class:`~repro.fetch.http.HttpFetcher` for a real site,
+    optionally wrapped in :class:`~repro.fetch.cache.CachingFetcher`, or a
+    fault-injecting stack in tests.  Fetched bodies are integrity-verified;
+    acquisition failures surface as classified
+    :class:`~repro.fetch.base.FetchError` values for the integration server
+    to handle.
+    """
+
+    name: str
+    search_url: str
+    fetcher: Fetcher
+
+    #: Queries used by :meth:`sample_pages` for wrapper generation.
+    sample_queries: tuple[str, ...] = ("books", "music", "video")
+
+    def url_for(self, query: str) -> str:
+        return self.search_url.format(query=quote_plus(query))
+
+    def search(self, query: str) -> str:
+        result = self.fetcher.fetch(self.url_for(query), site=self.name)
+        return result.verify().body
+
+    def sample_pages(self, count: int = 3) -> list[str]:
+        """Result pages for wrapper generation (live sample queries)."""
+        queries = list(self.sample_queries)
+        while len(queries) < count:
+            queries.append(f"sample {len(queries)}")
+        return [self.search(query) for query in queries[:count]]

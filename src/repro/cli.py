@@ -2,8 +2,8 @@
 
 Usage::
 
-    omini extract PAGE.html [PAGE2.html ...] [--site NAME --rules RULES.json]
-                  [--workers N] [--json]
+    omini extract PAGE.html|URL [PAGE2.html|URL ...] [--site NAME --rules RULES.json]
+                  [--workers N] [--json] [--timeout S --retries N --fetch-cache DIR]
     omini tree PAGE.html [--metrics] [--depth N]
     omini rank PAGE.html              # subtree + separator rankings
     omini corpus OUTDIR [--split test|experimental|all] [--pages N]
@@ -39,9 +39,23 @@ from repro.tree.builder import parse_document
 from repro.tree.render import render_tree
 
 
+def _is_url(page: str) -> bool:
+    return page.startswith(("http://", "https://"))
+
+
+def _build_fetcher(args: argparse.Namespace):
+    """The acquisition stack for URL pages: HTTP + optional on-disk cache."""
+    from repro.fetch import CachingFetcher, HttpFetcher
+
+    fetcher = HttpFetcher(timeout=args.timeout, retries=args.retries)
+    if args.fetch_cache:
+        fetcher = CachingFetcher(fetcher, args.fetch_cache)
+    return fetcher
+
+
 def _cmd_extract(args: argparse.Namespace) -> int:
     store = RuleStore(args.rules) if args.rules else None
-    if len(args.page) > 1 or args.workers > 1:
+    if len(args.page) > 1 or args.workers > 1 or any(map(_is_url, args.page)):
         return _extract_batch(args, store)
     extractor = OminiExtractor(rule_store=store)
     result = extractor.extract_file(args.page[0], site=args.site)
@@ -73,8 +87,14 @@ def _extract_batch(args: argparse.Namespace, store: RuleStore | None) -> int:
     """Many pages (or --workers): run the concurrent batch engine."""
     from repro.core.batch import BatchExtractor, FailedExtraction, PageTask
 
-    tasks = [PageTask(path=page, site=args.site) for page in args.page]
-    batch = BatchExtractor(rule_store=store)
+    tasks = [
+        PageTask(url=page, site=args.site)
+        if _is_url(page)
+        else PageTask(path=page, site=args.site)
+        for page in args.page
+    ]
+    fetcher = _build_fetcher(args) if any(t.url for t in tasks) else None
+    batch = BatchExtractor(rule_store=store, fetcher=fetcher)
     outcome = batch.extract_many(tasks, workers=args.workers)
     if store is not None and args.rules:
         store.save()
@@ -88,12 +108,13 @@ def _extract_batch(args: argparse.Namespace, store: RuleStore | None) -> int:
                         "page": result.page,
                         "error": result.error,
                         "error_type": result.error_type,
+                        "kind": result.kind,
                     }
                 )
             else:
                 payloads.append(
                     {
-                        "page": str(task.path),
+                        "page": str(task.path or task.url),
                         "subtree": result.subtree_path,
                         "separator": result.separator,
                         "candidates": result.candidate_objects,
@@ -105,12 +126,13 @@ def _extract_batch(args: argparse.Namespace, store: RuleStore | None) -> int:
         print(json.dumps({"pages": payloads, "stats": outcome.stats.as_dict()}, indent=2))
     else:
         for task, result in zip(tasks, outcome.results):
+            page = task.path or task.url
             if isinstance(result, FailedExtraction):
-                print(f"{task.path}: FAILED ({result.error_type}: {result.error})")
+                print(f"{page}: FAILED [{result.kind}] ({result.error_type}: {result.error})")
             else:
                 cached = " [cached rule]" if result.used_cached_rule else ""
                 print(
-                    f"{task.path}: {len(result.objects)} objects via "
+                    f"{page}: {len(result.objects)} objects via "
                     f"<{result.separator}> at {result.subtree_path}{cached}"
                 )
         stats = outcome.stats
@@ -248,12 +270,27 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p = sub.add_parser("extract", help="extract objects from HTML files")
-    p.add_argument("page", nargs="+", help="path(s) to HTML file(s); several switch to batch mode")
+    p = sub.add_parser("extract", help="extract objects from HTML files or URLs")
+    p.add_argument(
+        "page",
+        nargs="+",
+        help="HTML file path(s) and/or http(s) URL(s); several switch to batch mode",
+    )
     p.add_argument("--site", help="site key for rule caching")
     p.add_argument("--rules", help="JSON rule-store path (enables Section 6.6 caching)")
     p.add_argument("--workers", type=int, default=1, help="batch-mode worker threads")
     p.add_argument("--json", action="store_true", help="machine-readable output")
+    p.add_argument(
+        "--timeout", type=float, default=10.0, help="per-request fetch timeout (seconds)"
+    )
+    p.add_argument(
+        "--retries", type=int, default=2, help="fetch retries after the first attempt"
+    )
+    p.add_argument(
+        "--fetch-cache",
+        metavar="DIR",
+        help="TTL'd on-disk fetch cache directory for URL pages",
+    )
     p.set_defaults(func=_cmd_extract)
 
     p = sub.add_parser("tree", help="print the tag tree of a page")

@@ -17,6 +17,11 @@ corpus with
 * **error isolation** -- a page that raises anywhere in the pipeline
   yields a :class:`FailedExtraction` record in its slot instead of killing
   the batch;
+* **document acquisition** -- attach a :mod:`repro.fetch` fetcher and pass
+  ``PageTask(url=...)`` items (or call :meth:`BatchExtractor.extract_urls`):
+  each page is fetched, integrity-verified, and extracted, with fetch
+  failures isolated per page and classified by kind (timeout, connection,
+  http_status, truncated, corrupted, circuit_open vs plain extraction);
 * **throughput/failure counters** -- :class:`BatchStats` plus the same
   instrumentation hooks the single-page engine emits
   (``on_page_start/on_page_end/on_page_error`` and the per-stage hooks).
@@ -30,7 +35,7 @@ from __future__ import annotations
 
 import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Iterable, Sequence
 
@@ -43,6 +48,7 @@ from repro.core.stages.instrumentation import (
     Instrumentation,
     StageCounters,
 )
+from repro.fetch.base import classify_failure
 
 __all__ = [
     "BatchExtractor",
@@ -70,12 +76,14 @@ def parallel_map(fn: Callable, items: Sequence, *, workers: int = 1) -> list:
 
 @dataclass(frozen=True)
 class PageTask:
-    """One unit of batch work: HTML text or a file path, plus metadata."""
+    """One unit of batch work: HTML text, a file path or a URL, plus metadata."""
 
     source: str | None = None
     path: str | Path | None = None
+    #: Fetch the page through the batch's fetcher (requires ``fetcher=``).
+    url: str | None = None
     site: str | None = None
-    #: Label used in results/failures; defaults to the path or batch index.
+    #: Label used in results/failures; defaults to the path/URL or batch index.
     page_id: str | None = None
 
     def label(self, index: int) -> str:
@@ -83,17 +91,27 @@ class PageTask:
             return self.page_id
         if self.path is not None:
             return str(self.path)
+        if self.url is not None:
+            return self.url
         return f"page[{index}]"
 
 
 @dataclass(frozen=True)
 class FailedExtraction:
-    """A page the pipeline could not process; fills the page's result slot."""
+    """A page the pipeline could not process; fills the page's result slot.
+
+    ``kind`` places the failure in the acquisition taxonomy
+    (:data:`repro.fetch.base.FAILURE_KINDS`): fetch failures carry the
+    classified kind (``timeout``, ``connection``, ``http_status``,
+    ``truncated``, ``corrupted``, ``circuit_open``) while pipeline errors
+    on a successfully acquired page are ``extraction``.
+    """
 
     page: str
     site: str | None
     error: str
     error_type: str
+    kind: str = "extraction"
 
     def __bool__(self) -> bool:  # failures are falsy: filter with `if r`
         return False
@@ -138,6 +156,9 @@ class BatchStats:
     cached_rule_hits: int = 0
     fallbacks: int = 0
     elapsed: float = 0.0
+    #: ``{failure_kind: count}`` breakdown of ``failed`` (taxonomy in
+    #: :data:`repro.fetch.base.FAILURE_KINDS`).
+    failure_kinds: dict = field(default_factory=dict)
 
     @property
     def pages_per_second(self) -> float:
@@ -152,6 +173,7 @@ class BatchStats:
             "fallbacks": self.fallbacks,
             "elapsed_s": self.elapsed,
             "pages_per_second": self.pages_per_second,
+            "failure_kinds": dict(self.failure_kinds),
         }
 
 
@@ -201,6 +223,14 @@ class BatchExtractor:
         ``"thread"`` (default) or ``"process"``.  Process mode returns
         :class:`ExtractionSummary` records and keeps a rule store per
         worker process.
+    fetcher:
+        Any :class:`repro.fetch.base.Fetcher`; enables ``PageTask(url=...)``
+        items and :meth:`extract_urls`.  A fetch that raises a classified
+        :class:`~repro.fetch.base.FetchError` (or whose body fails the
+        integrity check) becomes a :class:`FailedExtraction` carrying that
+        failure kind -- the batch always completes.  Thread executor only:
+        live fetcher state (breakers, caches, counters) does not belong in
+        forked workers.
     """
 
     def __init__(
@@ -210,13 +240,17 @@ class BatchExtractor:
         rule_store: RuleStore | None = None,
         instrumentation: Instrumentation | None = None,
         executor: str = "thread",
+        fetcher=None,
     ) -> None:
         if executor not in ("thread", "process"):
             raise ValueError(f"unknown executor {executor!r}")
+        if fetcher is not None and executor != "thread":
+            raise ValueError("fetcher-backed batches require the thread executor")
         self.config = config or ExtractorConfig()
         self.rule_store = rule_store
         self.instrumentation = instrumentation
         self.executor = executor
+        self.fetcher = fetcher
 
     # -- public API ----------------------------------------------------------
 
@@ -233,9 +267,22 @@ class BatchExtractor:
             page if isinstance(page, PageTask) else PageTask(source=page)
             for page in pages
         ]
+        if any(task.url is not None for task in tasks) and self.fetcher is None:
+            raise ValueError("PageTask(url=...) items require a fetcher")
         if self.executor == "process" and workers > 1:
             return self._run_processes(tasks, workers)
         return self._run_threads(tasks, workers)
+
+    def extract_urls(
+        self,
+        urls: Iterable[str],
+        *,
+        site: str | None = None,
+        workers: int = 1,
+    ) -> BatchResult:
+        """Fetch and extract each URL through the attached fetcher."""
+        tasks = [PageTask(url=url, site=site) for url in urls]
+        return self.extract_many(tasks, workers=workers)
 
     def extract_files(
         self,
@@ -275,7 +322,10 @@ class BatchExtractor:
             index, task = indexed
             observer.on_page_start(task)
             try:
-                if task.source is not None:
+                if task.url is not None:
+                    fetched = self.fetcher.fetch(task.url, site=task.site).verify()
+                    result = extractor.extract(fetched.body, site=task.site)
+                elif task.source is not None:
                     result = extractor.extract(task.source, site=task.site)
                 else:
                     result = extractor.extract_file(task.path, site=task.site)
@@ -286,6 +336,7 @@ class BatchExtractor:
                     site=task.site,
                     error=str(error),
                     error_type=type(error).__name__,
+                    kind=classify_failure(error),
                 )
             observer.on_page_end(task, result)
             return result
@@ -317,6 +368,9 @@ class BatchExtractor:
         for result in results:
             if isinstance(result, FailedExtraction):
                 stats.failed += 1
+                stats.failure_kinds[result.kind] = (
+                    stats.failure_kinds.get(result.kind, 0) + 1
+                )
             else:
                 stats.succeeded += 1
                 if getattr(result, "used_cached_rule", False):

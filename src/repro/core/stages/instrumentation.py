@@ -10,7 +10,12 @@ just different :class:`Instrumentation` implementations:
 * ``on_fallback(ctx, error)`` fires when a cached-rule plan dies with a
   :class:`~repro.core.rules.StaleRuleError` and the engine reruns discovery;
 * ``on_page_start/on_page_end/on_page_error`` are the batch-level hooks
-  :class:`~repro.core.batch.BatchExtractor` emits around whole pages.
+  :class:`~repro.core.batch.BatchExtractor` emits around whole pages;
+* ``on_fetch_*``, ``on_breaker_transition`` and ``on_cache_hit/miss`` are
+  the acquisition-tier hooks the :mod:`repro.fetch` stack emits, tallied by
+  :class:`StageCounters` (attempts, retries, breaker transitions, cache hit
+  rate) so one observer instance can watch a batch end to end, network
+  included.
 
 :class:`TimingInstrumentation` is the default and reproduces the historical
 :class:`~repro.core.stages.context.PhaseTimings` behaviour exactly: each
@@ -58,6 +63,29 @@ class Instrumentation:
 
     def on_page_error(self, page: object, error: Exception) -> None:
         """``page`` raised and was isolated into a failure record."""
+
+    # -- fetch-level hooks (acquisition tier) ------------------------------
+
+    def on_fetch_start(self, url: str) -> None:
+        """A fetcher began acquiring ``url`` (once per fetch, not per retry)."""
+
+    def on_fetch_retry(self, url: str, attempt: int, error: Exception) -> None:
+        """Attempt ``attempt`` for ``url`` failed transiently; retrying."""
+
+    def on_fetch_end(self, url: str, result: object) -> None:
+        """``url`` was acquired (``result`` is a ``FetchResult``)."""
+
+    def on_fetch_error(self, url: str, error: Exception) -> None:
+        """``url`` could not be acquired; ``error`` is classified."""
+
+    def on_breaker_transition(self, site: str, old: str, new: str) -> None:
+        """The per-site circuit breaker changed state for ``site``."""
+
+    def on_cache_hit(self, url: str) -> None:
+        """A caching fetcher served ``url`` from disk."""
+
+    def on_cache_miss(self, url: str) -> None:
+        """A caching fetcher had to go to its inner fetcher for ``url``."""
 
 
 #: Columns that belong to the discovery phases and must be wiped when a
@@ -115,6 +143,34 @@ class CompositeInstrumentation(Instrumentation):
         for observer in self.observers:
             observer.on_page_error(page, error)
 
+    def on_fetch_start(self, url) -> None:
+        for observer in self.observers:
+            observer.on_fetch_start(url)
+
+    def on_fetch_retry(self, url, attempt, error) -> None:
+        for observer in self.observers:
+            observer.on_fetch_retry(url, attempt, error)
+
+    def on_fetch_end(self, url, result) -> None:
+        for observer in self.observers:
+            observer.on_fetch_end(url, result)
+
+    def on_fetch_error(self, url, error) -> None:
+        for observer in self.observers:
+            observer.on_fetch_error(url, error)
+
+    def on_breaker_transition(self, site, old, new) -> None:
+        for observer in self.observers:
+            observer.on_breaker_transition(site, old, new)
+
+    def on_cache_hit(self, url) -> None:
+        for observer in self.observers:
+            observer.on_cache_hit(url)
+
+    def on_cache_miss(self, url) -> None:
+        for observer in self.observers:
+            observer.on_cache_miss(url)
+
 
 @dataclass
 class StageCounters(Instrumentation):
@@ -132,9 +188,28 @@ class StageCounters(Instrumentation):
     pages_started: int = 0
     pages_succeeded: int = 0
     pages_failed: int = 0
+    # -- acquisition counters (filled when a fetcher shares this observer) --
+    fetch_requests: int = 0
+    fetch_retries: int = 0
+    fetch_successes: int = 0
+    fetch_failures: int = 0
+    #: ``{(old_state, new_state): count}`` across all sites.
+    breaker_transitions: dict[tuple[str, str], int] = field(default_factory=dict)
+    cache_hits: int = 0
+    cache_misses: int = 0
     _lock: threading.Lock = field(
         default_factory=threading.Lock, repr=False, compare=False
     )
+
+    @property
+    def fetch_attempts(self) -> int:
+        """Total transport calls: every first try plus every retry."""
+        return self.fetch_requests + self.fetch_retries
+
+    @property
+    def cache_hit_rate(self) -> float:
+        lookups = self.cache_hits + self.cache_misses
+        return self.cache_hits / lookups if lookups else 0.0
 
     def on_stage_end(self, stage, ctx, elapsed) -> None:
         with self._lock:
@@ -158,3 +233,32 @@ class StageCounters(Instrumentation):
     def on_page_error(self, page, error) -> None:
         with self._lock:
             self.pages_failed += 1
+
+    def on_fetch_start(self, url) -> None:
+        with self._lock:
+            self.fetch_requests += 1
+
+    def on_fetch_retry(self, url, attempt, error) -> None:
+        with self._lock:
+            self.fetch_retries += 1
+
+    def on_fetch_end(self, url, result) -> None:
+        with self._lock:
+            self.fetch_successes += 1
+
+    def on_fetch_error(self, url, error) -> None:
+        with self._lock:
+            self.fetch_failures += 1
+
+    def on_breaker_transition(self, site, old, new) -> None:
+        with self._lock:
+            key = (old, new)
+            self.breaker_transitions[key] = self.breaker_transitions.get(key, 0) + 1
+
+    def on_cache_hit(self, url) -> None:
+        with self._lock:
+            self.cache_hits += 1
+
+    def on_cache_miss(self, url) -> None:
+        with self._lock:
+            self.cache_misses += 1

@@ -10,6 +10,7 @@ did.
 
 from __future__ import annotations
 
+import hashlib
 import re
 from pathlib import Path
 
@@ -21,7 +22,17 @@ _SAFE = re.compile(r"[^A-Za-z0-9._-]+")
 
 
 def _site_dir_name(site: str) -> str:
-    return _SAFE.sub("_", site)
+    """Filesystem-safe directory name, collision-free across site names.
+
+    Sanitization alone is lossy (``a/b`` and ``a_b`` both map to ``a_b``),
+    so any name the sanitizer had to touch gets a short digest of the raw
+    name appended; untouched names keep their historical directory.
+    """
+    safe = _SAFE.sub("_", site)
+    if safe == site:
+        return safe
+    digest = hashlib.sha1(site.encode("utf-8")).hexdigest()[:8]
+    return f"{safe}-{digest}"
 
 
 class PageCache:

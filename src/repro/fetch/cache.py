@@ -1,0 +1,132 @@
+"""TTL'd on-disk content cache layered over any fetcher.
+
+The paper ran every experiment "on the local version of the pages so as not
+to overload web sites" (Section 6.3); :class:`CachingFetcher` is that idea
+as a composable layer: the first fetch of a URL goes to the inner fetcher
+and is written to disk, later fetches inside the TTL are served locally
+(``FetchResult.from_cache=True``) without touching the origin.
+
+The layout reuses the :class:`~repro.corpus.fetcher.PageCache` convention
+-- one sanitized directory per site, one file pair per document::
+
+    <root>/<site_dir>/fetch_<urldigest>.html     (the body)
+    <root>/<site_dir>/fetch_<urldigest>.json     (url, age, integrity facts)
+
+so a cache directory is browsable alongside generated corpora and the
+batch engine's ``site_from_dir`` convention keys rule reuse off it.
+
+Freshness is measured on the injected clock.  Entries whose recorded time
+lies in the future (a cache written by an earlier process under a restarted
+monotonic clock) are treated as stale and refetched -- the safe direction.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+from pathlib import Path
+
+from repro.core.stages.instrumentation import Instrumentation
+from repro.corpus.fetcher import _site_dir_name
+from repro.fetch.base import Clock, FetchResult, Fetcher, SystemClock
+from repro.fetch.retry import site_key
+
+__all__ = ["CachingFetcher"]
+
+
+def _url_stem(url: str) -> str:
+    return "fetch_" + hashlib.sha256(url.encode("utf-8")).hexdigest()[:16]
+
+
+class CachingFetcher:
+    """Serve repeat fetches from disk while they are fresh.
+
+    Parameters
+    ----------
+    inner:
+        The fetcher misses fall through to.
+    root:
+        Cache directory (created on first write).
+    ttl:
+        Seconds an entry stays fresh; ``None`` never expires.
+    clock / observer:
+        Test seams; the observer receives ``on_cache_hit``/``on_cache_miss``.
+    """
+
+    def __init__(
+        self,
+        inner: Fetcher,
+        root: str | Path,
+        *,
+        ttl: float | None = 3600.0,
+        clock: Clock | None = None,
+        observer: Instrumentation | None = None,
+    ) -> None:
+        self.inner = inner
+        self.root = Path(root)
+        self.ttl = ttl
+        self.clock = clock or SystemClock()
+        self.observer = observer or Instrumentation()
+        self.hits = 0
+        self.misses = 0
+        self._lock = threading.Lock()
+
+    def fetch(self, url: str, *, site: str | None = None) -> FetchResult:
+        html_path, meta_path = self._paths(url, site)
+        cached = self._load_fresh(url, site, html_path, meta_path)
+        if cached is not None:
+            with self._lock:
+                self.hits += 1
+            self.observer.on_cache_hit(url)
+            return cached
+        with self._lock:
+            self.misses += 1
+        self.observer.on_cache_miss(url)
+        result = self.inner.fetch(url, site=site)
+        self._store(result, html_path, meta_path)
+        return result
+
+    # -- internals -----------------------------------------------------------
+
+    def _paths(self, url: str, site: str | None) -> tuple[Path, Path]:
+        site_dir = self.root / _site_dir_name(site_key(url, site))
+        stem = _url_stem(url)
+        return site_dir / f"{stem}.html", site_dir / f"{stem}.json"
+
+    def _load_fresh(
+        self, url: str, site: str | None, html_path: Path, meta_path: Path
+    ) -> FetchResult | None:
+        if not (html_path.exists() and meta_path.exists()):
+            return None
+        try:
+            meta = json.loads(meta_path.read_text(encoding="utf-8"))
+            body = html_path.read_text(encoding="utf-8")
+        except (OSError, json.JSONDecodeError):
+            return None
+        if meta.get("url") != url:
+            return None  # digest collision; let the origin answer
+        age = self.clock.monotonic() - float(meta.get("fetched_at", 0.0))
+        if self.ttl is not None and not 0.0 <= age <= self.ttl:
+            return None
+        return FetchResult(
+            url=url,
+            body=body,
+            status=int(meta.get("status", 200)),
+            site=site,
+            from_cache=True,
+            declared_length=meta.get("declared_length"),
+            digest=meta.get("digest"),
+        )
+
+    def _store(self, result: FetchResult, html_path: Path, meta_path: Path) -> None:
+        html_path.parent.mkdir(parents=True, exist_ok=True)
+        html_path.write_text(result.body, encoding="utf-8")
+        meta = {
+            "url": result.url,
+            "status": result.status,
+            "fetched_at": self.clock.monotonic(),
+            "declared_length": result.declared_length,
+            "digest": result.digest,
+        }
+        meta_path.write_text(json.dumps(meta, indent=2), encoding="utf-8")

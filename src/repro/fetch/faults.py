@@ -1,0 +1,216 @@
+"""Deterministic fault injection: the chaos harness for the fetch stack.
+
+NEXT-EVAL's point (PAPERS.md) is that extraction evaluation is only
+trustworthy over reproducible, controlled inputs; AMBER's is that quality
+must be measured under noisy acquisition.  :class:`FaultInjectingFetcher`
+supplies both at once: it wraps any fetcher and injects the five
+degradations a real crawl meets --
+
+* ``latency``    -- the origin stalls; past the deadline it is a timeout;
+* ``connection`` -- the connection drops (:class:`FetchConnectionError`);
+* ``http_5xx``   -- the origin answers 500/502/503/504;
+* ``truncate``   -- the body ends early (integrity facts untouched, so
+  :meth:`FetchResult.verify` classifies it);
+* ``corrupt``    -- byte-level damage to the HTML (likewise caught by the
+  digest check)
+
+-- with every decision a **pure function** of ``(seed, url, per-URL call
+number)`` (:meth:`plan`).  Two runs with the same seed inject the identical
+fault schedule, and a test can *replay* the schedule independently to
+predict, exactly, how many retries a resilient wrapper will spend and when
+a circuit breaker will trip.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from dataclasses import dataclass, replace
+
+from repro.fetch.base import (
+    Clock,
+    FetchConnectionError,
+    FetchHttpError,
+    FetchResult,
+    Fetcher,
+    FetchTimeoutError,
+    SystemClock,
+)
+
+__all__ = ["FAULT_KINDS", "FaultInjectingFetcher", "InjectedFault", "corrupt_html"]
+
+#: The five injectable degradations, in the order the RNG picks from.
+FAULT_KINDS = ("latency", "connection", "http_5xx", "truncate", "corrupt")
+
+_5XX = (500, 502, 503, 504)
+
+#: Characters corruption likes to hit: breaking markup structure is the
+#: interesting failure mode for an HTML pipeline.
+_CORRUPT_GLYPHS = "<>&\x00\xff/=\""
+
+
+def corrupt_html(
+    text: str, rng: random.Random, *, rate: float = 0.01, preserve_length: bool = False
+) -> str:
+    """Byte-level damage: flip, delete or insert characters at ``rate``.
+
+    Deterministic given ``rng``'s state.  With ``preserve_length=True``
+    every damaged character is flipped in place (no inserts/deletes), so
+    the result stays the declared length -- the shape the fault injector
+    needs for the damage to classify as *corrupted* rather than
+    *truncated*.  Also used by the property-test layer to harden the
+    tokenizer/normalizer against damaged input.
+    """
+    if not text:
+        return text
+    out: list[str] = []
+    for ch in text:
+        roll = rng.random()
+        if roll >= rate:
+            out.append(ch)
+            continue
+        action = 0 if preserve_length else rng.randrange(3)
+        if action == 0:  # flip
+            out.append(rng.choice(_CORRUPT_GLYPHS))
+        elif action == 1:  # delete
+            pass
+        else:  # insert
+            out.append(rng.choice(_CORRUPT_GLYPHS))
+            out.append(ch)
+    return "".join(out)
+
+
+@dataclass(frozen=True)
+class InjectedFault:
+    """One fully resolved fault decision for one transport call.
+
+    ``fatal`` says whether the attempt fails (a latency fault under the
+    deadline slows the call but still succeeds).
+    """
+
+    kind: str
+    fatal: bool
+    delay: float = 0.0
+    status: int | None = None
+    truncate_at: float = 0.0  # fraction of the body kept
+    corruption_seed: int = 0
+
+
+class FaultInjectingFetcher:
+    """Wrap ``inner`` and degrade a seeded fraction of calls.
+
+    Parameters
+    ----------
+    inner:
+        The healthy origin (often a :class:`~repro.fetch.base.StaticFetcher`).
+    rate:
+        Probability a given transport call is degraded.
+    seed:
+        Master seed; all decisions derive from it deterministically.
+    kinds:
+        Subset of :data:`FAULT_KINDS` to draw from.
+    timeout:
+        The deadline injected latency is judged against: a stall past it
+        raises :class:`FetchTimeoutError` (stalls are drawn uniformly from
+        ``(0, 2 * timeout)``, so about half of latency faults are fatal).
+    clock:
+        Where stalls are slept (a :class:`~repro.fetch.base.FakeClock`
+        makes them free and exactly accountable).
+    """
+
+    def __init__(
+        self,
+        inner: Fetcher,
+        *,
+        rate: float = 0.3,
+        seed: int = 0,
+        kinds: tuple[str, ...] = FAULT_KINDS,
+        timeout: float = 5.0,
+        clock: Clock | None = None,
+    ) -> None:
+        unknown = set(kinds) - set(FAULT_KINDS)
+        if unknown:
+            raise ValueError(f"unknown fault kinds: {sorted(unknown)}")
+        self.inner = inner
+        self.rate = rate
+        self.seed = seed
+        self.kinds = tuple(kinds)
+        self.timeout = timeout
+        self.clock = clock or SystemClock()
+        self._calls: dict[str, int] = {}
+        self._lock = threading.Lock()
+        self.injected: dict[str, int] = {kind: 0 for kind in self.kinds}
+
+    # -- the pure decision function ------------------------------------------
+
+    def plan(self, url: str, call: int) -> InjectedFault | None:
+        """The fault the ``call``-th transport call for ``url`` receives.
+
+        Pure: depends only on ``(seed, url, call)``, never on execution
+        history, so tests can replay an entire run's schedule up front.
+        """
+        rng = random.Random(f"{self.seed}:{url}:{call}")
+        if rng.random() >= self.rate:
+            return None
+        kind = self.kinds[rng.randrange(len(self.kinds))]
+        if kind == "latency":
+            delay = rng.uniform(0.0, 2.0 * self.timeout)
+            return InjectedFault(kind, fatal=delay > self.timeout, delay=delay)
+        if kind == "connection":
+            return InjectedFault(kind, fatal=True)
+        if kind == "http_5xx":
+            return InjectedFault(kind, fatal=True, status=rng.choice(_5XX))
+        if kind == "truncate":
+            return InjectedFault(kind, fatal=True, truncate_at=rng.uniform(0.1, 0.9))
+        return InjectedFault(kind, fatal=True, corruption_seed=rng.randrange(2**31))
+
+    def calls_for(self, url: str) -> int:
+        """How many transport calls ``url`` has received so far."""
+        with self._lock:
+            return self._calls.get(url, 0)
+
+    # -- Fetcher protocol ------------------------------------------------------
+
+    def fetch(self, url: str, *, site: str | None = None) -> FetchResult:
+        with self._lock:
+            call = self._calls.get(url, 0)
+            self._calls[url] = call + 1
+        fault = self.plan(url, call)
+        if fault is None:
+            return self.inner.fetch(url, site=site)
+        with self._lock:
+            self.injected[fault.kind] += 1
+
+        if fault.kind == "latency":
+            stall = min(fault.delay, self.timeout) if fault.fatal else fault.delay
+            self.clock.sleep(stall)
+            if fault.fatal:
+                raise FetchTimeoutError(
+                    f"injected stall of {fault.delay:.2f}s > {self.timeout}s deadline",
+                    url=url,
+                )
+            return self.inner.fetch(url, site=site)
+        if fault.kind == "connection":
+            raise FetchConnectionError("injected connection failure", url=url)
+        if fault.kind == "http_5xx":
+            assert fault.status is not None
+            raise FetchHttpError(
+                f"injected HTTP {fault.status}", url=url, status=fault.status
+            )
+
+        result = self.inner.fetch(url, site=site)
+        if fault.kind == "truncate":
+            keep = max(0, min(int(len(result.body) * fault.truncate_at), len(result.body) - 1))
+            # Integrity facts are left describing the full body on purpose:
+            # that is what lets verify() classify the damage.
+            return replace(result, body=result.body[:keep])
+        damaged = corrupt_html(
+            result.body,
+            random.Random(fault.corruption_seed),
+            rate=0.02,
+            preserve_length=True,
+        )
+        if damaged == result.body:  # corruption must corrupt
+            flip = "\x00" if result.body[:1] != "\x00" else "\xff"
+            damaged = flip + result.body[1:]
+        return replace(result, body=damaged)

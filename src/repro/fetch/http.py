@@ -1,0 +1,159 @@
+"""HTTP acquisition over urllib: the production edge of the fetch stack.
+
+:class:`HttpFetcher` = :class:`~repro.fetch.retry.ResilientFetcher` over a
+urllib transport: one ``urlopen`` per attempt with a per-request timeout,
+bounded retries with deterministic-jitter backoff, integrity verification
+(a body shorter than its ``Content-Length`` raises
+:class:`~repro.fetch.base.TruncatedBodyError` and is retried), and a
+per-site circuit breaker.
+
+The transport is injectable (``open_url``) so every behaviour is testable
+without a network: the test suite passes a callable that returns canned
+``(status, headers, bytes)`` triples or raises the urllib exceptions the
+real one would.
+"""
+
+from __future__ import annotations
+
+import socket
+import urllib.error
+import urllib.request
+from typing import Callable, Mapping
+
+from repro.core.stages.instrumentation import Instrumentation
+from repro.fetch.base import (
+    Clock,
+    FetchConnectionError,
+    FetchHttpError,
+    FetchResult,
+    FetchTimeoutError,
+    SystemClock,
+    TruncatedBodyError,
+    body_digest,
+)
+from repro.fetch.retry import CircuitBreaker, ResilientFetcher, RetryPolicy
+
+__all__ = ["HttpFetcher", "UrllibTransport"]
+
+#: ``open_url(url, timeout) -> (status, headers, raw_bytes)``
+OpenUrl = Callable[[str, float], tuple[int, Mapping[str, str], bytes]]
+
+
+def _default_open_url(url: str, timeout: float) -> tuple[int, Mapping[str, str], bytes]:
+    request = urllib.request.Request(url, headers={"User-Agent": "omini-repro/1.0"})
+    with urllib.request.urlopen(request, timeout=timeout) as response:  # noqa: S310
+        raw = response.read()
+        status = getattr(response, "status", None) or response.getcode() or 200
+        return status, dict(response.headers.items()), raw
+
+
+class UrllibTransport:
+    """One HTTP attempt per call, with urllib's failures classified.
+
+    * timeouts (socket or URLError-wrapped) -> :class:`FetchTimeoutError`;
+    * unreachable/reset connections -> :class:`FetchConnectionError`;
+    * non-2xx statuses -> :class:`FetchHttpError` (5xx retryable upstream);
+    * a byte count short of ``Content-Length`` -> :class:`TruncatedBodyError`.
+    """
+
+    def __init__(self, *, timeout: float = 10.0, open_url: OpenUrl | None = None) -> None:
+        self.timeout = timeout
+        self.open_url = open_url or _default_open_url
+
+    def fetch(self, url: str, *, site: str | None = None) -> FetchResult:
+        try:
+            status, headers, raw = self.open_url(url, self.timeout)
+        except urllib.error.HTTPError as error:
+            raise FetchHttpError(
+                f"HTTP {error.code} for {url}", url=url, status=error.code
+            ) from error
+        except urllib.error.URLError as error:
+            reason = getattr(error, "reason", error)
+            if isinstance(reason, (TimeoutError, socket.timeout)):
+                raise FetchTimeoutError(f"timed out fetching {url}", url=url) from error
+            raise FetchConnectionError(f"{reason} for {url}", url=url) from error
+        except (TimeoutError, socket.timeout) as error:
+            raise FetchTimeoutError(f"timed out fetching {url}", url=url) from error
+        except OSError as error:
+            raise FetchConnectionError(f"{error} for {url}", url=url) from error
+
+        if not 200 <= status < 300:
+            raise FetchHttpError(f"HTTP {status} for {url}", url=url, status=status)
+        declared = _content_length(headers)
+        if declared is not None and len(raw) < declared:
+            raise TruncatedBodyError(
+                f"body ended at {len(raw)}/{declared} bytes", url=url
+            )
+        body = raw.decode("utf-8", errors="replace")
+        return FetchResult(
+            url=url,
+            body=body,
+            status=status,
+            site=site,
+            declared_length=len(body),
+            digest=body_digest(body),
+        )
+
+
+def _content_length(headers: Mapping[str, str]) -> int | None:
+    for name, value in headers.items():
+        if name.lower() == "content-length":
+            try:
+                return int(value)
+            except ValueError:
+                return None
+    return None
+
+
+class HttpFetcher:
+    """urllib-based fetcher with timeout, retries, backoff and breaker.
+
+    Usage::
+
+        fetcher = HttpFetcher(timeout=5.0, retries=3)
+        page = fetcher.fetch("http://example.com/search?q=camera").body
+
+    Parameters
+    ----------
+    timeout:
+        Per-request socket timeout in seconds.
+    retries:
+        Additional attempts after the first (shorthand for ``policy=``).
+    policy:
+        Full :class:`RetryPolicy`; overrides ``retries`` when given.
+    breaker:
+        Per-site :class:`CircuitBreaker`; pass ``None`` keeps the default
+        (5 consecutive failures open a site for 30 s).
+    clock / observer / open_url:
+        Test seams: simulated time, instrumentation hooks, canned transport.
+    """
+
+    def __init__(
+        self,
+        *,
+        timeout: float = 10.0,
+        retries: int = 2,
+        policy: RetryPolicy | None = None,
+        breaker: CircuitBreaker | None = None,
+        clock: Clock | None = None,
+        observer: Instrumentation | None = None,
+        open_url: OpenUrl | None = None,
+    ) -> None:
+        clock = clock or SystemClock()
+        observer = observer or Instrumentation()
+        self.transport = UrllibTransport(timeout=timeout, open_url=open_url)
+        self.breaker = breaker or CircuitBreaker(clock=clock, observer=observer)
+        self._resilient = ResilientFetcher(
+            inner=self.transport,
+            policy=policy or RetryPolicy(retries=retries),
+            breaker=self.breaker,
+            clock=clock,
+            observer=observer,
+        )
+
+    @property
+    def timeout(self) -> float:
+        return self.transport.timeout
+
+    def fetch(self, url: str, *, site: str | None = None) -> FetchResult:
+        return self._resilient.fetch(url, site=site)

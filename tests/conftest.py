@@ -5,6 +5,21 @@ from __future__ import annotations
 import pytest
 
 from repro.corpus import CorpusGenerator, TEST_SITES
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="rewrite tests/golden/*.json snapshots from current extractor output",
+    )
+
+
+@pytest.fixture(scope="session")
+def update_golden(request):
+    """True when the run should rewrite golden snapshots instead of comparing."""
+    return request.config.getoption("--update-golden")
 from repro.corpus.fixtures import canoe_page, library_of_congress_page
 from repro.core.separator.base import build_context
 from repro.tree.builder import parse_document

@@ -9,6 +9,7 @@ from repro.corpus import (
     EXPERIMENTAL_SITES,
     GroundTruth,
     HARD_SITES,
+    LabeledPage,
     TEST_SITES,
     all_sites,
     site_by_name,
@@ -251,6 +252,34 @@ class TestPageCache:
         )
         assert len(cache.fetch_all()) == 4
         assert len(cache.fetch_all("www.loc.gov")) == 2
+
+    def test_store_keeps_sanitization_colliding_sites_apart(self, tmp_path):
+        """Regression: ``a/b`` and ``a_b`` both sanitize to ``a_b``.
+
+        store() used to drop both sites into the same directory, so the
+        second site's page_0000 silently overwrote the first's.  Now any
+        sanitized name carries a digest of the raw name, and each site
+        reads back its own pages.
+        """
+        from dataclasses import replace
+
+        from repro.corpus import PageCache
+
+        cache = PageCache(tmp_path / "corpus")
+        [template] = CorpusGenerator(max_pages_per_site=1).pages_for_site(
+            site_by_name("www.google.com")
+        )
+        for site in ("a/b", "a_b"):
+            truth = replace(template.truth, site=site)
+            cache.store(LabeledPage(html=f"<html>{site}</html>", truth=truth))
+
+        stored = cache.page_paths("a/b") + cache.page_paths("a_b")
+        assert len(stored) == 2
+        assert stored[0].parent != stored[1].parent
+        assert cache.fetch(stored[0]).truth.site == "a/b"
+        assert cache.fetch(stored[1]).truth.site == "a_b"
+        # An untouched (already-safe) name keeps its historical directory.
+        assert (tmp_path / "corpus" / "a_b").is_dir()
 
 
 class TestPageForQuery:

@@ -1,0 +1,118 @@
+"""Golden-corpus regression tests: frozen extractor output per site.
+
+Each file in ``tests/golden/`` snapshots what the extractor produced for a
+handful of deterministic pages from one manifest site: the chosen object
+separator, the minimal-subtree path, and every extracted object's text.
+Any change to tokenizer, tree builder, separator ranking or extraction
+rules that shifts output on these sites fails here with the *first
+divergent record* printed, before it can silently alter corpus-wide
+accuracy numbers.
+
+Refreshing after an intentional behavior change::
+
+    PYTHONPATH=src python -m pytest tests/test_golden_corpus.py --update-golden
+
+then review the JSON diff like any other code change.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.core.pipeline import OminiExtractor
+from repro.corpus import CorpusGenerator, TEST_SITES
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+#: Sites under snapshot: a layout-diverse ten of the fifteen manifest sites.
+GOLDEN_SITES = (
+    "agents.umbc.edu",
+    "www.alphaworks.ibm.com",
+    "www.amazon.com",
+    "www.bookpool.com",
+    "cbc.ca/consumers",
+    "www.google.com",
+    "www.ibm.com/developer/java",
+    "www.loc.gov",
+    "www.rubylane.com",
+    "www.signpost.org",
+)
+
+PAGES_PER_SITE = 3
+
+
+def golden_path(site: str) -> Path:
+    return GOLDEN_DIR / (re.sub(r"[^A-Za-z0-9._-]", "_", site) + ".json")
+
+
+def snapshot_site(site: str) -> dict:
+    """Extract the site's deterministic sample pages into a snapshot dict."""
+    (spec,) = [s for s in TEST_SITES if s.name == site]
+    pages = CorpusGenerator(max_pages_per_site=PAGES_PER_SITE).pages_for_site(spec)
+    extractor = OminiExtractor()
+    records = []
+    for index, page in enumerate(pages):
+        result = extractor.extract(page.html, site=page.site)
+        records.append(
+            {
+                "page": index,
+                "separator": result.separator,
+                "subtree_path": result.subtree_path,
+                "objects": [obj.text() for obj in result.objects],
+            }
+        )
+    return {"site": site, "pages": len(pages), "records": records}
+
+
+def first_divergence(expected: dict, actual: dict) -> str:
+    """Human-readable report of the first record where the runs disagree."""
+    for want, got in zip(expected["records"], actual["records"]):
+        if want != got:
+            lines = [f"first divergent record: page {want['page']}"]
+            for field in ("separator", "subtree_path"):
+                if want[field] != got[field]:
+                    lines.append(f"  {field}: golden={want[field]!r} now={got[field]!r}")
+            if want["objects"] != got["objects"]:
+                lines.append(
+                    f"  objects: golden has {len(want['objects'])}, "
+                    f"run produced {len(got['objects'])}"
+                )
+                for i, (w, g) in enumerate(zip(want["objects"], got["objects"])):
+                    if w != g:
+                        lines.append(f"  object[{i}]: golden={w!r}")
+                        lines.append(f"  object[{i}]:    now={g!r}")
+                        break
+            return "\n".join(lines)
+    return (
+        f"record count changed: golden has {len(expected['records'])}, "
+        f"run produced {len(actual['records'])}"
+    )
+
+
+@pytest.mark.parametrize("site", GOLDEN_SITES)
+def test_golden_site_output_is_stable(site, update_golden):
+    path = golden_path(site)
+    actual = snapshot_site(site)
+    if update_golden:
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        path.write_text(json.dumps(actual, indent=2, sort_keys=True) + "\n")
+        return
+    assert path.exists(), (
+        f"no golden snapshot for {site!r}; generate with "
+        f"pytest tests/test_golden_corpus.py --update-golden"
+    )
+    expected = json.loads(path.read_text())
+    if expected != actual:
+        pytest.fail(f"{site}: output diverged from {path.name}\n"
+                    + first_divergence(expected, actual))
+
+
+def test_golden_files_cover_every_snapshot_site():
+    """No stale or missing snapshot files sneak into tests/golden/."""
+    expected = {golden_path(site).name for site in GOLDEN_SITES}
+    present = {p.name for p in GOLDEN_DIR.glob("*.json")}
+    assert present == expected
