@@ -3,7 +3,8 @@
 Usage::
 
     omini extract PAGE.html|URL [PAGE2.html|URL ...] [--site NAME --rules RULES.json]
-                  [--workers N] [--json] [--timeout S --retries N --fetch-cache DIR]
+                  [--workers N] [--json]
+                  [--timeout S --retries N --max-bytes B --fetch-cache DIR]
     omini tree PAGE.html [--metrics] [--depth N]
     omini rank PAGE.html              # subtree + separator rankings
     omini corpus OUTDIR [--split test|experimental|all] [--pages N]
@@ -45,9 +46,16 @@ def _is_url(page: str) -> bool:
 
 def _build_fetcher(args: argparse.Namespace):
     """The acquisition stack for URL pages: HTTP + optional on-disk cache."""
-    from repro.fetch import CachingFetcher, HttpFetcher
+    from repro.fetch import DEFAULT_MAX_BYTES, CachingFetcher, HttpFetcher
 
-    fetcher = HttpFetcher(timeout=args.timeout, retries=args.retries)
+    max_bytes = getattr(args, "max_bytes", None)
+    if max_bytes is None:
+        max_bytes = DEFAULT_MAX_BYTES
+    elif max_bytes <= 0:
+        max_bytes = None  # 0 disables the cap
+    fetcher = HttpFetcher(
+        timeout=args.timeout, retries=args.retries, max_bytes=max_bytes
+    )
     if args.fetch_cache:
         fetcher = CachingFetcher(fetcher, args.fetch_cache)
     return fetcher
@@ -285,6 +293,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--retries", type=int, default=2, help="fetch retries after the first attempt"
+    )
+    p.add_argument(
+        "--max-bytes",
+        type=int,
+        default=None,
+        help="fetch body-size cap in bytes (default 10 MiB; 0 disables)",
     )
     p.add_argument(
         "--fetch-cache",

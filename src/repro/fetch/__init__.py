@@ -31,6 +31,7 @@ from repro.fetch.base import (
     EXTRACTION,
     FAILURE_KINDS,
     HTTP_STATUS,
+    OVERSIZED,
     TIMEOUT,
     TRUNCATED,
     CircuitOpenError,
@@ -42,6 +43,7 @@ from repro.fetch.base import (
     FetchResult,
     FetchTimeoutError,
     Fetcher,
+    OversizedBodyError,
     StaticFetcher,
     SystemClock,
     TruncatedBodyError,
@@ -49,7 +51,7 @@ from repro.fetch.base import (
 )
 from repro.fetch.cache import CachingFetcher
 from repro.fetch.faults import FAULT_KINDS, FaultInjectingFetcher, corrupt_html
-from repro.fetch.http import HttpFetcher
+from repro.fetch.http import DEFAULT_MAX_BYTES, HttpFetcher
 from repro.fetch.retry import CircuitBreaker, ResilientFetcher, RetryPolicy, site_key
 
 __all__ = [
@@ -60,6 +62,7 @@ __all__ = [
     "CircuitBreaker",
     "CircuitOpenError",
     "CorruptBodyError",
+    "DEFAULT_MAX_BYTES",
     "EXTRACTION",
     "FAILURE_KINDS",
     "FAULT_KINDS",
@@ -73,6 +76,8 @@ __all__ = [
     "Fetcher",
     "HTTP_STATUS",
     "HttpFetcher",
+    "OVERSIZED",
+    "OversizedBodyError",
     "ResilientFetcher",
     "RetryPolicy",
     "StaticFetcher",

@@ -47,6 +47,8 @@ __all__ = [
     "FetchTimeoutError",
     "Fetcher",
     "HTTP_STATUS",
+    "OVERSIZED",
+    "OversizedBodyError",
     "StaticFetcher",
     "SystemClock",
     "TIMEOUT",
@@ -67,6 +69,8 @@ CONNECTION = "connection"
 HTTP_STATUS = "http_status"
 #: The body ended before its declared length (integrity check).
 TRUNCATED = "truncated"
+#: The body exceeded the transport's size cap and was abandoned.
+OVERSIZED = "oversized"
 #: The body does not match its declared content digest (integrity check).
 CORRUPTED = "corrupted"
 #: The per-site circuit breaker is open; the request was not attempted.
@@ -80,6 +84,7 @@ FAILURE_KINDS = (
     CONNECTION,
     HTTP_STATUS,
     TRUNCATED,
+    OVERSIZED,
     CORRUPTED,
     CIRCUIT_OPEN,
     EXTRACTION,
@@ -119,6 +124,12 @@ class FetchHttpError(FetchError):
 
 class TruncatedBodyError(FetchError):
     kind = TRUNCATED
+
+
+class OversizedBodyError(FetchError):
+    """The body exceeded the transport's size cap; retrying cannot help."""
+
+    kind = OVERSIZED
 
 
 class CorruptBodyError(FetchError):
@@ -212,17 +223,26 @@ class Fetcher(Protocol):
 
 
 class Clock(Protocol):
-    """The time seam: backoff, TTLs and breaker cooldowns read this."""
+    """The time seam: backoff, TTLs and breaker cooldowns read this.
+
+    ``monotonic`` measures in-process intervals (backoff, cooldowns) and
+    is meaningless across processes; ``time`` is wall-clock epoch seconds,
+    the only scale safe to persist (on-disk cache freshness).
+    """
 
     def monotonic(self) -> float: ...  # pragma: no cover - protocol
+    def time(self) -> float: ...  # pragma: no cover - protocol
     def sleep(self, seconds: float) -> None: ...  # pragma: no cover - protocol
 
 
 class SystemClock:
-    """Wall-clock time (the production default)."""
+    """Real time (the production default)."""
 
     def monotonic(self) -> float:
         return time.monotonic()
+
+    def time(self) -> float:
+        return time.time()
 
     def sleep(self, seconds: float) -> None:
         time.sleep(seconds)
@@ -243,6 +263,10 @@ class FakeClock:
     def monotonic(self) -> float:
         with self._lock:
             return self._now
+
+    def time(self) -> float:
+        # The simulation runs monotonic and wall clock on one timeline.
+        return self.monotonic()
 
     def sleep(self, seconds: float) -> None:
         with self._lock:

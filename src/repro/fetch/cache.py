@@ -15,9 +15,11 @@ The layout reuses the :class:`~repro.corpus.fetcher.PageCache` convention
 so a cache directory is browsable alongside generated corpora and the
 batch engine's ``site_from_dir`` convention keys rule reuse off it.
 
-Freshness is measured on the injected clock.  Entries whose recorded time
-lies in the future (a cache written by an earlier process under a restarted
-monotonic clock) are treated as stale and refetched -- the safe direction.
+Freshness is measured on the injected clock's wall-clock seam
+(``Clock.time``), because entries outlive the writing process and must be
+comparable across runs.  Entries whose recorded time lies in the future
+(clock skew, a copied cache directory) are treated as stale and refetched
+-- the safe direction.
 """
 
 from __future__ import annotations
@@ -101,12 +103,15 @@ class CachingFetcher:
             return None
         try:
             meta = json.loads(meta_path.read_text(encoding="utf-8"))
-            body = html_path.read_text(encoding="utf-8")
+            # newline="" disables universal-newline translation: a CRLF body
+            # must reload byte-identical or verify() rejects every cache hit.
+            with html_path.open("r", encoding="utf-8", newline="") as handle:
+                body = handle.read()
         except (OSError, json.JSONDecodeError):
             return None
         if meta.get("url") != url:
             return None  # digest collision; let the origin answer
-        age = self.clock.monotonic() - float(meta.get("fetched_at", 0.0))
+        age = self.clock.time() - float(meta.get("fetched_at", 0.0))
         if self.ttl is not None and not 0.0 <= age <= self.ttl:
             return None
         return FetchResult(
@@ -121,11 +126,14 @@ class CachingFetcher:
 
     def _store(self, result: FetchResult, html_path: Path, meta_path: Path) -> None:
         html_path.parent.mkdir(parents=True, exist_ok=True)
-        html_path.write_text(result.body, encoding="utf-8")
+        with html_path.open("w", encoding="utf-8", newline="") as handle:
+            handle.write(result.body)
         meta = {
             "url": result.url,
             "status": result.status,
-            "fetched_at": self.clock.monotonic(),
+            # Wall-clock epoch seconds: the entry outlives this process, so
+            # monotonic time (per-boot scale) would misdate it on reload.
+            "fetched_at": self.clock.time(),
             "declared_length": result.declared_length,
             "digest": result.digest,
         }

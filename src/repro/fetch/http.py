@@ -15,6 +15,7 @@ real one would.
 
 from __future__ import annotations
 
+import functools
 import socket
 import urllib.error
 import urllib.request
@@ -27,22 +28,31 @@ from repro.fetch.base import (
     FetchHttpError,
     FetchResult,
     FetchTimeoutError,
+    OversizedBodyError,
     SystemClock,
     TruncatedBodyError,
     body_digest,
 )
 from repro.fetch.retry import CircuitBreaker, ResilientFetcher, RetryPolicy
 
-__all__ = ["HttpFetcher", "UrllibTransport"]
+__all__ = ["DEFAULT_MAX_BYTES", "HttpFetcher", "UrllibTransport"]
+
+#: Default body-size cap: generous for any HTML page, small enough that an
+#: endless or hostile response cannot exhaust memory.
+DEFAULT_MAX_BYTES = 10 * 1024 * 1024
 
 #: ``open_url(url, timeout) -> (status, headers, raw_bytes)``
 OpenUrl = Callable[[str, float], tuple[int, Mapping[str, str], bytes]]
 
 
-def _default_open_url(url: str, timeout: float) -> tuple[int, Mapping[str, str], bytes]:
+def _default_open_url(
+    url: str, timeout: float, max_bytes: int | None = None
+) -> tuple[int, Mapping[str, str], bytes]:
     request = urllib.request.Request(url, headers={"User-Agent": "omini-repro/1.0"})
     with urllib.request.urlopen(request, timeout=timeout) as response:  # noqa: S310
-        raw = response.read()
+        # Read one byte past the cap so the transport can tell "exactly at
+        # the cap" from "over it" without buffering an unbounded stream.
+        raw = response.read() if max_bytes is None else response.read(max_bytes + 1)
         status = getattr(response, "status", None) or response.getcode() or 200
         return status, dict(response.headers.items()), raw
 
@@ -53,12 +63,24 @@ class UrllibTransport:
     * timeouts (socket or URLError-wrapped) -> :class:`FetchTimeoutError`;
     * unreachable/reset connections -> :class:`FetchConnectionError`;
     * non-2xx statuses -> :class:`FetchHttpError` (5xx retryable upstream);
-    * a byte count short of ``Content-Length`` -> :class:`TruncatedBodyError`.
+    * a byte count short of ``Content-Length`` -> :class:`TruncatedBodyError`;
+    * a body over ``max_bytes`` -> :class:`OversizedBodyError` (the default
+      transport also stops *reading* at the cap, so an endless stream cannot
+      exhaust memory; ``max_bytes=None`` disables the cap).
     """
 
-    def __init__(self, *, timeout: float = 10.0, open_url: OpenUrl | None = None) -> None:
+    def __init__(
+        self,
+        *,
+        timeout: float = 10.0,
+        max_bytes: int | None = DEFAULT_MAX_BYTES,
+        open_url: OpenUrl | None = None,
+    ) -> None:
         self.timeout = timeout
-        self.open_url = open_url or _default_open_url
+        self.max_bytes = max_bytes
+        self.open_url = open_url or functools.partial(
+            _default_open_url, max_bytes=max_bytes
+        )
 
     def fetch(self, url: str, *, site: str | None = None) -> FetchResult:
         try:
@@ -79,6 +101,10 @@ class UrllibTransport:
 
         if not 200 <= status < 300:
             raise FetchHttpError(f"HTTP {status} for {url}", url=url, status=status)
+        if self.max_bytes is not None and len(raw) > self.max_bytes:
+            raise OversizedBodyError(
+                f"body exceeded the {self.max_bytes}-byte cap for {url}", url=url
+            )
         declared = _content_length(headers)
         if declared is not None and len(raw) < declared:
             raise TruncatedBodyError(
@@ -117,6 +143,9 @@ class HttpFetcher:
     ----------
     timeout:
         Per-request socket timeout in seconds.
+    max_bytes:
+        Body-size cap (default 10 MiB); over-cap responses raise
+        :class:`OversizedBodyError` and are not retried.  ``None`` disables.
     retries:
         Additional attempts after the first (shorthand for ``policy=``).
     policy:
@@ -132,6 +161,7 @@ class HttpFetcher:
         self,
         *,
         timeout: float = 10.0,
+        max_bytes: int | None = DEFAULT_MAX_BYTES,
         retries: int = 2,
         policy: RetryPolicy | None = None,
         breaker: CircuitBreaker | None = None,
@@ -141,7 +171,9 @@ class HttpFetcher:
     ) -> None:
         clock = clock or SystemClock()
         observer = observer or Instrumentation()
-        self.transport = UrllibTransport(timeout=timeout, open_url=open_url)
+        self.transport = UrllibTransport(
+            timeout=timeout, max_bytes=max_bytes, open_url=open_url
+        )
         self.breaker = breaker or CircuitBreaker(clock=clock, observer=observer)
         self._resilient = ResilientFetcher(
             inner=self.transport,

@@ -45,6 +45,7 @@ from repro.fetch.base import (
     FetchHttpError,
     FetchResult,
     Fetcher,
+    OversizedBodyError,
     SystemClock,
 )
 
@@ -213,22 +214,31 @@ class ResilientFetcher:
 
         start = self.clock.monotonic()
         failure: FetchError | None = None
-        for attempt in range(1, self.policy.retries + 2):
-            try:
-                result = self.inner.fetch(url, site=site).verify()
-            except FetchError as error:
-                failure = error
-                if not self._retryable(error) or attempt > self.policy.retries:
-                    break
-                self.observer.on_fetch_retry(url, attempt, error)
-                self.clock.sleep(self.policy.delay(url, attempt))
-                continue
-            result.attempts = attempt
-            result.elapsed = self.clock.monotonic() - start
+        try:
+            for attempt in range(1, self.policy.retries + 2):
+                try:
+                    result = self.inner.fetch(url, site=site).verify()
+                except FetchError as error:
+                    failure = error
+                    if not self._retryable(error) or attempt > self.policy.retries:
+                        break
+                    self.observer.on_fetch_retry(url, attempt, error)
+                    self.clock.sleep(self.policy.delay(url, attempt))
+                    continue
+                result.attempts = attempt
+                result.elapsed = self.clock.monotonic() - start
+                if self.breaker is not None:
+                    self.breaker.record_success(key)
+                self.observer.on_fetch_end(url, result)
+                return result
+        except BaseException:
+            # A non-FetchError escaping here (a bug in an inner fetcher, an
+            # OSError from a layered cache write) must still report an
+            # outcome: a HALF_OPEN probe that vanished without one would
+            # wedge the circuit, refusing the site forever.
             if self.breaker is not None:
-                self.breaker.record_success(key)
-            self.observer.on_fetch_end(url, result)
-            return result
+                self.breaker.record_failure(key)
+            raise
 
         assert failure is not None
         if self.breaker is not None:
@@ -240,4 +250,6 @@ class ResilientFetcher:
     def _retryable(error: FetchError) -> bool:
         if isinstance(error, FetchHttpError):
             return error.retryable
-        return not isinstance(error, CircuitOpenError)
+        # An over-cap body will not shrink on retry; re-reading it each
+        # attempt is exactly the memory pressure the cap exists to avoid.
+        return not isinstance(error, (CircuitOpenError, OversizedBodyError))

@@ -20,6 +20,7 @@ from repro.fetch import (
     FetchResult,
     FetchTimeoutError,
     HttpFetcher,
+    OversizedBodyError,
     ResilientFetcher,
     RetryPolicy,
     StaticFetcher,
@@ -196,6 +197,38 @@ class TestCircuitBreaker:
             fetcher.fetch("http://a/x", site="s")
         assert classify_failure(info.value) == "circuit_open"
 
+    def test_crashed_probe_reopens_instead_of_wedging(self):
+        # A HALF_OPEN probe that dies with a non-FetchError (a bug in an
+        # inner fetcher, an OSError from a cache layer) must still count as
+        # a breaker outcome, or the circuit refuses the site forever.
+        class _Scripted:
+            def __init__(self, answers):
+                self.answers = list(answers)
+
+            def fetch(self, url, *, site=None):
+                answer = self.answers.pop(0)
+                if isinstance(answer, Exception):
+                    raise answer
+                return FetchResult.of(url, answer, site=site)
+
+        clock = FakeClock()
+        breaker = self.make(clock, failure_threshold=1)
+        inner = _Scripted([FetchConnectionError("down"), RuntimeError("bug"), HTML])
+        fetcher = ResilientFetcher(inner, RetryPolicy(retries=0), breaker, clock)
+
+        with pytest.raises(FetchConnectionError):
+            fetcher.fetch("http://a/x", site="s")
+        assert breaker.state("s") == OPEN
+
+        clock.advance(30.0)
+        with pytest.raises(RuntimeError):  # the probe crashes mid-flight
+            fetcher.fetch("http://a/x", site="s")
+        assert breaker.state("s") == OPEN  # re-opened, not stuck HALF_OPEN
+
+        clock.advance(30.0)
+        assert fetcher.fetch("http://a/x", site="s").body == HTML
+        assert breaker.state("s") == CLOSED
+
 
 class TestSiteKey:
     def test_explicit_site_wins(self):
@@ -252,6 +285,23 @@ class TestHttpFetcher:
         result = fetcher.fetch("http://h.test/p")
         assert result.attempts == 2 and len(calls) == 2
 
+    def test_oversized_body_is_classified_and_not_retried(self):
+        open_url, calls = self.canned([(200, {}, b"x" * 100)])
+        fetcher = HttpFetcher(
+            retries=3, max_bytes=10, open_url=open_url, clock=FakeClock()
+        )
+        with pytest.raises(OversizedBodyError) as info:
+            fetcher.fetch("http://h.test/p")
+        assert classify_failure(info.value) == "oversized"
+        assert len(calls) == 1  # re-reading a huge body per attempt is the bug
+
+    def test_body_exactly_at_the_cap_is_accepted(self):
+        open_url, _ = self.canned([(200, {}, HTML.encode())])
+        fetcher = HttpFetcher(
+            retries=0, max_bytes=len(HTML.encode()), open_url=open_url, clock=FakeClock()
+        )
+        assert fetcher.fetch("http://h.test/p").verify().body == HTML
+
 
 class TestCachingFetcher:
     def test_second_fetch_is_served_from_disk(self, tmp_path):
@@ -283,6 +333,31 @@ class TestCachingFetcher:
             origin, tmp_path / "cache", ttl=50.0, clock=FakeClock(start=0.0)
         )
         assert not stale.fetch("http://s.test/p").from_cache
+
+    def test_crlf_body_survives_the_disk_round_trip(self, tmp_path):
+        # Universal-newline reads would collapse \r\n to \n, shrinking the
+        # body below its declared length and failing verify() on every hit.
+        crlf_html = "<ul>\r\n<li>item a</li>\r<li>item b</li>\r\n</ul>\n"
+        origin = StaticFetcher({"http://s.test/p": crlf_html})
+        CachingFetcher(origin, tmp_path / "cache", clock=FakeClock()).fetch(
+            "http://s.test/p"
+        )
+        reader = CachingFetcher(origin, tmp_path / "cache", clock=FakeClock())
+        result = reader.fetch("http://s.test/p")
+        assert result.from_cache
+        assert result.verify().body == crlf_html
+        assert origin.calls == 1
+
+    def test_fetched_at_is_wall_clock_scale(self, tmp_path):
+        # The entry outlives the process: a monotonic (per-boot) timestamp
+        # would date it decades in the past on the next machine or boot.
+        import json
+
+        cache = CachingFetcher(StaticFetcher({"http://s.test/p": HTML}), tmp_path / "c")
+        cache.fetch("http://s.test/p")
+        (meta_path,) = (tmp_path / "c").rglob("*.json")
+        fetched_at = json.loads(meta_path.read_text())["fetched_at"]
+        assert fetched_at > 1e9  # epoch seconds, not seconds-since-boot
 
     def test_observer_sees_hits_and_misses(self, tmp_path):
         counters = StageCounters()
