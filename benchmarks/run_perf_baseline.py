@@ -1,0 +1,155 @@
+#!/usr/bin/env python
+"""Perf-baseline runner: stage latency percentiles + batch throughput.
+
+Runs the staged pipeline over a generated corpus slice with the tracing
+adapter attached, then writes ``BENCH_extraction.json``:
+
+* exact p50/p95/p99 (and mean/min/max) wall-clock per pipeline stage,
+  computed from the individual span durations (not histogram-bucket
+  estimates -- every stage run's engine-measured elapsed is in the trace);
+* the same percentiles for whole-extraction latency;
+* pages/sec for the batch engine at 1, 4 and 8 workers (tracing off, so
+  throughput reflects the pipeline, not the observer).
+
+Scale: ``REPRO_BENCH_PAGES=N`` caps pages per site (the CI perf job uses a
+reduced corpus); default is 8 per site over the 15 test sites.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_perf_baseline.py [-o OUT.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core.batch import BatchExtractor, PageTask  # noqa: E402
+from repro.corpus import CorpusGenerator, TEST_SITES  # noqa: E402
+from repro.observe import TracingInstrumentation  # noqa: E402
+
+WORKER_COUNTS = (1, 4, 8)
+
+
+def _percentile(values: list[float], q: float) -> float:
+    """Exact linear-interpolation percentile over the raw values."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = q * (len(ordered) - 1)
+    low = int(rank)
+    high = min(low + 1, len(ordered) - 1)
+    return ordered[low] + (ordered[high] - ordered[low]) * (rank - low)
+
+
+def _stats_ms(durations: list[float]) -> dict:
+    seconds = sorted(durations)
+    return {
+        "count": len(seconds),
+        "mean_ms": (sum(seconds) / len(seconds)) * 1e3 if seconds else 0.0,
+        "min_ms": seconds[0] * 1e3 if seconds else 0.0,
+        "max_ms": seconds[-1] * 1e3 if seconds else 0.0,
+        "p50_ms": _percentile(seconds, 0.50) * 1e3,
+        "p95_ms": _percentile(seconds, 0.95) * 1e3,
+        "p99_ms": _percentile(seconds, 0.99) * 1e3,
+    }
+
+
+def build_tasks(pages_per_site: int) -> list[PageTask]:
+    pages = CorpusGenerator(max_pages_per_site=pages_per_site).generate(TEST_SITES)
+    return [
+        PageTask(source=page.html, site=page.site, page_id=f"{page.site}#{index}")
+        for index, page in enumerate(pages)
+    ]
+
+
+def measure_stage_latencies(tasks: list[PageTask]) -> dict:
+    """One traced single-worker pass; percentiles from raw span durations."""
+    adapter = TracingInstrumentation()
+    outcome = BatchExtractor(instrumentation=adapter).extract_many(tasks, workers=1)
+    by_stage: dict[str, list[float]] = {}
+    extract_durations: list[float] = []
+    for span in adapter.tracer.spans:
+        if span.status != "ok":
+            continue
+        if span.name == "extract":
+            extract_durations.append(span.duration)
+        elif "column" in span.attributes:
+            by_stage.setdefault(span.name, []).append(span.duration)
+    return {
+        "pages": len(outcome.results),
+        "failed": outcome.stats.failed,
+        "stages": {name: _stats_ms(vals) for name, vals in sorted(by_stage.items())},
+        "extract": _stats_ms(extract_durations),
+    }
+
+
+def measure_throughput(tasks: list[PageTask]) -> dict:
+    """Pages/sec per worker count, tracing off (pure pipeline cost)."""
+    throughput = {}
+    for workers in WORKER_COUNTS:
+        outcome = BatchExtractor().extract_many(tasks, workers=workers)
+        throughput[str(workers)] = {
+            "pages": outcome.stats.pages,
+            "elapsed_s": round(outcome.stats.elapsed, 4),
+            "pages_per_second": round(outcome.stats.pages_per_second, 1),
+            "failed": outcome.stats.failed,
+        }
+    return throughput
+
+
+def run(pages_per_site: int) -> dict:
+    tasks = build_tasks(pages_per_site)
+    return {
+        "benchmark": "extraction_perf_baseline",
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "corpus": {
+            "sites": len(TEST_SITES),
+            "pages_per_site_cap": pages_per_site,
+            "pages": len(tasks),
+        },
+        "latency": measure_stage_latencies(tasks),
+        "throughput_by_workers": measure_throughput(tasks),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "-o",
+        "--output",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_extraction.json"),
+        help="output JSON path (default: repo-root BENCH_extraction.json)",
+    )
+    parser.add_argument(
+        "--pages-per-site",
+        type=int,
+        default=int(os.environ.get("REPRO_BENCH_PAGES") or 8),
+        help="corpus scale (overridden by REPRO_BENCH_PAGES)",
+    )
+    args = parser.parse_args(argv)
+    payload = run(args.pages_per_site)
+    out = Path(args.output)
+    out.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    lat = payload["latency"]["extract"]
+    print(f"wrote {out}")
+    print(
+        f"extract p50={lat['p50_ms']:.2f}ms p95={lat['p95_ms']:.2f}ms "
+        f"p99={lat['p99_ms']:.2f}ms over {payload['corpus']['pages']} pages"
+    )
+    for workers, row in payload["throughput_by_workers"].items():
+        print(f"workers={workers}: {row['pages_per_second']} pages/s")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

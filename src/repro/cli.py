@@ -5,6 +5,7 @@ Usage::
     omini extract PAGE.html|URL [PAGE2.html|URL ...] [--site NAME --rules RULES.json]
                   [--workers N] [--json]
                   [--timeout S --retries N --max-bytes B --fetch-cache DIR]
+                  [--trace TRACE.json --metrics-out METRICS.txt]
     omini tree PAGE.html [--metrics] [--depth N]
     omini rank PAGE.html              # subtree + separator rankings
     omini corpus OUTDIR [--split test|experimental|all] [--pages N]
@@ -44,7 +45,7 @@ def _is_url(page: str) -> bool:
     return page.startswith(("http://", "https://"))
 
 
-def _build_fetcher(args: argparse.Namespace):
+def _build_fetcher(args: argparse.Namespace, observer=None):
     """The acquisition stack for URL pages: HTTP + optional on-disk cache."""
     from repro.fetch import DEFAULT_MAX_BYTES, CachingFetcher, HttpFetcher
 
@@ -54,19 +55,55 @@ def _build_fetcher(args: argparse.Namespace):
     elif max_bytes <= 0:
         max_bytes = None  # 0 disables the cap
     fetcher = HttpFetcher(
-        timeout=args.timeout, retries=args.retries, max_bytes=max_bytes
+        timeout=args.timeout,
+        retries=args.retries,
+        max_bytes=max_bytes,
+        observer=observer,
     )
     if args.fetch_cache:
-        fetcher = CachingFetcher(fetcher, args.fetch_cache)
+        fetcher = CachingFetcher(fetcher, args.fetch_cache, observer=observer)
     return fetcher
+
+
+def _build_observability(args: argparse.Namespace):
+    """A tracing adapter when ``--trace``/``--metrics-out`` asked for one."""
+    if not (getattr(args, "trace", None) or getattr(args, "metrics_out", None)):
+        return None
+    from repro.observe import TracingInstrumentation
+
+    return TracingInstrumentation()
+
+
+def _write_observability(args: argparse.Namespace, adapter) -> None:
+    """Export the trace/metrics files the flags requested."""
+    if adapter is None:
+        return
+    if args.trace:
+        from repro.observe import write_trace
+
+        write_trace(adapter.tracer.spans, args.trace)
+        print(f"wrote {len(adapter.tracer.spans)} spans to {args.trace}", file=sys.stderr)
+    if args.metrics_out:
+        text = (
+            adapter.metrics.to_json()
+            if args.metrics_out.endswith(".json")
+            else adapter.metrics.to_text()
+        )
+        with open(args.metrics_out, "w", encoding="utf-8") as handle:
+            handle.write(text)
+            if not text.endswith("\n"):
+                handle.write("\n")
+        print(f"wrote metrics to {args.metrics_out}", file=sys.stderr)
 
 
 def _cmd_extract(args: argparse.Namespace) -> int:
     store = RuleStore(args.rules) if args.rules else None
     if len(args.page) > 1 or args.workers > 1 or any(map(_is_url, args.page)):
         return _extract_batch(args, store)
-    extractor = OminiExtractor(rule_store=store)
+    adapter = _build_observability(args)
+    extractor = OminiExtractor(rule_store=store, instrumentation=adapter)
     result = extractor.extract_file(args.page[0], site=args.site)
+    _write_observability(args, adapter)
     if store is not None and args.rules:
         store.save()
     if args.json:
@@ -101,9 +138,13 @@ def _extract_batch(args: argparse.Namespace, store: RuleStore | None) -> int:
         else PageTask(path=page, site=args.site)
         for page in args.page
     ]
-    fetcher = _build_fetcher(args) if any(t.url for t in tasks) else None
-    batch = BatchExtractor(rule_store=store, fetcher=fetcher)
+    adapter = _build_observability(args)
+    fetcher = (
+        _build_fetcher(args, observer=adapter) if any(t.url for t in tasks) else None
+    )
+    batch = BatchExtractor(rule_store=store, fetcher=fetcher, instrumentation=adapter)
     outcome = batch.extract_many(tasks, workers=args.workers)
+    _write_observability(args, adapter)
     if store is not None and args.rules:
         store.save()
 
@@ -304,6 +345,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--fetch-cache",
         metavar="DIR",
         help="TTL'd on-disk fetch cache directory for URL pages",
+    )
+    p.add_argument(
+        "--trace",
+        metavar="FILE",
+        help="write a hierarchical span trace (JSON) of the run",
+    )
+    p.add_argument(
+        "--metrics-out",
+        metavar="FILE",
+        help="write metrics (flat 'key value' text, or JSON for *.json paths)",
     )
     p.set_defaults(func=_cmd_extract)
 

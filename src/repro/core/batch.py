@@ -179,10 +179,17 @@ class BatchStats:
 
 @dataclass
 class BatchResult:
-    """Per-page outcomes (input order) plus aggregate counters."""
+    """Per-page outcomes (input order) plus aggregate counters.
+
+    ``counters`` is the batch's own :class:`StageCounters` observer --
+    per-stage call counts and seconds, page/fetch/cache tallies.  In
+    process-pool mode it holds the merged per-worker deltas, so the totals
+    match a thread-pool run of the same workload exactly.
+    """
 
     results: list  # ExtractionResult | ExtractionSummary | FailedExtraction
     stats: BatchStats
+    counters: StageCounters | None = None
 
     def __iter__(self):
         return iter(self.results)
@@ -344,20 +351,42 @@ class BatchExtractor:
         start = time.perf_counter()
         results = parallel_map(one, list(enumerate(tasks)), workers=workers)
         elapsed = time.perf_counter() - start
-        return BatchResult(results, self._stats(results, elapsed, counters))
+        return BatchResult(results, self._stats(results, elapsed, counters), counters)
 
     # -- process execution ----------------------------------------------------
 
     def _run_processes(self, tasks: list[PageTask], workers: int) -> BatchResult:
+        """Process-pool execution with instrumentation shipped home by value.
+
+        Observers mutated inside worker processes never reach the parent's
+        objects, so every task returns a :class:`_ProcessOutcome` carrying
+        its counter deltas (and spans, when the attached instrumentation is
+        a :class:`~repro.observe.TracingInstrumentation`); the parent
+        merges them so a process-pool batch reports the same counters a
+        thread-pool batch would.  Live per-hook delivery to an arbitrary
+        user observer is a thread-mode feature: here a counting observer
+        gets merged totals and a tracing observer gets absorbed spans.
+        """
+        counters = StageCounters()
+        tracing = self.instrumentation if _is_tracing(self.instrumentation) else None
+        trace_enabled = tracing is not None and tracing.enabled
         start = time.perf_counter()
         with ProcessPoolExecutor(
             max_workers=workers,
             initializer=_init_process_worker,
-            initargs=(self.config, self.rule_store is not None),
+            initargs=(self.config, self.rule_store is not None, trace_enabled),
         ) as pool:
-            results = list(pool.map(_run_process_task, list(enumerate(tasks))))
+            outcomes = list(pool.map(_run_process_task, list(enumerate(tasks))))
         elapsed = time.perf_counter() - start
-        return BatchResult(results, self._stats(results, elapsed, None))
+        results = []
+        for outcome in outcomes:
+            results.append(outcome.result)
+            counters.merge_totals(outcome.counters)
+            if tracing is not None and outcome.spans:
+                tracing.absorb_spans(outcome.spans)
+        if isinstance(self.instrumentation, StageCounters):
+            self.instrumentation.merge_totals(counters.as_totals())
+        return BatchResult(results, self._stats(results, elapsed, counters), counters)
 
     # -- counters -------------------------------------------------------------
 
@@ -380,33 +409,88 @@ class BatchExtractor:
         return stats
 
 
-# -- process-pool workers (module level so they pickle) -----------------------
-
-_WORKER_EXTRACTOR: OminiExtractor | None = None
-
-
-def _init_process_worker(config: ExtractorConfig, use_rules: bool) -> None:
-    global _WORKER_EXTRACTOR
-    _WORKER_EXTRACTOR = OminiExtractor.from_config(
-        config, rule_store=RuleStore() if use_rules else None
+def _is_tracing(observer) -> bool:
+    """Is ``observer`` a span-collecting adapter we can merge spans into?"""
+    return (
+        observer is not None
+        and hasattr(observer, "absorb_spans")
+        and hasattr(observer, "tracer")
     )
 
 
-def _run_process_task(indexed: tuple[int, PageTask]):
+# -- process-pool workers (module level so they pickle) -----------------------
+
+
+@dataclass
+class _ProcessOutcome:
+    """One task's result plus the instrumentation it produced in-worker."""
+
+    result: object  # ExtractionSummary | FailedExtraction
+    counters: dict  # StageCounters.as_totals() delta for this task
+    spans: list = field(default_factory=list)
+
+
+_WORKER_EXTRACTOR: OminiExtractor | None = None
+_WORKER_TRACER = None  # Tracer | None
+
+
+def _init_process_worker(
+    config: ExtractorConfig, use_rules: bool, trace: bool = False
+) -> None:
+    global _WORKER_EXTRACTOR, _WORKER_TRACER
+    _WORKER_EXTRACTOR = OminiExtractor.from_config(
+        config, rule_store=RuleStore() if use_rules else None
+    )
+    if trace:
+        import os
+
+        from repro.observe import Tracer
+
+        # Per-pid id prefix: absorbed spans can never collide with the
+        # parent's (or another worker's) span ids.
+        _WORKER_TRACER = Tracer(id_prefix=f"w{os.getpid()}-")
+    else:
+        _WORKER_TRACER = None
+
+
+def _run_process_task(indexed: tuple[int, PageTask]) -> _ProcessOutcome:
     index, task = indexed
-    assert _WORKER_EXTRACTOR is not None, "worker initializer did not run"
+    base = _WORKER_EXTRACTOR
+    assert base is not None, "worker initializer did not run"
+    # A fresh counting observer per task makes the counter delta exact
+    # without snapshot arithmetic (tasks run serially within one worker).
+    counters = StageCounters()
+    observers: list[Instrumentation] = [counters]
+    if _WORKER_TRACER is not None:
+        from repro.observe import TracingInstrumentation
+
+        observers.append(TracingInstrumentation(_WORKER_TRACER))
+    observer = CompositeInstrumentation(observers)
+    extractor = OminiExtractor(
+        subtree_finder=base.subtree_finder,
+        separator_finder=base.separator_finder,
+        refinement=base.refinement,
+        rule_store=base.rule_store,
+        instrumentation=observer,
+    )
+    observer.on_page_start(task)
     try:
         if task.source is not None:
-            result = _WORKER_EXTRACTOR.extract(task.source, site=task.site)
+            result = extractor.extract(task.source, site=task.site)
         else:
-            result = _WORKER_EXTRACTOR.extract_file(task.path, site=task.site)
-        return ExtractionSummary.from_result(
+            result = extractor.extract_file(task.path, site=task.site)
+        outcome = ExtractionSummary.from_result(
             result, page=task.label(index), site=task.site
         )
+        observer.on_page_end(task, result)
     except Exception as error:  # noqa: BLE001 - isolation is the point
-        return FailedExtraction(
+        observer.on_page_error(task, error)
+        outcome = FailedExtraction(
             page=task.label(index),
             site=task.site,
             error=str(error),
             error_type=type(error).__name__,
+            kind=classify_failure(error),
         )
+    spans = _WORKER_TRACER.drain() if _WORKER_TRACER is not None else []
+    return _ProcessOutcome(outcome, counters.as_totals(), spans)

@@ -56,6 +56,22 @@ class StageEngine:
     def extract(self, ctx: ExtractionContext) -> ExtractionResult:
         """Drive ``ctx`` through prologue + the appropriate plan.
 
+        Brackets the whole run with ``on_extract_start`` /
+        ``on_extract_end`` -- the latter always fires (``result=None``
+        when the pipeline raised), so tracing observers can close their
+        root span on every path.
+        """
+        self.instrumentation.on_extract_start(ctx)
+        result: ExtractionResult | None = None
+        try:
+            result = self._extract(ctx)
+            return result
+        finally:
+            self.instrumentation.on_extract_end(ctx, result)
+
+    def _extract(self, ctx: ExtractionContext) -> ExtractionResult:
+        """Prologue + plan selection (see :meth:`extract`).
+
         Prologue: :class:`ReadStage` when only a path was given, then
         :class:`ParseStage` (skipped when the caller supplied a parsed
         tree).  Plan: :func:`cached_plan` when a rule is cached for

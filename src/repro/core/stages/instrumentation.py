@@ -5,6 +5,9 @@ bookkeeping with phase logic; the stage engine externalizes that into an
 observer interface so timing, counting, tracing, or metrics export are all
 just different :class:`Instrumentation` implementations:
 
+* ``on_extract_start(ctx)`` / ``on_extract_end(ctx, result)`` bracket one
+  whole extraction (``result`` is None when it raised) -- the root of the
+  per-page span hierarchy in :mod:`repro.observe`;
 * ``on_stage_start(stage, ctx)`` / ``on_stage_end(stage, ctx, elapsed)``
   bracket every stage execution (``elapsed`` in seconds);
 * ``on_fallback(ctx, error)`` fires when a cached-rule plan dies with a
@@ -29,7 +32,7 @@ actually produced the objects.
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -39,6 +42,14 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 class Instrumentation:
     """Base observer: every hook is a no-op.  Subclass what you need."""
+
+    # -- extraction-level hooks -------------------------------------------
+
+    def on_extract_start(self, ctx: "ExtractionContext") -> None:
+        """The engine is about to drive ``ctx`` through a plan."""
+
+    def on_extract_end(self, ctx: "ExtractionContext", result: object) -> None:
+        """The extraction finished (``result`` is None when it raised)."""
 
     # -- stage-level hooks ------------------------------------------------
 
@@ -88,6 +99,14 @@ class Instrumentation:
         """A caching fetcher had to go to its inner fetcher for ``url``."""
 
 
+#: Every hook name on the base observer -- the single source of truth the
+#: composite forwards and the reflection test enumerates.
+HOOK_NAMES = tuple(
+    name
+    for name, member in vars(Instrumentation).items()
+    if name.startswith("on_") and callable(member)
+)
+
 #: Columns that belong to the discovery phases and must be wiped when a
 #: stale cached rule forces a rerun (read/parse survive: the page is fine).
 DISCOVERY_COLUMNS = (
@@ -96,6 +115,26 @@ DISCOVERY_COLUMNS = (
     "combine_heuristics",
     "construct_objects",
 )
+
+#: Prologue columns a fallback must *preserve*: read/parse ran once, before
+#: plan selection, and their cost belongs to the final row either way.
+PROLOGUE_COLUMNS = ("read_file", "parse_page")
+
+
+def fallback_wipe_columns(timings: object) -> tuple[str, ...]:
+    """Every timing column a stale-rule fallback must reset.
+
+    Derived from the :class:`PhaseTimings` dataclass fields instead of a
+    hand-maintained list: the monolithic pipeline *assigned* each column
+    (so a failed cached attempt could never leak time into the discovery
+    row), but the staged observer *accumulates* -- which is only safe if
+    the wipe covers every column a cached-plan stage could have charged.
+    Enumerating the fields makes that hold by construction, even when a
+    new column or a new cached stage is added later.
+    """
+    return tuple(
+        f.name for f in fields(timings) if f.name not in PROLOGUE_COLUMNS
+    )
 
 
 class TimingInstrumentation(Instrumentation):
@@ -109,67 +148,38 @@ class TimingInstrumentation(Instrumentation):
             setattr(ctx.timings, column, getattr(ctx.timings, column) + elapsed)
 
     def on_fallback(self, ctx: "ExtractionContext", error: Exception) -> None:
-        for column in DISCOVERY_COLUMNS:
+        for column in fallback_wipe_columns(ctx.timings):
             setattr(ctx.timings, column, 0.0)
 
 
 class CompositeInstrumentation(Instrumentation):
-    """Fan every hook out to several observers, in order."""
+    """Fan every hook out to several observers, in order.
+
+    Forwarders are generated below from :data:`HOOK_NAMES` rather than
+    hand-written per hook: a newly added hook (``on_extract_*``,
+    ``on_breaker_transition``, ...) is forwarded automatically instead of
+    silently dropping for composed observers.
+    ``tests/test_instrumentation_contract.py`` pins this by reflection.
+    """
 
     def __init__(self, observers: list[Instrumentation]) -> None:
         self.observers = list(observers)
 
-    def on_stage_start(self, stage, ctx) -> None:
-        for observer in self.observers:
-            observer.on_stage_start(stage, ctx)
 
-    def on_stage_end(self, stage, ctx, elapsed) -> None:
+def _make_forwarder(hook_name: str):
+    def forward(self, *args, **kwargs) -> None:
         for observer in self.observers:
-            observer.on_stage_end(stage, ctx, elapsed)
+            getattr(observer, hook_name)(*args, **kwargs)
 
-    def on_fallback(self, ctx, error) -> None:
-        for observer in self.observers:
-            observer.on_fallback(ctx, error)
+    forward.__name__ = hook_name
+    forward.__qualname__ = f"CompositeInstrumentation.{hook_name}"
+    forward.__doc__ = f"Forward ``{hook_name}`` to every observer, in order."
+    return forward
 
-    def on_page_start(self, page) -> None:
-        for observer in self.observers:
-            observer.on_page_start(page)
 
-    def on_page_end(self, page, result) -> None:
-        for observer in self.observers:
-            observer.on_page_end(page, result)
-
-    def on_page_error(self, page, error) -> None:
-        for observer in self.observers:
-            observer.on_page_error(page, error)
-
-    def on_fetch_start(self, url) -> None:
-        for observer in self.observers:
-            observer.on_fetch_start(url)
-
-    def on_fetch_retry(self, url, attempt, error) -> None:
-        for observer in self.observers:
-            observer.on_fetch_retry(url, attempt, error)
-
-    def on_fetch_end(self, url, result) -> None:
-        for observer in self.observers:
-            observer.on_fetch_end(url, result)
-
-    def on_fetch_error(self, url, error) -> None:
-        for observer in self.observers:
-            observer.on_fetch_error(url, error)
-
-    def on_breaker_transition(self, site, old, new) -> None:
-        for observer in self.observers:
-            observer.on_breaker_transition(site, old, new)
-
-    def on_cache_hit(self, url) -> None:
-        for observer in self.observers:
-            observer.on_cache_hit(url)
-
-    def on_cache_miss(self, url) -> None:
-        for observer in self.observers:
-            observer.on_cache_miss(url)
+for _hook in HOOK_NAMES:
+    setattr(CompositeInstrumentation, _hook, _make_forwarder(_hook))
+del _hook
 
 
 @dataclass
@@ -184,6 +194,7 @@ class StageCounters(Instrumentation):
 
     stage_seconds: dict[str, float] = field(default_factory=dict)
     stage_calls: dict[str, int] = field(default_factory=dict)
+    extracts: int = 0
     fallbacks: int = 0
     pages_started: int = 0
     pages_succeeded: int = 0
@@ -217,6 +228,10 @@ class StageCounters(Instrumentation):
                 self.stage_seconds.get(stage.name, 0.0) + elapsed
             )
             self.stage_calls[stage.name] = self.stage_calls.get(stage.name, 0) + 1
+
+    def on_extract_end(self, ctx, result) -> None:
+        with self._lock:
+            self.extracts += 1
 
     def on_fallback(self, ctx, error) -> None:
         with self._lock:
@@ -262,3 +277,49 @@ class StageCounters(Instrumentation):
     def on_cache_miss(self, url) -> None:
         with self._lock:
             self.cache_misses += 1
+
+    # -- cross-process merge ------------------------------------------------
+
+    #: Scalar counters shipped between processes by :meth:`as_totals`.
+    INT_FIELDS = (
+        "extracts",
+        "fallbacks",
+        "pages_started",
+        "pages_succeeded",
+        "pages_failed",
+        "fetch_requests",
+        "fetch_retries",
+        "fetch_successes",
+        "fetch_failures",
+        "cache_hits",
+        "cache_misses",
+    )
+
+    def as_totals(self) -> dict:
+        """A picklable snapshot of every counter, for cross-process merge.
+
+        Observers mutated inside a process-pool worker never reach the
+        parent; workers ship one of these per task and the parent applies
+        it with :meth:`merge_totals`, so thread- and process-pool batches
+        report identical counts for the same workload.
+        """
+        with self._lock:
+            totals: dict = {name: getattr(self, name) for name in self.INT_FIELDS}
+            totals["stage_seconds"] = dict(self.stage_seconds)
+            totals["stage_calls"] = dict(self.stage_calls)
+            totals["breaker_transitions"] = dict(self.breaker_transitions)
+        return totals
+
+    def merge_totals(self, totals: dict) -> None:
+        """Add a worker's :meth:`as_totals` snapshot onto this observer."""
+        with self._lock:
+            for name in self.INT_FIELDS:
+                setattr(self, name, getattr(self, name) + totals.get(name, 0))
+            for name, value in totals.get("stage_seconds", {}).items():
+                self.stage_seconds[name] = self.stage_seconds.get(name, 0.0) + value
+            for name, count in totals.get("stage_calls", {}).items():
+                self.stage_calls[name] = self.stage_calls.get(name, 0) + count
+            for key, count in totals.get("breaker_transitions", {}).items():
+                self.breaker_transitions[key] = (
+                    self.breaker_transitions.get(key, 0) + count
+                )

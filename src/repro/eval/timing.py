@@ -69,6 +69,7 @@ def time_pipeline(
     use_rules: bool = False,
     extractor: OminiExtractor | None = None,
     config: ExtractorConfig | None = None,
+    adapter=None,
 ) -> TimingBreakdown:
     """Time the extractor over cached pages, ``repetitions`` runs per page.
 
@@ -79,6 +80,14 @@ def time_pipeline(
     wall-clock); each row is the stage engine's uniform timing row, so
     discovery and cached runs carry the same columns.  ``config`` builds
     the extractor from a consolidated :class:`ExtractorConfig`.
+
+    Pass a :class:`~repro.observe.TracingInstrumentation` as ``adapter``
+    and the table rows are instead rebuilt from the spans it collects
+    (:func:`~repro.observe.phase_timings_from_spans`) -- stage spans carry
+    the engine's own elapsed measurements, so the span view is
+    byte-identical to the direct :class:`PhaseTimings` rows while also
+    leaving the full trace and latency histograms on the adapter
+    (``tests/test_observe.py`` pins the equality exactly).
     """
     if extractor is None:
         extractor = OminiExtractor.from_config(
@@ -86,6 +95,15 @@ def time_pipeline(
         )
     elif use_rules and extractor.rule_store is None:
         extractor.rule_store = RuleStore()
+    if adapter is not None:
+        if extractor.instrumentation is None:
+            extractor.instrumentation = adapter
+        else:
+            from repro.core.stages.instrumentation import CompositeInstrumentation
+
+            extractor.instrumentation = CompositeInstrumentation(
+                [extractor.instrumentation, adapter]
+            )
     breakdown = TimingBreakdown(label, repetitions=repetitions)
     paths = cache.page_paths(site)
     if use_rules:
@@ -99,6 +117,14 @@ def time_pipeline(
     for path in paths:
         site_key = Path(path).parent.name if use_rules else None
         for _ in range(repetitions):
+            seen_spans = len(adapter.tracer.spans) if adapter is not None else 0
             result = extractor.extract_file(path, site=site_key)
-            breakdown.add(result.timings)
+            if adapter is not None:
+                from repro.observe import phase_timings_from_spans
+
+                breakdown.add(
+                    phase_timings_from_spans(adapter.tracer.spans[seen_spans:])
+                )
+            else:
+                breakdown.add(result.timings)
     return breakdown

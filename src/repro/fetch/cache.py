@@ -75,12 +75,23 @@ class CachingFetcher:
         self._lock = threading.Lock()
 
     def fetch(self, url: str, *, site: str | None = None) -> FetchResult:
+        start = self.clock.monotonic()
         html_path, meta_path = self._paths(url, site)
         cached = self._load_fresh(url, site, html_path, meta_path)
         if cached is not None:
+            # A hit is a complete fetch this layer served: stamp its real
+            # disk-read latency (it used to come back as the dataclass
+            # default 0.0, which made cache latency invisible to metrics)
+            # and zero transport attempts, then report it through the same
+            # fetch hooks the origin path fires so observers see every
+            # fetch exactly once, hit or miss.
+            cached.elapsed = self.clock.monotonic() - start
+            cached.attempts = 0
             with self._lock:
                 self.hits += 1
             self.observer.on_cache_hit(url)
+            self.observer.on_fetch_start(url)
+            self.observer.on_fetch_end(url, cached)
             return cached
         with self._lock:
             self.misses += 1

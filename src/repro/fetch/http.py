@@ -171,6 +171,10 @@ class HttpFetcher:
     ) -> None:
         clock = clock or SystemClock()
         observer = observer or Instrumentation()
+        #: The instrumentation every layer reports to -- exposed so outer
+        #: layers (a :class:`~repro.fetch.cache.CachingFetcher`, the CLI)
+        #: can share one observer across the whole stack.
+        self.observer = observer
         self.transport = UrllibTransport(
             timeout=timeout, max_bytes=max_bytes, open_url=open_url
         )

@@ -140,13 +140,26 @@ class CircuitBreaker:
     def _slot(self, site: str) -> _BreakerSlot:
         return self._slots.setdefault(site, _BreakerSlot())
 
-    def _transition(self, site: str, slot: _BreakerSlot, new: str) -> None:
+    def _transition(self, site: str, slot: _BreakerSlot, new: str) -> list:
+        """Apply a state change under the lock; return hook calls to fire.
+
+        The observer hook must run *after* the lock is released: an
+        observer that calls back into the breaker (or takes its own lock
+        while another thread holds it and waits on ours) would deadlock,
+        and even a well-behaved observer would serialize every fetch
+        thread behind its I/O.  Callers fire the returned ``(site, old,
+        new)`` notifications once outside the ``with`` block.
+        """
         old = slot.state
         if old == new:
-            return
+            return []
         slot.state = new
         self.transitions.append((site, old, new))
-        self.observer.on_breaker_transition(site, old, new)
+        return [(site, old, new)]
+
+    def _notify(self, pending: list) -> None:
+        for site, old, new in pending:
+            self.observer.on_breaker_transition(site, old, new)
 
     def state(self, site: str) -> str:
         with self._lock:
@@ -159,25 +172,31 @@ class CircuitBreaker:
         the caller as the probe; further callers are refused until the
         probe reports back.
         """
-        with self._lock:
-            slot = self._slot(site)
-            if slot.state == CLOSED:
-                return True
-            if slot.state == OPEN:
-                if self.clock.monotonic() - slot.opened_at >= self.cooldown:
-                    self._transition(site, slot, HALF_OPEN)
+        pending: list = []
+        try:
+            with self._lock:
+                slot = self._slot(site)
+                if slot.state == CLOSED:
                     return True
+                if slot.state == OPEN:
+                    if self.clock.monotonic() - slot.opened_at >= self.cooldown:
+                        pending = self._transition(site, slot, HALF_OPEN)
+                        return True
+                    return False
+                # HALF_OPEN: exactly one probe is in flight; hold the rest.
                 return False
-            # HALF_OPEN: exactly one probe is in flight; hold the rest.
-            return False
+        finally:
+            self._notify(pending)
 
     def record_success(self, site: str) -> None:
         with self._lock:
             slot = self._slot(site)
             slot.consecutive_failures = 0
-            self._transition(site, slot, CLOSED)
+            pending = self._transition(site, slot, CLOSED)
+        self._notify(pending)
 
     def record_failure(self, site: str) -> None:
+        pending: list = []
         with self._lock:
             slot = self._slot(site)
             slot.consecutive_failures += 1
@@ -186,7 +205,8 @@ class CircuitBreaker:
                 and slot.consecutive_failures >= self.failure_threshold
             ):
                 slot.opened_at = self.clock.monotonic()
-                self._transition(site, slot, OPEN)
+                pending = self._transition(site, slot, OPEN)
+        self._notify(pending)
 
 
 @dataclass

@@ -1,0 +1,238 @@
+"""Counters, fixed-bucket latency histograms, and the metrics registry.
+
+The naming scheme is dotted lowercase paths, aggregating coarse-to-fine::
+
+    extract.pages            counter   completed extractions
+    extract.errors           counter   extractions that raised
+    fallback.count           counter   stale-rule discovery reruns
+    stage.<name>.seconds     histogram wall-clock per stage run
+    page.seconds             histogram whole-page latency (batch engine)
+    fetch.seconds            histogram whole-fetch latency (all layers)
+    fetch.origin.seconds     histogram fetches answered by the origin
+    fetch.cache.seconds      histogram fetches served from the disk cache
+    fetch.attempts           histogram transport attempts per fetch (retry layer)
+    fetch.requests/.retries/.success/.failures     counters
+    breaker.<old>_to_<new>   counter   circuit transitions (breaker layer)
+    cache.hits / cache.misses                      counters
+
+Histograms are fixed-bucket: ``observe()`` is O(#buckets) with no
+allocation, safe on the hot path, and snapshots are mergeable (bucket
+counts add).  Quantiles are estimated by linear interpolation inside the
+bucket that crosses the target rank -- the standard Prometheus-style
+estimate; exact per-value percentiles come from span durations instead
+(see ``benchmarks/run_perf_baseline.py``).
+
+Two exporters:
+
+* :meth:`MetricsRegistry.to_json` -- the full nested snapshot;
+* :meth:`MetricsRegistry.to_text` -- flat ``key value`` lines (one metric
+  facet per line, sorted), trivially greppable and diffable.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from bisect import bisect_left
+
+__all__ = [
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
+    "Histogram",
+    "MetricsRegistry",
+]
+
+#: Upper bounds in seconds, 0.1 ms .. 10 s: wide enough for a parse-heavy
+#: page at the top and a cached-rule stage at the bottom.
+DEFAULT_LATENCY_BUCKETS = (
+    0.0001,
+    0.00025,
+    0.0005,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+)
+
+
+class Counter:
+    """A monotonically increasing, thread-safe counter."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: int = 1) -> None:
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+
+class Histogram:
+    """Fixed-bucket distribution of a latency-like value (seconds).
+
+    ``bounds`` are inclusive upper edges; one implicit overflow bucket
+    catches everything beyond the last bound.
+    """
+
+    __slots__ = ("name", "bounds", "_counts", "_sum", "_count", "_min", "_max", "_lock")
+
+    def __init__(self, name: str, bounds: tuple = DEFAULT_LATENCY_BUCKETS) -> None:
+        self.name = name
+        self.bounds = tuple(sorted(bounds))
+        self._counts = [0] * (len(self.bounds) + 1)
+        self._sum = 0.0
+        self._count = 0
+        self._min = float("inf")
+        self._max = 0.0
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        index = bisect_left(self.bounds, value)
+        with self._lock:
+            self._counts[index] += 1
+            self._sum += value
+            self._count += 1
+            if value < self._min:
+                self._min = value
+            if value > self._max:
+                self._max = value
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    @property
+    def mean(self) -> float:
+        return self._sum / self._count if self._count else 0.0
+
+    @property
+    def min(self) -> float:
+        return self._min if self._count else 0.0
+
+    @property
+    def max(self) -> float:
+        return self._max
+
+    def quantile(self, q: float) -> float:
+        """Estimated ``q``-quantile (0..1) by in-bucket interpolation."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        with self._lock:
+            count = self._count
+            counts = list(self._counts)
+            lo, hi = self._min, self._max
+        if count == 0:
+            return 0.0
+        target = q * count
+        cumulative = 0
+        for index, bucket_count in enumerate(counts):
+            if bucket_count == 0:
+                continue
+            if cumulative + bucket_count >= target:
+                lower = self.bounds[index - 1] if index > 0 else 0.0
+                upper = self.bounds[index] if index < len(self.bounds) else hi
+                lower = max(lower, lo) if index == 0 else lower
+                fraction = (target - cumulative) / bucket_count
+                return min(lower + (upper - lower) * fraction, hi)
+            cumulative += bucket_count
+        return hi
+
+    def percentiles(self) -> dict[str, float]:
+        return {
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+        }
+
+    def as_dict(self) -> dict:
+        with self._lock:
+            counts = list(self._counts)
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+            **self.percentiles(),
+            "buckets": {
+                **{f"le_{bound:g}": counts[i] for i, bound in enumerate(self.bounds)},
+                "overflow": counts[-1],
+            },
+        }
+
+
+class MetricsRegistry:
+    """Name-keyed, get-or-create home for every counter and histogram."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._histograms: dict[str, Histogram] = {}
+        self._lock = threading.Lock()
+
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            counter = self._counters.get(name)
+            if counter is None:
+                counter = self._counters[name] = Counter(name)
+        return counter
+
+    def histogram(
+        self, name: str, bounds: tuple = DEFAULT_LATENCY_BUCKETS
+    ) -> Histogram:
+        with self._lock:
+            histogram = self._histograms.get(name)
+            if histogram is None:
+                histogram = self._histograms[name] = Histogram(name, bounds)
+        return histogram
+
+    def snapshot(self) -> dict:
+        """The full current state: ``{"counters": ..., "histograms": ...}``."""
+        with self._lock:
+            counters = dict(self._counters)
+            histograms = dict(self._histograms)
+        return {
+            "counters": {name: c.value for name, c in sorted(counters.items())},
+            "histograms": {
+                name: h.as_dict() for name, h in sorted(histograms.items())
+            },
+        }
+
+    # -- exporters ---------------------------------------------------------
+
+    def to_json(self, *, indent: int = 2) -> str:
+        return json.dumps(self.snapshot(), indent=indent)
+
+    def to_text(self) -> str:
+        """Flat ``key value`` lines, one facet per line, sorted by key."""
+        snapshot = self.snapshot()
+        lines = [
+            f"{name} {value}" for name, value in snapshot["counters"].items()
+        ]
+        for name, facets in snapshot["histograms"].items():
+            for facet, value in facets.items():
+                if facet == "buckets":
+                    for bucket, count in value.items():
+                        lines.append(f"{name}.bucket.{bucket} {count}")
+                else:
+                    lines.append(f"{name}.{facet} {value:.9g}")
+        return "\n".join(sorted(lines)) + "\n"

@@ -1,0 +1,244 @@
+"""Hierarchical span tracing: the per-operation counterpart of the counters.
+
+A :class:`Span` is one timed operation -- a whole extraction, one pipeline
+stage, one fetch -- with a parent link, so a batch run yields a forest::
+
+    page  url=http://site3.test/p17
+    └── fetch  url=...            12.1 ms
+    └── extract  site=site3.test
+        ├── parse_page             3.4 ms
+        ├── choose_subtree         0.9 ms
+        ├── object_separator       1.7 ms
+        ├── combine_heuristics     0.3 ms
+        ├── construct_objects      0.4 ms
+        ├── refine_objects         0.1 ms
+        └── learn_rule             0.0 ms
+
+:class:`Tracer` collects spans thread-safely: nesting state lives in a
+``threading.local`` stack (each batch worker thread weaves its own chain)
+while the finished-span list is shared behind a lock.  Spans from process
+pools travel home by value: workers :meth:`~Tracer.drain` their tracer after
+each task and the parent :meth:`~Tracer.absorb`\\ s the pickled spans (ids
+are prefixed per worker, so they never collide with the parent's).
+
+Tracing off (``enabled=False``) costs one attribute check per hook:
+:meth:`Tracer.start` returns ``None`` and every other method treats ``None``
+as "do nothing", so the hot path allocates nothing.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = ["Span", "Tracer", "write_trace"]
+
+#: Status of a span that was still open when an enclosing span closed (its
+#: operation raised, so no hook ever closed it properly).
+ABANDONED = "abandoned"
+
+
+@dataclass
+class Span:
+    """One finished, timed operation.
+
+    ``duration`` is in seconds.  ``parent_id`` is ``None`` for roots;
+    ``trace_id`` groups one root span with all its descendants (one
+    extraction, one batch page).  ``start_time`` is wall-clock epoch
+    seconds -- exportable and comparable across processes, unlike the
+    monotonic clock the duration is measured on.
+    """
+
+    name: str
+    span_id: str
+    trace_id: str
+    parent_id: str | None
+    start_time: float
+    duration: float
+    attributes: dict = field(default_factory=dict)
+    status: str = "ok"
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "trace_id": self.trace_id,
+            "parent_id": self.parent_id,
+            "start_time": self.start_time,
+            "duration_ms": self.duration * 1e3,
+            "status": self.status,
+            "attributes": dict(self.attributes),
+        }
+
+
+class _OpenSpan:
+    """An in-flight span: the handle :meth:`Tracer.start` returns."""
+
+    __slots__ = (
+        "name",
+        "span_id",
+        "trace_id",
+        "parent_id",
+        "start_time",
+        "start_perf",
+        "attributes",
+    )
+
+    def __init__(self, name, span_id, trace_id, parent_id, attributes):
+        self.name = name
+        self.span_id = span_id
+        self.trace_id = trace_id
+        self.parent_id = parent_id
+        self.start_time = time.time()
+        self.start_perf = time.perf_counter()
+        self.attributes = attributes
+
+
+class Tracer:
+    """Thread-safe span collector with per-thread nesting.
+
+    Parameters
+    ----------
+    enabled:
+        When False, :meth:`start` returns ``None`` and nothing is recorded
+        -- the cheap-off guard the instrumentation adapter relies on.
+    id_prefix:
+        Prepended to every span id.  Process-pool workers set a per-pid
+        prefix so absorbed spans cannot collide with the parent's.
+    """
+
+    def __init__(self, *, enabled: bool = True, id_prefix: str = "") -> None:
+        self.enabled = enabled
+        self.id_prefix = id_prefix
+        self._seq = itertools.count(1)
+        self._lock = threading.Lock()
+        self._spans: list[Span] = []
+        self._tls = threading.local()
+
+    # -- nesting ----------------------------------------------------------
+
+    def _stack(self) -> list[_OpenSpan]:
+        stack = getattr(self._tls, "stack", None)
+        if stack is None:
+            stack = self._tls.stack = []
+        return stack
+
+    def start(self, name: str, **attributes) -> _OpenSpan | None:
+        """Open a span under the current thread's innermost open span."""
+        if not self.enabled:
+            return None
+        span_id = f"{self.id_prefix}{next(self._seq)}"
+        stack = self._stack()
+        if stack:
+            parent = stack[-1]
+            trace_id, parent_id = parent.trace_id, parent.span_id
+        else:
+            trace_id, parent_id = f"t{span_id}", None
+        handle = _OpenSpan(name, span_id, trace_id, parent_id, attributes)
+        stack.append(handle)
+        return handle
+
+    def end(
+        self,
+        handle: _OpenSpan | None,
+        *,
+        duration: float | None = None,
+        status: str = "ok",
+        **attributes,
+    ) -> Span | None:
+        """Close ``handle`` (and abandon anything opened inside it).
+
+        ``duration`` overrides the tracer's own measurement -- the stage
+        engine passes its authoritative elapsed time so span durations are
+        bit-identical to the :class:`PhaseTimings` columns.  A handle that
+        is ``None`` (tracing off) or already closed is ignored.
+        """
+        if handle is None:
+            return None
+        stack = self._stack()
+        if handle not in stack:
+            return None
+        end_perf = time.perf_counter()
+        finished: list[Span] = []
+        while stack:
+            top = stack.pop()
+            if top is handle:
+                finished.append(
+                    self._finish(top, end_perf, duration, status, attributes)
+                )
+                break
+            # An operation inside ``handle`` raised before its close hook
+            # could run; close it so the trace stays a well-formed tree.
+            finished.append(self._finish(top, end_perf, None, ABANDONED, {}))
+        with self._lock:
+            self._spans.extend(finished)
+        return finished[-1]
+
+    @staticmethod
+    def _finish(handle, end_perf, duration, status, attributes) -> Span:
+        handle.attributes.update(attributes)
+        return Span(
+            name=handle.name,
+            span_id=handle.span_id,
+            trace_id=handle.trace_id,
+            parent_id=handle.parent_id,
+            start_time=handle.start_time,
+            duration=duration if duration is not None else end_perf - handle.start_perf,
+            attributes=handle.attributes,
+            status=status,
+        )
+
+    def event(self, name: str, **attributes) -> Span | None:
+        """Record a zero-duration span at the current nesting position."""
+        handle = self.start(name, **attributes)
+        return self.end(handle, duration=0.0)
+
+    @contextmanager
+    def span(self, name: str, **attributes):
+        """Context-manager sugar: open on enter, close on exit.
+
+        An exception escaping the block marks the span ``status="error"``
+        (and still propagates).
+        """
+        handle = self.start(name, **attributes)
+        try:
+            yield handle
+        except BaseException as error:
+            self.end(handle, status="error", error=type(error).__name__)
+            raise
+        else:
+            self.end(handle)
+
+    # -- collection --------------------------------------------------------
+
+    @property
+    def spans(self) -> list[Span]:
+        """A snapshot copy of every span collected so far."""
+        with self._lock:
+            return list(self._spans)
+
+    def drain(self) -> list[Span]:
+        """Atomically take (and forget) the collected spans."""
+        with self._lock:
+            spans, self._spans = self._spans, []
+        return spans
+
+    def absorb(self, spans: list[Span]) -> None:
+        """Merge spans collected elsewhere (a process-pool worker)."""
+        with self._lock:
+            self._spans.extend(spans)
+
+
+def write_trace(spans: list[Span], path: str | Path) -> Path:
+    """Dump spans as a JSON array (the ``--trace FILE`` format)."""
+    target = Path(path)
+    target.write_text(
+        json.dumps([span.as_dict() for span in spans], indent=2),
+        encoding="utf-8",
+    )
+    return target

@@ -15,7 +15,11 @@ import re
 
 from repro.tree.node import Node, TagNode
 
-_STEP_RE = re.compile(r"^(?P<name>[^\[\].]+)\[(?P<index>\d+)\]$")
+_STEP_RE = re.compile(r"^(?P<name>[^\[\]]+)\[(?P<index>\d+)\]$")
+# Step separator: a dot *after* the closing bracket.  Tag names themselves
+# may contain dots (the lenient tokenizer keeps them, as real-world soup
+# like ``<a.`` demands), but never brackets, so this split is unambiguous.
+_SEPARATOR_RE = re.compile(r"(?<=\])\.")
 
 
 def path_of(node: Node) -> str:
@@ -41,7 +45,7 @@ def parse_path(path: str) -> list[tuple[str, int]]:
     Raises ``ValueError`` on malformed steps.
     """
     steps: list[tuple[str, int]] = []
-    for raw in path.split("."):
+    for raw in _SEPARATOR_RE.split(path):
         match = _STEP_RE.match(raw.strip())
         if not match:
             raise ValueError(f"malformed path step: {raw!r}")

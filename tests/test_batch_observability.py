@@ -1,0 +1,195 @@
+"""Batch-level observability: process-pool counter parity and a
+concurrency stress test.
+
+The process-pool bug this pins: observers mutated inside worker processes
+never reach the parent's objects, so a process-pool batch used to report
+*zero* instrumentation counts while an identical thread-pool batch
+reported full ones.  Workers now ship per-task counter deltas (and spans)
+home with each result and the parent merges them; the parity tests assert
+thread- and process-pool runs report identical counters for the same
+workload, exactly.
+"""
+
+import pytest
+
+from repro.core.batch import BatchExtractor, PageTask
+from repro.core.rules import RuleStore
+from repro.core.stages.instrumentation import StageCounters
+from repro.corpus import CorpusGenerator, TEST_SITES
+from repro.observe import TracingInstrumentation
+
+from tests.test_pipeline import simple_page
+
+
+def _tasks(n_sites=3, pages_per_site=2):
+    pages = CorpusGenerator(max_pages_per_site=pages_per_site).generate(
+        TEST_SITES[:n_sites]
+    )
+    return [
+        PageTask(source=page.html, site=page.site, page_id=f"{page.site}/{i}")
+        for i, page in enumerate(pages)
+    ]
+
+
+#: Counter fields whose values are deterministic for a fixed workload
+#: (wall-clock seconds are not; call counts and page totals are).
+EXACT_FIELDS = (
+    "extracts",
+    "fallbacks",
+    "pages_started",
+    "pages_succeeded",
+    "pages_failed",
+    "fetch_requests",
+    "fetch_retries",
+    "fetch_successes",
+    "fetch_failures",
+    "cache_hits",
+    "cache_misses",
+)
+
+
+class TestProcessPoolCounterParity:
+    def test_thread_and_process_counters_identical(self):
+        """The satellite's regression pin: same workload, both executors,
+        field-by-field equality (process mode used to report all zeros)."""
+        tasks = _tasks()
+        thread_out = BatchExtractor().extract_many(tasks, workers=2)
+        process_out = BatchExtractor(executor="process").extract_many(
+            tasks, workers=2
+        )
+        for name in EXACT_FIELDS:
+            assert getattr(thread_out.counters, name) == getattr(
+                process_out.counters, name
+            ), name
+        assert thread_out.counters.stage_calls == process_out.counters.stage_calls
+        assert process_out.counters.extracts == len(tasks) > 0
+
+    def test_process_counters_include_failures(self):
+        tasks = _tasks(n_sites=2) + [PageTask(path="/nonexistent/page.html")]
+        thread_out = BatchExtractor().extract_many(tasks, workers=2)
+        process_out = BatchExtractor(executor="process").extract_many(
+            tasks, workers=2
+        )
+        assert process_out.counters.pages_failed == 1
+        for name in EXACT_FIELDS:
+            assert getattr(thread_out.counters, name) == getattr(
+                process_out.counters, name
+            ), name
+
+    def test_user_stage_counters_observer_receives_merged_totals(self):
+        mine = StageCounters()
+        tasks = _tasks(n_sites=2)
+        BatchExtractor(executor="process", instrumentation=mine).extract_many(
+            tasks, workers=2
+        )
+        assert mine.extracts == len(tasks)
+        assert mine.pages_succeeded == len(tasks)
+        assert sum(mine.stage_calls.values()) > 0
+
+    def test_process_spans_ship_home(self):
+        adapter = TracingInstrumentation()
+        tasks = _tasks(n_sites=2)
+        BatchExtractor(executor="process", instrumentation=adapter).extract_many(
+            tasks, workers=2
+        )
+        spans = adapter.tracer.spans
+        roots = [s for s in spans if s.parent_id is None]
+        assert len(roots) == len(tasks)  # one page span per task
+        assert len({s.span_id for s in spans}) == len(spans)  # no collisions
+        assert adapter.metrics.counter("extract.pages").value == len(tasks)
+        assert adapter.metrics.histogram("extract.seconds").count == len(tasks)
+
+
+@pytest.mark.slow
+class TestConcurrencyStress:
+    """8 workers over a 200-page corpus: exact totals, well-formed trace."""
+
+    WORKERS = 8
+    PAGES = 200
+
+    @pytest.fixture(scope="class")
+    def stress_run(self):
+        # Generate a comfortable surplus across all 15 sites (some sites
+        # cap below the requested per-site count), then take exactly 200.
+        pages = CorpusGenerator(max_pages_per_site=25).generate(TEST_SITES)
+        assert len(pages) >= self.PAGES
+        tasks = [
+            PageTask(source=page.html, site=page.site, page_id=f"p{i}")
+            for i, page in enumerate(pages[: self.PAGES])
+        ]
+        assert len(tasks) == self.PAGES
+        adapter = TracingInstrumentation()
+        batch = BatchExtractor(rule_store=RuleStore(), instrumentation=adapter)
+        outcome = batch.extract_many(tasks, workers=self.WORKERS)
+        return tasks, adapter, outcome
+
+    def test_exact_page_and_extract_totals(self, stress_run):
+        tasks, adapter, outcome = stress_run
+        counters = outcome.counters
+        # Exact, not approximate: every started page finished exactly once.
+        assert counters.pages_started == self.PAGES
+        assert counters.pages_succeeded + counters.pages_failed == self.PAGES
+        assert counters.extracts == self.PAGES
+        assert len(outcome.results) == self.PAGES
+        assert adapter.metrics.counter("extract.pages").value + adapter.metrics.counter(
+            "extract.errors"
+        ).value == self.PAGES
+
+    def test_exact_stage_call_totals(self, stress_run):
+        _, _, outcome = stress_run
+        calls = outcome.counters.stage_calls
+        # Every successful page parses exactly once, constructs exactly once.
+        assert calls["parse_page"] == outcome.stats.succeeded + outcome.stats.failed
+        assert calls["construct_objects"] >= outcome.stats.succeeded
+
+    def test_no_orphaned_or_duplicated_spans(self, stress_run):
+        _, adapter, outcome = stress_run
+        spans = adapter.tracer.spans
+        ids = [s.span_id for s in spans]
+        assert len(ids) == len(set(ids)), "duplicated span ids"
+        by_id = {s.span_id: s for s in spans}
+        for span in spans:
+            if span.parent_id is not None:
+                assert span.parent_id in by_id, f"orphaned span {span.name}"
+        page_spans = [s for s in spans if s.name == "page"]
+        assert len(page_spans) == self.PAGES
+        assert all(s.parent_id is None for s in page_spans)
+        # No span was left dangling by a worker thread.
+        assert all(s.status in ("ok", "error") for s in spans)
+
+    def test_trace_groups_one_page_per_trace_id(self, stress_run):
+        _, adapter, _ = stress_run
+        spans = adapter.tracer.spans
+        trace_ids = {s.trace_id for s in spans if s.name == "page"}
+        assert len(trace_ids) == self.PAGES
+        for span in spans:
+            assert span.trace_id in trace_ids
+
+
+class TestFetchCountersThroughBatch:
+    def test_cache_and_fetch_counters_exact(self, tmp_path):
+        from repro.fetch import CachingFetcher
+        from repro.fetch.base import StaticFetcher
+
+        adapter = TracingInstrumentation()
+        inner = StaticFetcher({f"http://s.test/{i}": simple_page(4) for i in range(4)})
+        fetcher = CachingFetcher(
+            inner, tmp_path / "cache", observer=adapter
+        )
+        batch = BatchExtractor(instrumentation=adapter, fetcher=fetcher)
+        urls = [f"http://s.test/{i}" for i in range(4)]
+        batch.extract_urls(urls, site="s.test", workers=2)
+        batch.extract_urls(urls, site="s.test", workers=2)  # all hits now
+        assert adapter.metrics.counter("cache.misses").value == 4
+        assert adapter.metrics.counter("cache.hits").value == 4
+        # A cache hit is a complete fetch: the hit path reports through the
+        # same fetch hooks, with its disk-read latency on the result.
+        assert adapter.metrics.counter("fetch.requests").value == 4
+        assert adapter.metrics.histogram("fetch.cache.seconds").count == 4
+        hit_spans = [
+            s
+            for s in adapter.tracer.spans
+            if s.name == "fetch" and s.attributes.get("from_cache")
+        ]
+        assert len(hit_spans) == 4
+        assert all(s.duration > 0 for s in hit_spans)

@@ -1,0 +1,127 @@
+"""Reflection contract for the instrumentation hook surface.
+
+CompositeInstrumentation used to hand-write one forwarder per hook, so a
+hook added to the base class was silently dropped for every composed
+observer (the batch engine composes StageCounters with the user's
+observer on every run).  The composite now *generates* its forwarders
+from ``HOOK_NAMES``; these tests enumerate every hook by reflection so a
+future hook cannot regress either the composite or the tracing adapter.
+"""
+
+import inspect
+
+from repro.core.stages.instrumentation import (
+    HOOK_NAMES,
+    CompositeInstrumentation,
+    Instrumentation,
+    StageCounters,
+)
+from repro.observe import TracingInstrumentation
+
+
+def _hook_signature(name):
+    return inspect.signature(getattr(Instrumentation, name))
+
+
+class _Recorder(Instrumentation):
+    """Counts every hook invocation by name."""
+
+    def __init__(self):
+        self.calls = []
+
+    def __getattribute__(self, name):
+        if name.startswith("on_"):
+            calls = object.__getattribute__(self, "calls")
+            return lambda *a, **k: calls.append(name)
+        return object.__getattribute__(self, name)
+
+
+def _dummy_args(name):
+    """Plausible positional arguments for each hook, derived from its arity."""
+    params = list(_hook_signature(name).parameters)
+    return [object()] * (len(params) - 1)  # minus self
+
+
+class TestHookNames:
+    def test_every_on_method_is_enumerated(self):
+        declared = {
+            name
+            for name, member in vars(Instrumentation).items()
+            if name.startswith("on_") and callable(member)
+        }
+        assert set(HOOK_NAMES) == declared
+        assert len(HOOK_NAMES) >= 14  # the PR-3 surface; only ever grows
+
+    def test_known_hooks_present(self):
+        expected = {
+            "on_extract_start",
+            "on_extract_end",
+            "on_stage_start",
+            "on_stage_end",
+            "on_fallback",
+            "on_page_start",
+            "on_page_end",
+            "on_page_error",
+            "on_fetch_start",
+            "on_fetch_retry",
+            "on_fetch_end",
+            "on_fetch_error",
+            "on_breaker_transition",
+            "on_cache_hit",
+            "on_cache_miss",
+        }
+        assert expected <= set(HOOK_NAMES)
+
+
+class TestCompositeForwardsEveryHook:
+    def test_every_hook_reaches_every_observer(self):
+        """The satellite's regression pin: iterate every hook on the base
+        class and fail if the composite does not forward it."""
+        first, second = _Recorder(), _Recorder()
+        composite = CompositeInstrumentation([first, second])
+        for name in HOOK_NAMES:
+            getattr(composite, name)(*_dummy_args(name))
+        assert first.calls == list(HOOK_NAMES)
+        assert second.calls == list(HOOK_NAMES)
+
+    def test_forwarders_are_generated_not_hand_written(self):
+        for name in HOOK_NAMES:
+            method = getattr(CompositeInstrumentation, name)
+            assert method.__qualname__ == f"CompositeInstrumentation.{name}"
+            assert method is not getattr(Instrumentation, name)
+
+    def test_observers_called_in_order(self):
+        order = []
+
+        class Tagged(Instrumentation):
+            def __init__(self, tag):
+                self.tag = tag
+
+            def on_cache_hit(self, url):
+                order.append(self.tag)
+
+        composite = CompositeInstrumentation([Tagged("a"), Tagged("b")])
+        composite.on_cache_hit("u")
+        assert order == ["a", "b"]
+
+
+class TestObserversCoverTheSurface:
+    def test_stage_counters_overrides_are_real_hooks(self):
+        """Every ``on_*`` method an observer defines must exist on the base
+        class with the same signature -- catches typos like
+        ``on_fetch_ended`` that would never be called."""
+        for cls in (StageCounters, TracingInstrumentation):
+            for name, member in vars(cls).items():
+                if not (name.startswith("on_") and callable(member)):
+                    continue
+                assert name in HOOK_NAMES, f"{cls.__name__}.{name} is not a hook"
+                base_params = list(_hook_signature(name).parameters)
+                impl_params = list(inspect.signature(member).parameters)
+                assert len(impl_params) == len(base_params), (
+                    f"{cls.__name__}.{name} arity differs from the base hook"
+                )
+
+    def test_base_hooks_are_noops(self):
+        observer = Instrumentation()
+        for name in HOOK_NAMES:
+            assert getattr(observer, name)(*_dummy_args(name)) is None

@@ -61,3 +61,21 @@ class TestTimePipeline:
             cache, label="t", site="www.google.com", repetitions=1
         )
         assert breakdown.pages == 3
+
+    def test_span_view_breakdown_matches_direct_rows(self, cache):
+        """With an adapter attached the table is built from span data; the
+        rows must be real timings (and the trace must be retained)."""
+        from repro.observe import TracingInstrumentation
+
+        adapter = TracingInstrumentation()
+        breakdown = time_pipeline(
+            cache, label="t", repetitions=2, use_rules=True, adapter=adapter
+        )
+        assert breakdown.pages == 6
+        averages = breakdown.averages()
+        assert averages["total"] > 0
+        assert averages["parse_page"] > 0
+        assert averages["object_separator"] == 0.0  # cached path, wiped zeros
+        # The adapter kept the whole trace and the per-stage histograms.
+        assert any(s.name == "extract" for s in adapter.tracer.spans)
+        assert adapter.metrics.histogram("stage.parse_page.seconds").count > 0

@@ -205,6 +205,16 @@ class TestPaths:
             with pytest.raises(ValueError):
                 parse_path(bad)
 
+    def test_dotted_tag_names_round_trip(self):
+        # The lenient tokenizer keeps dots in tag names (``<a.`` is real
+        # soup), so steps are split on ``].``, not on every dot.
+        path = "html[1].a.[2].ns:x.y[3]"
+        assert parse_path(path) == [("html", 1), ("a.", 2), ("ns:x.y", 3)]
+        assert format_path(parse_path(path)) == path
+        root = parse_document("<a.><b>x</b></a.>")
+        for node in tag_nodes(root):
+            assert node_at_path(root, path_of(node)) is node
+
     def test_node_at_path_round_trip(self, simple_tree):
         for node in tag_nodes(simple_tree):
             assert node_at_path(simple_tree, path_of(node)) is node
