@@ -51,7 +51,7 @@ def test_batch_throughput(benchmark, corpus_slice):
     # separators, page for page, in input order.
     assert len(sequential) == len(parallel) == 100
     assert not sequential.failures and not parallel.failures
-    for seq, par in zip(sequential.results, parallel.results):
+    for seq, par in zip(sequential.results, parallel.results, strict=True):
         assert seq.separator == par.separator
         assert seq.subtree_path == par.subtree_path
         assert [obj.text() for obj in seq.objects] == [

@@ -22,7 +22,7 @@ def reproduce(experimental_evaluated, experimental_pages, profiles):
     outcomes = separator_outcomes(combined, experimental_evaluated)
 
     separator_by_family: dict[str, list[float]] = defaultdict(list)
-    for ep, outcome in zip(experimental_evaluated, outcomes):
+    for ep, outcome in zip(experimental_evaluated, outcomes, strict=True):
         if not outcome.has_separator:
             continue
         credit = outcome.tie_credit if outcome.rank == 1 else 0.0

@@ -35,7 +35,7 @@ def main() -> None:
     # 1. Parallel == sequential, page for page.
     sequential = BatchExtractor().extract_many(tasks, workers=1)
     parallel = BatchExtractor().extract_many(tasks, workers=4)
-    for seq, par in zip(sequential.results, parallel.results):
+    for seq, par in zip(sequential.results, parallel.results, strict=True):
         assert seq.separator == par.separator
         assert [o.text() for o in seq.objects] == [o.text() for o in par.objects]
     print(

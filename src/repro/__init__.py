@@ -6,8 +6,7 @@ Reproduction of Buttler, Liu, Pu (ICDCS 2001).  Quickstart::
 
     extractor = OminiExtractor()
     result = extractor.extract(html_text)
-    for obj in result.objects:
-        print(obj.text())
+    texts = [obj.text() for obj in result.objects]
 
 Package map:
 

@@ -1,0 +1,13 @@
+"""``python -m repro.analysis`` entry point."""
+
+import sys
+
+from repro.analysis.cli import main
+
+try:
+    sys.exit(main())
+except BrokenPipeError:
+    # Downstream pager/head closed the pipe mid-report; that is not a
+    # lint failure and deserves no traceback.
+    sys.stderr.close()
+    sys.exit(0)

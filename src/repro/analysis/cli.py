@@ -1,0 +1,97 @@
+"""The reprolint command line: ``python -m repro.analysis src/ tests/``.
+
+Exit codes follow linter convention:
+
+* ``0`` -- every scanned file honours every invariant;
+* ``1`` -- findings (including suppression-hygiene findings);
+* ``2`` -- usage errors (argparse: unknown flag, no paths, bad rule id).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.analysis.engine import Analyzer, Rule
+from repro.analysis.report import render_json, render_text
+from repro.analysis.rules import default_rules
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description=(
+            "reprolint: AST-based checks for this repository's "
+            "determinism, concurrency and hook-surface invariants"
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to scan (e.g. src/ tests/)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="IDS",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="describe every rule and its allowlists, then exit",
+    )
+    return parser
+
+
+def _describe(rules: Sequence[Rule]) -> str:
+    blocks = []
+    for rule in rules:
+        lines = [f"{rule.rule_id}  {rule.title}", f"    {rule.invariant}"]
+        if rule.allowed_paths:
+            lines.append(f"    allowlist: {', '.join(rule.allowed_paths)}")
+        if rule.scoped_paths:
+            lines.append(f"    scope: {', '.join(rule.scoped_paths)}")
+        blocks.append("\n".join(lines))
+    return "\n".join(blocks)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    rules = default_rules()
+    if args.list_rules:
+        print(_describe(rules))
+        return 0
+    if not args.paths:
+        parser.error("at least one path is required (e.g. src/)")
+
+    known_ids = frozenset(rule.rule_id for rule in rules)
+    if args.select:
+        wanted = {token.strip() for token in args.select.split(",") if token.strip()}
+        unknown = wanted - known_ids
+        if unknown:
+            parser.error(
+                f"unknown rule id(s): {', '.join(sorted(unknown))} "
+                f"(known: {', '.join(sorted(known_ids))})"
+            )
+        rules = [rule for rule in rules if rule.rule_id in wanted]
+
+    analyzer = Analyzer(rules, known_rule_ids=known_ids)
+    result = analyzer.run(args.paths)
+    renderer = render_json if args.format == "json" else render_text
+    print(renderer(result))
+    return 0 if result.ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    sys.exit(main())

@@ -1,0 +1,372 @@
+"""The reprolint rule engine: file loading, visitor dispatch, suppression.
+
+The engine is project-specific on purpose.  Generic linters catch generic
+bugs; the rules this engine runs encode contracts *this* repository has
+already paid to learn (see :mod:`repro.analysis.rules` for the history).
+The machinery is deliberately small:
+
+* :class:`SourceFile` -- one parsed module (path, text, AST);
+* :class:`RuleVisitor` -- an :class:`ast.NodeVisitor` that tracks the
+  context every structural rule needs (enclosing class/function, whether
+  execution sits inside a ``with <lock>:`` body) and dispatches node
+  events to small per-rule handlers;
+* :class:`Rule` -- id + description + allowlist + a visitor class;
+* :class:`Analyzer` -- walks files, runs each applicable rule, filters
+  findings through the inline suppressions, and reports suppression
+  hygiene (unknown ids, unused suppressions) alongside.
+
+Allowlists are path patterns, matched against ``/``-separated paths
+relative to the analyzer root: ``repro/fetch/base.py`` matches that file
+wherever the tree is rooted, ``repro/analysis/*`` matches a package.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from fnmatch import fnmatch
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.analysis.findings import (
+    SUPPRESSION_RULE_ID,
+    SYNTAX_RULE_ID,
+    Finding,
+)
+from repro.analysis.suppressions import SuppressionIndex
+
+__all__ = [
+    "AnalysisResult",
+    "Analyzer",
+    "Rule",
+    "RuleVisitor",
+    "SourceFile",
+    "dotted_name",
+    "is_lock_expr",
+    "path_matches",
+]
+
+
+@dataclass(frozen=True)
+class SourceFile:
+    """One module the analyzer loaded and parsed."""
+
+    path: Path
+    rel: str  # ``/``-separated path for display and allowlist matching
+    text: str
+    tree: ast.Module
+
+
+def path_matches(rel: str, patterns: Sequence[str]) -> bool:
+    """Does ``rel`` match any allowlist/scope ``pattern``?
+
+    Patterns are anchored at any directory boundary: ``repro/fetch/base.py``
+    matches ``src/repro/fetch/base.py`` and ``repro/fetch/base.py`` but not
+    ``unrelated_repro/fetch/base.py``.
+    """
+    return any(
+        fnmatch(rel, pattern) or fnmatch(rel, f"*/{pattern}")
+        for pattern in patterns
+    )
+
+
+def dotted_name(node: ast.expr) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, None for anything dynamic."""
+    parts: list[str] = []
+    current: ast.expr = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if not isinstance(current, ast.Name):
+        return None
+    parts.append(current.id)
+    return ".".join(reversed(parts))
+
+
+def is_lock_expr(node: ast.expr) -> bool:
+    """Does this ``with`` context expression look like acquiring a lock?
+
+    Matches the repo's idioms -- ``with self._lock:``, ``with lock:``,
+    ``with self._state_lock:`` -- by the terminal identifier containing
+    ``lock``.  Heuristic by design: a false positive here only makes a
+    rule *stricter* inside a block that deliberately named itself a lock.
+    """
+    if isinstance(node, ast.Attribute):
+        return "lock" in node.attr.lower()
+    if isinstance(node, ast.Name):
+        return "lock" in node.id.lower()
+    if isinstance(node, ast.Call):
+        # ``with self._lock.acquire_timeout(1.0):`` style wrappers.
+        return is_lock_expr(node.func)
+    return False
+
+
+class RuleVisitor(ast.NodeVisitor):
+    """Context-tracking visitor base for every rule.
+
+    Subclasses implement the ``handle_*`` hooks; the base keeps the
+    bookkeeping (class/function nesting, lock depth) consistent so no rule
+    re-derives it -- and no rule can get it subtly wrong, which is the
+    whole point of centralizing it.
+    """
+
+    def __init__(self, rule: "Rule", src: SourceFile) -> None:
+        self.rule = rule
+        self.src = src
+        self.findings: list[Finding] = []
+        self.class_stack: list[ast.ClassDef] = []
+        self.function_stack: list[ast.FunctionDef | ast.AsyncFunctionDef] = []
+        #: How many ``with <lock>:`` bodies enclose the current node.
+        self.lock_depth = 0
+
+    # -- reporting ---------------------------------------------------------
+
+    def report(self, node: ast.AST, message: str) -> None:
+        self.findings.append(
+            Finding(
+                path=self.src.rel,
+                line=getattr(node, "lineno", 0),
+                col=getattr(node, "col_offset", 0),
+                rule_id=self.rule.rule_id,
+                message=message,
+            )
+        )
+
+    # -- per-rule hooks ----------------------------------------------------
+
+    def handle_call(self, node: ast.Call) -> None:
+        """A call expression, anywhere."""
+
+    def handle_class(self, node: ast.ClassDef) -> None:
+        """A class definition (already pushed onto ``class_stack``)."""
+
+    def handle_function(self, node: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        """A function definition (already pushed onto ``function_stack``)."""
+
+    def handle_except(self, node: ast.ExceptHandler) -> None:
+        """An ``except`` handler clause."""
+
+    def handle_import_from(self, node: ast.ImportFrom) -> None:
+        """A ``from x import y`` statement."""
+
+    # -- dispatch ----------------------------------------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        self.handle_call(node)
+        self.generic_visit(node)
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self.class_stack.append(node)
+        try:
+            self.handle_class(node)
+            self.generic_visit(node)
+        finally:
+            self.class_stack.pop()
+
+    def _visit_function(
+        self, node: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> None:
+        self.function_stack.append(node)
+        try:
+            self.handle_function(node)
+            self.generic_visit(node)
+        finally:
+            self.function_stack.pop()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_function(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_function(node)
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        self.handle_except(node)
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        self.handle_import_from(node)
+        self.generic_visit(node)
+
+    def _visit_with(self, node: ast.With | ast.AsyncWith) -> None:
+        locks = sum(1 for item in node.items if is_lock_expr(item.context_expr))
+        self.lock_depth += locks
+        try:
+            self.generic_visit(node)
+        finally:
+            self.lock_depth -= locks
+
+    def visit_With(self, node: ast.With) -> None:
+        self._visit_with(node)
+
+    def visit_AsyncWith(self, node: ast.AsyncWith) -> None:
+        self._visit_with(node)
+
+
+class Rule:
+    """One invariant: an id, its story, and the visitor that enforces it."""
+
+    rule_id: str = "REP###"
+    title: str = ""
+    #: The contract the rule protects and the bug that motivated it --
+    #: surfaced by ``--list-rules`` so a finding is never just a code.
+    invariant: str = ""
+    #: The sanctioned seam(s): files this rule never applies to.
+    allowed_paths: tuple[str, ...] = ()
+    #: When non-empty, the rule *only* applies to matching files.
+    scoped_paths: tuple[str, ...] = ()
+    visitor_class: type[RuleVisitor] = RuleVisitor
+
+    def applies_to(self, rel: str) -> bool:
+        if self.scoped_paths and not path_matches(rel, self.scoped_paths):
+            return False
+        return not path_matches(rel, self.allowed_paths)
+
+    def check(self, src: SourceFile) -> list[Finding]:
+        visitor = self.visitor_class(self, src)
+        visitor.visit(src.tree)
+        return visitor.findings
+
+
+@dataclass
+class AnalysisResult:
+    """Everything one :meth:`Analyzer.run` produced."""
+
+    findings: list[Finding] = field(default_factory=list)
+    files_scanned: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def counts(self) -> dict[str, int]:
+        """``{rule_id: finding count}``, sorted by rule id."""
+        tally: dict[str, int] = {}
+        for finding in self.findings:
+            tally[finding.rule_id] = tally.get(finding.rule_id, 0) + 1
+        return dict(sorted(tally.items()))
+
+
+class Analyzer:
+    """Run a rule set over files and directories.
+
+    ``root`` anchors the relative paths findings are reported under
+    (default: the current working directory).  ``known_rule_ids`` is the
+    full registry -- used to distinguish a suppression for a *deselected*
+    rule (fine) from one naming a rule that has never existed (a typo that
+    would silently suppress nothing, reported as REP000).
+    """
+
+    def __init__(
+        self,
+        rules: Sequence[Rule],
+        *,
+        root: str | Path | None = None,
+        known_rule_ids: frozenset[str] | None = None,
+    ) -> None:
+        self.rules = list(rules)
+        self.root = Path(root) if root is not None else Path.cwd()
+        self.known_rule_ids = known_rule_ids or frozenset(
+            rule.rule_id for rule in self.rules
+        )
+
+    # -- file discovery ----------------------------------------------------
+
+    def discover(self, paths: Iterable[str | Path]) -> list[Path]:
+        """Every ``.py`` file under ``paths``, deduplicated, sorted."""
+        seen: set[Path] = set()
+        for path in paths:
+            target = Path(path)
+            if target.is_dir():
+                seen.update(target.rglob("*.py"))
+            else:
+                seen.add(target)
+        return sorted(seen)
+
+    def _rel(self, path: Path) -> str:
+        try:
+            return path.resolve().relative_to(self.root.resolve()).as_posix()
+        except ValueError:
+            return path.as_posix()
+
+    # -- analysis ----------------------------------------------------------
+
+    def run(self, paths: Iterable[str | Path]) -> AnalysisResult:
+        result = AnalysisResult()
+        for path in self.discover(paths):
+            result.files_scanned += 1
+            result.findings.extend(self.check_file(path))
+        result.findings.sort()
+        return result
+
+    def check_file(self, path: Path) -> list[Finding]:
+        """All post-suppression findings for one file."""
+        rel = self._rel(path)
+        text = path.read_text(encoding="utf-8", errors="replace")
+        try:
+            tree = ast.parse(text, filename=str(path))
+        except SyntaxError as error:
+            return [
+                Finding(
+                    path=rel,
+                    line=error.lineno or 0,
+                    col=error.offset or 0,
+                    rule_id=SYNTAX_RULE_ID,
+                    message=f"could not parse: {error.msg}",
+                )
+            ]
+        src = SourceFile(path=path, rel=rel, text=text, tree=tree)
+        suppressions = SuppressionIndex.from_source(text)
+
+        active = [rule for rule in self.rules if rule.applies_to(rel)]
+        kept: list[Finding] = []
+        for rule in active:
+            for finding in rule.check(src):
+                if not suppressions.suppress(finding.line, finding.rule_id):
+                    kept.append(finding)
+
+        kept.extend(self._suppression_findings(rel, suppressions, active))
+        return kept
+
+    def _suppression_findings(
+        self,
+        rel: str,
+        suppressions: SuppressionIndex,
+        active: Sequence[Rule],
+    ) -> list[Finding]:
+        """Suppression hygiene: malformed, unknown, and unused directives."""
+        findings = [
+            Finding(
+                path=rel,
+                line=line,
+                col=0,
+                rule_id=SUPPRESSION_RULE_ID,
+                message=f"malformed suppression code {token!r}",
+            )
+            for line, token in suppressions.malformed
+        ]
+        unknown = suppressions.unknown(self.known_rule_ids)
+        findings.extend(
+            Finding(
+                path=rel,
+                line=s.line,
+                col=0,
+                rule_id=SUPPRESSION_RULE_ID,
+                message=f"suppression names unknown rule {s.code}",
+            )
+            for s in unknown
+        )
+        active_codes = frozenset(rule.rule_id for rule in active)
+        findings.extend(
+            Finding(
+                path=rel,
+                line=s.line,
+                col=0,
+                rule_id=SUPPRESSION_RULE_ID,
+                message=(
+                    f"unused suppression for {s.code}: nothing on this line "
+                    "violates it (delete the comment)"
+                ),
+            )
+            for s in suppressions.unused(active_codes)
+        )
+        return findings

@@ -1,0 +1,46 @@
+"""Findings: one invariant violation at one source location.
+
+Every rule in :mod:`repro.analysis.rules` reports through this type, and
+both reporters (:func:`repro.analysis.report.render_text`,
+:func:`repro.analysis.report.render_json`) consume it.  Findings sort by
+``(path, line, col, rule_id)`` so reports are stable across runs and
+dict-ordering accidents.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Finding", "SUPPRESSION_RULE_ID", "SYNTAX_RULE_ID"]
+
+#: Pseudo-rule id for suppression hygiene findings: an unused
+#: ``# reprolint: disable=...`` comment, or one naming an unknown rule.
+SUPPRESSION_RULE_ID = "REP000"
+
+#: Pseudo-rule id for files the engine could not parse at all.
+SYNTAX_RULE_ID = "REP999"
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation, pinned to a file/line/column."""
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    message: str
+
+    def format(self) -> str:
+        """The one-line text-report form: ``path:line:col: REPxxx message``."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule_id} {self.message}"
+
+    def as_dict(self) -> dict[str, object]:
+        """The JSON-report form (schema pinned by the reporter tests)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule_id,
+            "message": self.message,
+        }

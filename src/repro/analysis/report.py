@@ -1,0 +1,49 @@
+"""Reporters: the text form for humans, the JSON form for tooling.
+
+The JSON schema is versioned and pinned by ``tests/test_reprolint.py``::
+
+    {
+      "version": 1,
+      "ok": false,
+      "files_scanned": 42,
+      "counts": {"REP001": 1},
+      "findings": [
+        {"path": "...", "line": 97, "col": 8, "rule": "REP001",
+         "message": "..."}
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.engine import AnalysisResult
+
+__all__ = ["render_json", "render_text"]
+
+
+def render_text(result: AnalysisResult) -> str:
+    """One finding per line plus a summary line, sorted and stable."""
+    lines = [finding.format() for finding in sorted(result.findings)]
+    if result.ok:
+        lines.append(
+            f"reprolint: clean ({result.files_scanned} file(s) scanned)"
+        )
+    else:
+        lines.append(
+            f"reprolint: {len(result.findings)} finding(s) in "
+            f"{result.files_scanned} file(s) scanned"
+        )
+    return "\n".join(lines)
+
+
+def render_json(result: AnalysisResult) -> str:
+    payload = {
+        "version": 1,
+        "ok": result.ok,
+        "files_scanned": result.files_scanned,
+        "counts": result.counts(),
+        "findings": [finding.as_dict() for finding in sorted(result.findings)],
+    }
+    return json.dumps(payload, indent=2)

@@ -1,0 +1,116 @@
+"""Inline ``# reprolint: disable=REPxxx`` suppression comments.
+
+A suppression lives on the same physical line the finding is reported on
+(the line of the offending AST node)::
+
+    started = time.monotonic()  # reprolint: disable=REP001 -- boot banner only
+
+Several codes may share one comment (``disable=REP001,REP002``), and
+anything after the code list is free-form justification.  Suppressions are
+themselves linted: a comment naming an unknown rule id, or one that never
+suppressed a finding in its file, is reported under
+:data:`~repro.analysis.findings.SUPPRESSION_RULE_ID` -- stale suppressions
+are how invariants rot silently, so the gate treats them as findings too.
+
+Comments are found with :mod:`tokenize` (so a ``# reprolint:`` inside a
+string literal never counts); files the tokenizer cannot finish fall back
+to a conservative per-line regex scan.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+
+__all__ = ["Suppression", "SuppressionIndex"]
+
+_DIRECTIVE = re.compile(r"#\s*reprolint:\s*disable=([A-Za-z0-9_,\s]+)")
+_CODE = re.compile(r"^[A-Z]+[0-9]+$")
+
+
+@dataclass
+class Suppression:
+    """One ``(line, code)`` pair a disable comment declared."""
+
+    line: int
+    code: str
+    used: bool = False
+
+
+@dataclass
+class SuppressionIndex:
+    """Every suppression in one file, with per-code usage tracking."""
+
+    suppressions: list[Suppression] = field(default_factory=list)
+    #: ``(line, token)`` pairs that matched the directive but are not
+    #: well-formed rule ids (``REP01x``, lowercase, bare words, ...).
+    malformed: list[tuple[int, str]] = field(default_factory=list)
+
+    @classmethod
+    def from_source(cls, text: str) -> "SuppressionIndex":
+        index = cls()
+        for line, comment in _comments(text):
+            match = _DIRECTIVE.search(comment)
+            if match is None:
+                continue
+            # The code list ends at the first token that is not a rule id;
+            # everything after is justification prose.
+            for token in re.split(r"[,\s]+", match.group(1).strip()):
+                if not token:
+                    continue
+                if _CODE.match(token):
+                    index.suppressions.append(Suppression(line=line, code=token))
+                else:
+                    index.malformed.append((line, token))
+                    break
+        return index
+
+    def suppress(self, line: int, code: str) -> bool:
+        """Is a ``code`` finding on ``line`` suppressed?  Marks usage."""
+        hit = False
+        for suppression in self.suppressions:
+            if suppression.line == line and suppression.code == code:
+                suppression.used = True
+                hit = True
+        return hit
+
+    def unused(self, active_codes: frozenset[str]) -> list[Suppression]:
+        """Suppressions that never fired, for rules that actually ran.
+
+        A suppression for a rule the caller deselected (``--select``) is
+        not "unused" -- the rule never had the chance to fire -- so only
+        codes in ``active_codes`` are reported.
+        """
+        return [
+            s
+            for s in self.suppressions
+            if not s.used and s.code in active_codes
+        ]
+
+    def unknown(self, known_codes: frozenset[str]) -> list[Suppression]:
+        """Suppressions naming a rule id the registry has never heard of."""
+        return [s for s in self.suppressions if s.code not in known_codes]
+
+
+def _comments(text: str) -> list[tuple[int, str]]:
+    """``(line, comment_text)`` for every comment token in ``text``."""
+    try:
+        tokens = list(
+            tokenize.generate_tokens(io.StringIO(text).readline)
+        )
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        # Unfinishable source (the engine reports the parse error
+        # separately): fall back to a textual scan so suppressions on the
+        # healthy lines still resolve.
+        return [
+            (number, line[line.index("#"):])
+            for number, line in enumerate(text.splitlines(), start=1)
+            if "#" in line
+        ]
+    return [
+        (token.start[0], token.string)
+        for token in tokens
+        if token.type == tokenize.COMMENT
+    ]

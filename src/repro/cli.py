@@ -150,7 +150,7 @@ def _extract_batch(args: argparse.Namespace, store: RuleStore | None) -> int:
 
     if args.json:
         payloads = []
-        for task, result in zip(tasks, outcome.results):
+        for task, result in zip(tasks, outcome.results, strict=True):
             if isinstance(result, FailedExtraction):
                 payloads.append(
                     {
@@ -174,7 +174,7 @@ def _extract_batch(args: argparse.Namespace, store: RuleStore | None) -> int:
                 )
         print(json.dumps({"pages": payloads, "stats": outcome.stats.as_dict()}, indent=2))
     else:
-        for task, result in zip(tasks, outcome.results):
+        for task, result in zip(tasks, outcome.results, strict=True):
             page = task.path or task.url
             if isinstance(result, FailedExtraction):
                 print(f"{page}: FAILED [{result.kind}] ({result.error_type}: {result.error})")

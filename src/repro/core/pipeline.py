@@ -78,8 +78,7 @@ class OminiExtractor:
 
         extractor = OminiExtractor()
         result = extractor.extract(html_text)
-        for obj in result.objects:
-            print(obj.text())
+        texts = [obj.text() for obj in result.objects]
 
     Parameters
     ----------

@@ -119,7 +119,7 @@ def refine_objects(
             if count / total >= config.common_tag_fraction
         }
         filtered: list[ExtractedObject] = []
-        for obj, signature in zip(survivors, signatures):
+        for obj, signature in zip(survivors, signatures, strict=True):
             if config.enable_common_tag_filter:
                 missing = len(common_tags - signature)
                 if missing > config.max_missing_common:

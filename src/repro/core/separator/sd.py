@@ -68,7 +68,7 @@ class SDHeuristic:
             return [float(node_size(o.node)) for o in occurrences]
         return [
             float(nxt.char_offset - cur.char_offset)
-            for cur, nxt in zip(occurrences, occurrences[1:])
+            for cur, nxt in zip(occurrences, occurrences[1:], strict=False)
         ]
 
     def rank(self, context: CandidateContext) -> list[RankedTag]:

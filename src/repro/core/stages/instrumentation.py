@@ -33,7 +33,7 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass, field, fields
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Any, Callable
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.stages.context import ExtractionContext
@@ -166,8 +166,8 @@ class CompositeInstrumentation(Instrumentation):
         self.observers = list(observers)
 
 
-def _make_forwarder(hook_name: str):
-    def forward(self, *args, **kwargs) -> None:
+def _make_forwarder(hook_name: str) -> Callable[..., None]:
+    def forward(self: CompositeInstrumentation, *args: Any, **kwargs: Any) -> None:
         for observer in self.observers:
             getattr(observer, hook_name)(*args, **kwargs)
 
@@ -222,59 +222,61 @@ class StageCounters(Instrumentation):
         lookups = self.cache_hits + self.cache_misses
         return self.cache_hits / lookups if lookups else 0.0
 
-    def on_stage_end(self, stage, ctx, elapsed) -> None:
+    def on_stage_end(
+        self, stage: "Stage", ctx: "ExtractionContext", elapsed: float
+    ) -> None:
         with self._lock:
             self.stage_seconds[stage.name] = (
                 self.stage_seconds.get(stage.name, 0.0) + elapsed
             )
             self.stage_calls[stage.name] = self.stage_calls.get(stage.name, 0) + 1
 
-    def on_extract_end(self, ctx, result) -> None:
+    def on_extract_end(self, ctx: "ExtractionContext", result: object) -> None:
         with self._lock:
             self.extracts += 1
 
-    def on_fallback(self, ctx, error) -> None:
+    def on_fallback(self, ctx: "ExtractionContext", error: Exception) -> None:
         with self._lock:
             self.fallbacks += 1
 
-    def on_page_start(self, page) -> None:
+    def on_page_start(self, page: object) -> None:
         with self._lock:
             self.pages_started += 1
 
-    def on_page_end(self, page, result) -> None:
+    def on_page_end(self, page: object, result: object) -> None:
         with self._lock:
             self.pages_succeeded += 1
 
-    def on_page_error(self, page, error) -> None:
+    def on_page_error(self, page: object, error: Exception) -> None:
         with self._lock:
             self.pages_failed += 1
 
-    def on_fetch_start(self, url) -> None:
+    def on_fetch_start(self, url: str) -> None:
         with self._lock:
             self.fetch_requests += 1
 
-    def on_fetch_retry(self, url, attempt, error) -> None:
+    def on_fetch_retry(self, url: str, attempt: int, error: Exception) -> None:
         with self._lock:
             self.fetch_retries += 1
 
-    def on_fetch_end(self, url, result) -> None:
+    def on_fetch_end(self, url: str, result: object) -> None:
         with self._lock:
             self.fetch_successes += 1
 
-    def on_fetch_error(self, url, error) -> None:
+    def on_fetch_error(self, url: str, error: Exception) -> None:
         with self._lock:
             self.fetch_failures += 1
 
-    def on_breaker_transition(self, site, old, new) -> None:
+    def on_breaker_transition(self, site: str, old: str, new: str) -> None:
         with self._lock:
             key = (old, new)
             self.breaker_transitions[key] = self.breaker_transitions.get(key, 0) + 1
 
-    def on_cache_hit(self, url) -> None:
+    def on_cache_hit(self, url: str) -> None:
         with self._lock:
             self.cache_hits += 1
 
-    def on_cache_miss(self, url) -> None:
+    def on_cache_miss(self, url: str) -> None:
         with self._lock:
             self.cache_misses += 1
 
@@ -295,7 +297,7 @@ class StageCounters(Instrumentation):
         "cache_misses",
     )
 
-    def as_totals(self) -> dict:
+    def as_totals(self) -> dict[str, Any]:
         """A picklable snapshot of every counter, for cross-process merge.
 
         Observers mutated inside a process-pool worker never reach the
@@ -304,13 +306,13 @@ class StageCounters(Instrumentation):
         report identical counts for the same workload.
         """
         with self._lock:
-            totals: dict = {name: getattr(self, name) for name in self.INT_FIELDS}
+            totals: dict[str, Any] = {name: getattr(self, name) for name in self.INT_FIELDS}
             totals["stage_seconds"] = dict(self.stage_seconds)
             totals["stage_calls"] = dict(self.stage_calls)
             totals["breaker_transitions"] = dict(self.breaker_transitions)
         return totals
 
-    def merge_totals(self, totals: dict) -> None:
+    def merge_totals(self, totals: dict[str, Any]) -> None:
         """Add a worker's :meth:`as_totals` snapshot onto this observer."""
         with self._lock:
             for name in self.INT_FIELDS:

@@ -26,7 +26,7 @@ Quickstart::
     batch = BatchExtractor(instrumentation=adapter)
     batch.extract_files(paths, workers=8)
     write_trace(adapter.tracer.spans, "trace.json")
-    print(adapter.metrics.to_text())
+    report = adapter.metrics.to_text()
 
 or from the CLI: ``omini extract PAGES... --trace trace.json
 --metrics-out metrics.txt``.

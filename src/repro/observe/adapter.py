@@ -27,7 +27,7 @@ builds Tables 16/17 from it.
 from __future__ import annotations
 
 import threading
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Any
 
 from repro.core.stages.instrumentation import (
     Instrumentation,
@@ -37,7 +37,9 @@ from repro.observe.metrics import MetricsRegistry
 from repro.observe.span import Span, Tracer
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from repro.core.stages.context import PhaseTimings
+    from repro.core.stages.context import ExtractionContext, PhaseTimings
+    from repro.core.stages.plan import Stage
+    from repro.fetch.base import Clock
 
 __all__ = ["TracingInstrumentation", "phase_timings_from_spans"]
 
@@ -51,7 +53,7 @@ class TracingInstrumentation(Instrumentation):
         batch = BatchExtractor(instrumentation=adapter, fetcher=fetcher)
         batch.extract_urls(urls, workers=8)
         spans = adapter.tracer.spans          # the trace forest
-        print(adapter.metrics.to_text())      # flat key/value metrics
+        report = adapter.metrics.to_text()  # flat key/value metrics
 
     One adapter instance can watch a whole concurrent batch: nesting state
     is per-thread, collection is locked.  With ``enabled=False`` every hook
@@ -64,15 +66,16 @@ class TracingInstrumentation(Instrumentation):
         metrics: MetricsRegistry | None = None,
         *,
         enabled: bool = True,
+        clock: "Clock | None" = None,
     ) -> None:
-        self.tracer = tracer or Tracer()
+        self.tracer = tracer or Tracer(clock=clock)
         self.metrics = metrics or MetricsRegistry()
         self.enabled = enabled
         self._tls = threading.local()
 
     # -- per-thread handle state -------------------------------------------
 
-    def _handles(self) -> dict:
+    def _handles(self) -> dict[str, Any]:
         handles = getattr(self._tls, "handles", None)
         if handles is None:
             handles = self._tls.handles = {"stages": [], "fetches": {}}
@@ -80,7 +83,7 @@ class TracingInstrumentation(Instrumentation):
 
     # -- extraction hooks ---------------------------------------------------
 
-    def on_extract_start(self, ctx) -> None:
+    def on_extract_start(self, ctx: "ExtractionContext") -> None:
         if not self.enabled:
             return
         attributes = {}
@@ -90,7 +93,7 @@ class TracingInstrumentation(Instrumentation):
             attributes["path"] = str(ctx.path)
         self._handles()["extract"] = self.tracer.start("extract", **attributes)
 
-    def on_extract_end(self, ctx, result) -> None:
+    def on_extract_end(self, ctx: "ExtractionContext", result: Any) -> None:
         if not self.enabled:
             return
         handles = self._handles()
@@ -107,12 +110,14 @@ class TracingInstrumentation(Instrumentation):
         if span is not None:
             self.metrics.histogram("extract.seconds").observe(span.duration)
 
-    def on_stage_start(self, stage, ctx) -> None:
+    def on_stage_start(self, stage: "Stage", ctx: "ExtractionContext") -> None:
         if not self.enabled:
             return
         self._handles()["stages"].append(self.tracer.start(stage.name))
 
-    def on_stage_end(self, stage, ctx, elapsed) -> None:
+    def on_stage_end(
+        self, stage: "Stage", ctx: "ExtractionContext", elapsed: float
+    ) -> None:
         if not self.enabled:
             return
         stages = self._handles()["stages"]
@@ -120,7 +125,7 @@ class TracingInstrumentation(Instrumentation):
         self.tracer.end(handle, duration=elapsed, column=stage.timing_column)
         self.metrics.histogram(f"stage.{stage.name}.seconds").observe(elapsed)
 
-    def on_fallback(self, ctx, error) -> None:
+    def on_fallback(self, ctx: "ExtractionContext", error: Exception) -> None:
         if not self.enabled:
             return
         # The cached plan died mid-stage: close its dangling span(s) so the
@@ -133,7 +138,7 @@ class TracingInstrumentation(Instrumentation):
 
     # -- page hooks (batch engine) ------------------------------------------
 
-    def on_page_start(self, page) -> None:
+    def on_page_start(self, page: object) -> None:
         if not self.enabled:
             return
         attributes = {}
@@ -143,7 +148,7 @@ class TracingInstrumentation(Instrumentation):
                 attributes[attr] = str(value)
         self._handles()["page"] = self.tracer.start("page", **attributes)
 
-    def on_page_end(self, page, result) -> None:
+    def on_page_end(self, page: object, result: object) -> None:
         if not self.enabled:
             return
         span = self.tracer.end(self._handles().pop("page", None))
@@ -151,7 +156,7 @@ class TracingInstrumentation(Instrumentation):
         if span is not None:
             self.metrics.histogram("page.seconds").observe(span.duration)
 
-    def on_page_error(self, page, error) -> None:
+    def on_page_error(self, page: object, error: Exception) -> None:
         if not self.enabled:
             return
         span = self.tracer.end(
@@ -165,13 +170,13 @@ class TracingInstrumentation(Instrumentation):
 
     # -- fetch hooks (acquisition tier) -------------------------------------
 
-    def on_fetch_start(self, url) -> None:
+    def on_fetch_start(self, url: str) -> None:
         if not self.enabled:
             return
         self._handles()["fetches"][url] = self.tracer.start("fetch", url=url)
         self.metrics.counter("fetch.requests").inc()
 
-    def on_fetch_retry(self, url, attempt, error) -> None:
+    def on_fetch_retry(self, url: str, attempt: int, error: Exception) -> None:
         if not self.enabled:
             return
         self.tracer.event(
@@ -179,7 +184,7 @@ class TracingInstrumentation(Instrumentation):
         )
         self.metrics.counter("fetch.retries").inc()
 
-    def on_fetch_end(self, url, result) -> None:
+    def on_fetch_end(self, url: str, result: Any) -> None:
         if not self.enabled:
             return
         from_cache = bool(getattr(result, "from_cache", False))
@@ -202,7 +207,7 @@ class TracingInstrumentation(Instrumentation):
             layer = "fetch.cache.seconds" if from_cache else "fetch.origin.seconds"
             self.metrics.histogram(layer).observe(span.duration)
 
-    def on_fetch_error(self, url, error) -> None:
+    def on_fetch_error(self, url: str, error: Exception) -> None:
         if not self.enabled:
             return
         span = self.tracer.end(
@@ -214,18 +219,18 @@ class TracingInstrumentation(Instrumentation):
         if span is not None:
             self.metrics.histogram("fetch.seconds").observe(span.duration)
 
-    def on_breaker_transition(self, site, old, new) -> None:
+    def on_breaker_transition(self, site: str, old: str, new: str) -> None:
         if not self.enabled:
             return
         self.tracer.event("breaker.transition", site=site, old=old, new=new)
         self.metrics.counter(f"breaker.{old}_to_{new}").inc()
 
-    def on_cache_hit(self, url) -> None:
+    def on_cache_hit(self, url: str) -> None:
         if not self.enabled:
             return
         self.metrics.counter("cache.hits").inc()
 
-    def on_cache_miss(self, url) -> None:
+    def on_cache_miss(self, url: str) -> None:
         if not self.enabled:
             return
         self.metrics.counter("cache.misses").inc()

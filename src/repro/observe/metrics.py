@@ -164,7 +164,7 @@ class Histogram:
             "p99": self.quantile(0.99),
         }
 
-    def as_dict(self) -> dict:
+    def as_dict(self) -> dict[str, object]:
         with self._lock:
             counts = list(self._counts)
         return {
@@ -205,7 +205,7 @@ class MetricsRegistry:
                 histogram = self._histograms[name] = Histogram(name, bounds)
         return histogram
 
-    def snapshot(self) -> dict:
+    def snapshot(self) -> dict[str, object]:
         """The full current state: ``{"counters": ..., "histograms": ...}``."""
         with self._lock:
             counters = dict(self._counters)

@@ -24,6 +24,12 @@ are prefixed per worker, so they never collide with the parent's).
 Tracing off (``enabled=False``) costs one attribute check per hook:
 :meth:`Tracer.start` returns ``None`` and every other method treats ``None``
 as "do nothing", so the hot path allocates nothing.
+
+Every time read goes through the :class:`~repro.fetch.base.Clock` seam
+(``Tracer(clock=...)``; real time by default): under a
+:class:`~repro.fetch.base.FakeClock` a trace's timestamps and durations are
+exact, deterministic values -- the same seam that makes breaker cooldowns
+and cache TTLs testable makes spans testable.
 """
 
 from __future__ import annotations
@@ -31,10 +37,13 @@ from __future__ import annotations
 import itertools
 import json
 import threading
-import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
+from typing import Any
+from collections.abc import Iterator
+
+from repro.fetch.base import Clock, SystemClock
 
 __all__ = ["Span", "Tracer", "write_trace"]
 
@@ -60,10 +69,10 @@ class Span:
     parent_id: str | None
     start_time: float
     duration: float
-    attributes: dict = field(default_factory=dict)
+    attributes: dict[str, Any] = field(default_factory=dict)
     status: str = "ok"
 
-    def as_dict(self) -> dict:
+    def as_dict(self) -> dict[str, Any]:
         return {
             "name": self.name,
             "span_id": self.span_id,
@@ -89,13 +98,22 @@ class _OpenSpan:
         "attributes",
     )
 
-    def __init__(self, name, span_id, trace_id, parent_id, attributes):
+    def __init__(
+        self,
+        name: str,
+        span_id: str,
+        trace_id: str,
+        parent_id: str | None,
+        attributes: dict[str, Any],
+        start_time: float,
+        start_perf: float,
+    ) -> None:
         self.name = name
         self.span_id = span_id
         self.trace_id = trace_id
         self.parent_id = parent_id
-        self.start_time = time.time()
-        self.start_perf = time.perf_counter()
+        self.start_time = start_time
+        self.start_perf = start_perf
         self.attributes = attributes
 
 
@@ -110,11 +128,23 @@ class Tracer:
     id_prefix:
         Prepended to every span id.  Process-pool workers set a per-pid
         prefix so absorbed spans cannot collide with the parent's.
+    clock:
+        Time source for span timestamps (``Clock.time``) and measured
+        durations (``Clock.monotonic``).  Defaults to real time; a
+        :class:`~repro.fetch.base.FakeClock` makes traces exactly
+        deterministic.
     """
 
-    def __init__(self, *, enabled: bool = True, id_prefix: str = "") -> None:
+    def __init__(
+        self,
+        *,
+        enabled: bool = True,
+        id_prefix: str = "",
+        clock: Clock | None = None,
+    ) -> None:
         self.enabled = enabled
         self.id_prefix = id_prefix
+        self.clock = clock or SystemClock()
         self._seq = itertools.count(1)
         self._lock = threading.Lock()
         self._spans: list[Span] = []
@@ -128,7 +158,7 @@ class Tracer:
             stack = self._tls.stack = []
         return stack
 
-    def start(self, name: str, **attributes) -> _OpenSpan | None:
+    def start(self, name: str, **attributes: Any) -> _OpenSpan | None:
         """Open a span under the current thread's innermost open span."""
         if not self.enabled:
             return None
@@ -139,7 +169,15 @@ class Tracer:
             trace_id, parent_id = parent.trace_id, parent.span_id
         else:
             trace_id, parent_id = f"t{span_id}", None
-        handle = _OpenSpan(name, span_id, trace_id, parent_id, attributes)
+        handle = _OpenSpan(
+            name,
+            span_id,
+            trace_id,
+            parent_id,
+            attributes,
+            start_time=self.clock.time(),
+            start_perf=self.clock.monotonic(),
+        )
         stack.append(handle)
         return handle
 
@@ -149,7 +187,7 @@ class Tracer:
         *,
         duration: float | None = None,
         status: str = "ok",
-        **attributes,
+        **attributes: Any,
     ) -> Span | None:
         """Close ``handle`` (and abandon anything opened inside it).
 
@@ -163,7 +201,7 @@ class Tracer:
         stack = self._stack()
         if handle not in stack:
             return None
-        end_perf = time.perf_counter()
+        end_perf = self.clock.monotonic()
         finished: list[Span] = []
         while stack:
             top = stack.pop()
@@ -180,7 +218,13 @@ class Tracer:
         return finished[-1]
 
     @staticmethod
-    def _finish(handle, end_perf, duration, status, attributes) -> Span:
+    def _finish(
+        handle: _OpenSpan,
+        end_perf: float,
+        duration: float | None,
+        status: str,
+        attributes: dict[str, Any],
+    ) -> Span:
         handle.attributes.update(attributes)
         return Span(
             name=handle.name,
@@ -193,13 +237,13 @@ class Tracer:
             status=status,
         )
 
-    def event(self, name: str, **attributes) -> Span | None:
+    def event(self, name: str, **attributes: Any) -> Span | None:
         """Record a zero-duration span at the current nesting position."""
         handle = self.start(name, **attributes)
         return self.end(handle, duration=0.0)
 
     @contextmanager
-    def span(self, name: str, **attributes):
+    def span(self, name: str, **attributes: Any) -> Iterator[_OpenSpan | None]:
         """Context-manager sugar: open on enter, close on exit.
 
         An exception escaping the block marks the span ``status="error"``

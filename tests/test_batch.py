@@ -48,7 +48,7 @@ class TestParityWithSequential:
         sequential = BatchExtractor().extract_many(tasks, workers=1)
         parallel = BatchExtractor().extract_many(tasks, workers=4)
         assert len(sequential) == len(parallel) == len(tasks)
-        for seq, par in zip(sequential.results, parallel.results):
+        for seq, par in zip(sequential.results, parallel.results, strict=True):
             assert seq.separator == par.separator
             assert seq.subtree_path == par.subtree_path
             assert [o.text() for o in seq.objects] == [
@@ -169,7 +169,7 @@ class TestProcessExecutor:
         pages = [simple_page(n) for n in (3, 5, 7)]
         threads = BatchExtractor().extract_many(pages, workers=2)
         processes = BatchExtractor(executor="process").extract_many(pages, workers=2)
-        for thread_result, process_result in zip(threads, processes):
+        for thread_result, process_result in zip(threads, processes, strict=True):
             assert thread_result.separator == process_result.separator
             assert [
                 o.text() for o in thread_result.objects

@@ -285,7 +285,7 @@ def test_seeded_chaos_acceptance_run(corpus_urls, tmp_path):
     # Every failure is classified, and classified *correctly* per the plan;
     # every success is byte-identical to the fault-free run.
     kinds_seen = set()
-    for url, result, reference in zip(corpus_urls, chaos.results, clean.results):
+    for url, result, reference in zip(corpus_urls, chaos.results, clean.results, strict=True):
         if isinstance(result, FailedExtraction):
             assert result.kind == expected[url], url
             kinds_seen.add(result.kind)
@@ -309,7 +309,7 @@ def test_seeded_chaos_acceptance_run(corpus_urls, tmp_path):
     succeeded_first = 200 - predicted["failures"]
     rerun = BatchExtractor(fetcher=fetcher).extract_urls(corpus_urls)
     assert counters.cache_hits == succeeded_first
-    for url, result, reference in zip(corpus_urls, rerun.results, clean.results):
+    for url, result, reference in zip(corpus_urls, rerun.results, clean.results, strict=True):
         if expected[url] is None:
             assert [o.text() for o in result.objects] == [
                 o.text() for o in reference.objects

@@ -70,7 +70,7 @@ def snapshot_site(site: str) -> dict:
 
 def first_divergence(expected: dict, actual: dict) -> str:
     """Human-readable report of the first record where the runs disagree."""
-    for want, got in zip(expected["records"], actual["records"]):
+    for want, got in zip(expected["records"], actual["records"], strict=False):
         if want != got:
             lines = [f"first divergent record: page {want['page']}"]
             for field in ("separator", "subtree_path"):
@@ -81,7 +81,7 @@ def first_divergence(expected: dict, actual: dict) -> str:
                     f"  objects: golden has {len(want['objects'])}, "
                     f"run produced {len(got['objects'])}"
                 )
-                for i, (w, g) in enumerate(zip(want["objects"], got["objects"])):
+                for i, (w, g) in enumerate(zip(want["objects"], got["objects"], strict=False)):
                     if w != g:
                         lines.append(f"  object[{i}]: golden={w!r}")
                         lines.append(f"  object[{i}]:    now={g!r}")

@@ -104,7 +104,7 @@ class TestRuleCachingEquivalence:
         )
         baseline = [trained_extractor.extract(p.html) for p in pages]
         warm = [cached_extractor.extract(p.html, site=spec.name) for p in pages]
-        for base, cached in zip(baseline, warm):
+        for base, cached in zip(baseline, warm, strict=True):
             assert [o.text() for o in base.objects] == [
                 o.text() for o in cached.objects
             ]

@@ -29,6 +29,7 @@ from repro.core.stages.instrumentation import (
     TimingInstrumentation,
     fallback_wipe_columns,
 )
+from repro.fetch.base import FakeClock
 from repro.observe import (
     Counter,
     Histogram,
@@ -140,6 +141,58 @@ class TestTracer:
         assert entry["name"] == "x"
         assert entry["attributes"] == {"site": "s"}
         assert entry["duration_ms"] >= 0
+
+
+class TestTracerClockSeam:
+    """Spans measured on a FakeClock are *exact*, not approximate.
+
+    This is the REP001 fix made observable: the tracer reads time only
+    through its injected Clock, so a fake clock yields bit-exact span
+    timestamps and durations -- no tolerance windows in assertions.
+    """
+
+    def test_durations_are_exact_under_fake_clock(self):
+        clock = FakeClock()
+        tracer = Tracer(clock=clock)
+        outer = tracer.start("outer")
+        clock.advance(0.25)
+        inner = tracer.start("inner")
+        clock.advance(1.5)
+        tracer.end(inner)
+        clock.advance(0.125)
+        tracer.end(outer)
+        spans = {s.name: s for s in tracer.spans}
+        assert spans["inner"].duration == 1.5
+        assert spans["outer"].duration == 0.25 + 1.5 + 0.125
+
+    def test_start_times_are_exact_under_fake_clock(self):
+        clock = FakeClock(start=100.0)
+        tracer = Tracer(clock=clock)
+        first = tracer.start("first")
+        tracer.end(first)
+        clock.advance(2.0)
+        second = tracer.start("second")
+        tracer.end(second)
+        spans = {s.name: s for s in tracer.spans}
+        assert spans["first"].start_time == 100.0
+        assert spans["second"].start_time == 102.0
+
+    def test_explicit_duration_still_wins_over_the_clock(self):
+        clock = FakeClock()
+        tracer = Tracer(clock=clock)
+        handle = tracer.start("stage")
+        clock.advance(9.0)
+        span = tracer.end(handle, duration=0.5)
+        assert span.duration == 0.5
+
+    def test_adapter_threads_its_clock_into_the_tracer(self):
+        clock = FakeClock()
+        adapter = TracingInstrumentation(clock=clock)
+        adapter.on_fetch_start("http://x.test/")
+        clock.advance(3.0)
+        adapter.on_fetch_error("http://x.test/", TimeoutError("t"))
+        (span,) = adapter.tracer.spans
+        assert span.duration == 3.0
 
 
 class TestMetrics:

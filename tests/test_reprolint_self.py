@@ -1,0 +1,31 @@
+"""The repository gates itself: ``src/`` must scan clean under reprolint.
+
+This is the same check CI runs (``python -m repro.analysis src``), kept in
+the test suite so a plain ``pytest`` run catches new invariant violations
+before they reach a pull request.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis import Analyzer, default_rules
+from repro.analysis.report import render_text
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def scan(*rel_paths: str):
+    analyzer = Analyzer(default_rules(), root=REPO_ROOT)
+    return analyzer.run([REPO_ROOT / rel for rel in rel_paths])
+
+
+def test_src_tree_is_clean():
+    result = scan("src")
+    assert result.ok, "\n" + render_text(result)
+    assert result.files_scanned > 50  # the scan actually walked the package
+
+
+def test_examples_and_benchmarks_are_clean():
+    result = scan("examples", "benchmarks")
+    assert result.ok, "\n" + render_text(result)
