@@ -1,0 +1,219 @@
+#!/usr/bin/env python
+"""Serve load test: throughput and latency of the extraction service.
+
+Drives :class:`repro.serve.runtime.ServeRuntime` in-process (no sockets --
+the HTTP layer is a constant overhead; what we are measuring is the
+runtime: queueing, worker scheduling, and the two caches) and writes
+``BENCH_serve.json``:
+
+* for each worker count (1, 4, 8): requests/sec plus p50/p95/p99 request
+  latency for a **cold** pass (every page is new: full parse + Phase 2
+  discovery) and a **warm** pass (rule cache and tree cache hot: the
+  Table 17 steady state of a long-running service);
+* rule/tree cache hit rates observed during the warm pass;
+* the warm/cold throughput speedup at each worker count -- the number the
+  acceptance gate reads (>= 3x at 8 workers).
+
+Scale: ``REPRO_BENCH_SERVE_PAGES=N`` caps distinct pages per site and
+``REPRO_BENCH_SERVE_REPEATS=K`` the warm repeat factor.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_serve_loadtest.py [-o OUT.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import threading
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.corpus import CorpusGenerator, TEST_SITES  # noqa: E402
+from repro.serve.protocol import ExtractRequest  # noqa: E402
+from repro.serve.runtime import ServeConfig, ServeRuntime  # noqa: E402
+
+WORKER_COUNTS = (1, 4, 8)
+CLIENT_THREADS = 8
+
+
+def _percentile(values: list[float], q: float) -> float:
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = q * (len(ordered) - 1)
+    low = int(rank)
+    high = min(low + 1, len(ordered) - 1)
+    return ordered[low] + (ordered[high] - ordered[low]) * (rank - low)
+
+
+def _latency_stats(durations: list[float]) -> dict:
+    return {
+        "count": len(durations),
+        "mean_ms": (sum(durations) / len(durations)) * 1e3 if durations else 0.0,
+        "p50_ms": _percentile(durations, 0.50) * 1e3,
+        "p95_ms": _percentile(durations, 0.95) * 1e3,
+        "p99_ms": _percentile(durations, 0.99) * 1e3,
+    }
+
+
+def _corpus_requests(pages_per_site: int) -> list[ExtractRequest]:
+    """Inline requests over the deterministic corpus (one site key each)."""
+    generator = CorpusGenerator(max_pages_per_site=pages_per_site)
+    requests = []
+    for spec in TEST_SITES:
+        for page in generator.pages_for_site(spec):
+            requests.append(ExtractRequest(html=page.html, site=page.site))
+    return requests
+
+
+def _drive(runtime: ServeRuntime, requests: list[ExtractRequest]) -> dict:
+    """Fire ``requests`` from a fixed client pool; per-request latencies."""
+    latencies: list[float] = []
+    failures = [0]
+    lock = threading.Lock()
+    cursor = iter(requests)
+
+    def client() -> None:
+        while True:
+            with lock:
+                request = next(cursor, None)
+            if request is None:
+                return
+            started = time.perf_counter()
+            response = runtime.handle(request)
+            elapsed = time.perf_counter() - started
+            with lock:
+                latencies.append(elapsed)
+                if response.status != 200:
+                    failures[0] += 1
+
+    threads = [
+        threading.Thread(target=client, name=f"loadtest-client-{i}", daemon=True)
+        for i in range(CLIENT_THREADS)
+    ]
+    wall_start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - wall_start
+    return {
+        "requests": len(latencies),
+        "failures": failures[0],
+        "wall_seconds": wall,
+        "throughput_rps": len(latencies) / wall if wall > 0 else 0.0,
+        "latency": _latency_stats(latencies),
+    }
+
+
+def _bench_worker_count(
+    workers: int, requests: list[ExtractRequest], repeats: int
+) -> dict:
+    runtime = ServeRuntime(
+        ServeConfig(
+            workers=workers,
+            queue_limit=max(64, CLIENT_THREADS * 2),
+            tracing=False,  # measure the pipeline, not the observer
+            rule_capacity=1024,
+            tree_capacity=2048,
+        )
+    ).start()
+
+    cold = _drive(runtime, requests)
+
+    before = runtime.metrics.snapshot()["counters"]
+    warm = _drive(runtime, requests * repeats)
+    after = runtime.metrics.snapshot()["counters"]
+    runtime.drain()
+
+    def delta(name: str) -> int:
+        return after.get(name, 0) - before.get(name, 0)
+
+    rule_lookups = delta("rules.hits") + delta("rules.shared") + delta(
+        "rules.store_hits"
+    ) + delta("rules.misses")
+    tree_lookups = delta("trees.hits") + delta("trees.misses")
+    return {
+        "workers": workers,
+        "cold": cold,
+        "warm": warm,
+        "warm_cache": {
+            "rule_hit_rate": (
+                (rule_lookups - delta("rules.misses")) / rule_lookups
+                if rule_lookups
+                else 0.0
+            ),
+            "tree_hit_rate": (
+                delta("trees.hits") / tree_lookups if tree_lookups else 0.0
+            ),
+        },
+        "warm_cold_speedup": (
+            warm["throughput_rps"] / cold["throughput_rps"]
+            if cold["throughput_rps"]
+            else 0.0
+        ),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "-o",
+        "--output",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_serve.json"),
+    )
+    args = parser.parse_args(argv)
+
+    pages_per_site = int(os.environ.get("REPRO_BENCH_SERVE_PAGES", "4"))
+    repeats = int(os.environ.get("REPRO_BENCH_SERVE_REPEATS", "3"))
+    requests = _corpus_requests(pages_per_site)
+
+    results = [
+        _bench_worker_count(workers, requests, repeats)
+        for workers in WORKER_COUNTS
+    ]
+
+    payload = {
+        "benchmark": "serve_loadtest",
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "pages_per_site": pages_per_site,
+        "distinct_requests": len(requests),
+        "warm_repeats": repeats,
+        "client_threads": CLIENT_THREADS,
+        "worker_counts": list(WORKER_COUNTS),
+        "results": results,
+    }
+    out = Path(args.output)
+    out.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    for entry in results:
+        print(
+            f"workers={entry['workers']}: "
+            f"cold {entry['cold']['throughput_rps']:.0f} rps, "
+            f"warm {entry['warm']['throughput_rps']:.0f} rps "
+            f"({entry['warm_cold_speedup']:.1f}x), "
+            f"rule hit {entry['warm_cache']['rule_hit_rate']:.0%}, "
+            f"tree hit {entry['warm_cache']['tree_hit_rate']:.0%}"
+        )
+    print(f"wrote {out}")
+
+    at_8 = next(e for e in results if e["workers"] == 8)
+    if at_8["warm_cold_speedup"] < 3.0:
+        print(
+            f"WARNING: warm/cold speedup at 8 workers is "
+            f"{at_8['warm_cold_speedup']:.2f}x (< 3x target)"
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -25,6 +25,9 @@ Each rule encodes a contract a previous PR fixed by hand after it broke:
   per-extraction state belongs on the :class:`ExtractionContext`.
 * **REP007** -- ``print()`` in library code bypasses the instrumentation
   and observability layers; user-facing output belongs to the CLI.
+* **REP008** -- ``threading.Thread`` constructed without ``name=``:
+  anonymous ``Thread-N`` labels make stack dumps and span attribution
+  useless in the multi-threaded serve runtime and batch engine.
 """
 
 from __future__ import annotations
@@ -50,6 +53,7 @@ __all__ = [
     "Rep005BlindExcept",
     "Rep006StageMutatesSelf",
     "Rep007PrintInLibrary",
+    "Rep008UnnamedThread",
     "default_rules",
     "instrumentation_base_names",
     "instrumentation_hook_names",
@@ -487,6 +491,35 @@ class Rep007PrintInLibrary(Rule):
     visitor_class = _Rep007Visitor
 
 
+# -- REP008: unnamed threads in library code ----------------------------------
+
+
+class _Rep008Visitor(RuleVisitor):
+    def handle_call(self, node: ast.Call) -> None:
+        if dotted_name(node.func) not in ("threading.Thread", "Thread"):
+            return
+        if any(keyword.arg == "name" for keyword in node.keywords):
+            return
+        self.report(
+            node,
+            "threading.Thread(...) without name=: anonymous 'Thread-N' "
+            "labels make stack dumps, logs, and span attribution useless "
+            "in the long-running service -- name every thread",
+        )
+
+
+class Rep008UnnamedThread(Rule):
+    rule_id = "REP008"
+    title = "every threading.Thread must be constructed with name="
+    invariant = (
+        "the serve runtime, batch engine, and benchmarks all run "
+        "multi-threaded; debugging them relies on threads carrying "
+        "stable, descriptive names (e.g. 'serve-worker-0')"
+    )
+    scoped_paths = ("repro/*",)
+    visitor_class = _Rep008Visitor
+
+
 #: Rule classes in id order -- the registry the CLI and tests build from.
 ALL_RULES: tuple[type[Rule], ...] = (
     Rep001RawClock,
@@ -496,6 +529,7 @@ ALL_RULES: tuple[type[Rule], ...] = (
     Rep005BlindExcept,
     Rep006StageMutatesSelf,
     Rep007PrintInLibrary,
+    Rep008UnnamedThread,
 )
 
 

@@ -12,6 +12,8 @@ Usage::
     omini wrap-generate SITE SAMPLE.html [SAMPLE2.html ...] -o WRAPPER.json
     omini wrap-apply WRAPPER.json PAGE.html [--json]
     omini diff OLD.html NEW.html
+    omini serve [--port 8080 --workers N --rules RULES.json --corpus DIR]
+    omini --version
 
 ``extract`` runs the full three-phase pipeline and prints one object per
 block; given several pages (or ``--workers N``) it switches to the
@@ -312,10 +314,25 @@ def _cmd_diff(args: argparse.Namespace) -> int:
     return 0
 
 
+def _package_version() -> str:
+    """The installed distribution version, or the source tree's fallback."""
+    try:
+        from importlib.metadata import PackageNotFoundError, version
+
+        return version("repro")
+    except PackageNotFoundError:
+        import repro
+
+        return repro.__version__
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="omini",
         description="Omini: fully automated object extraction from Web pages",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {_package_version()}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -392,6 +409,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("new")
     p.add_argument("--attrs", action="store_true", help="also compare attributes")
     p.set_defaults(func=_cmd_diff)
+
+    p = sub.add_parser("serve", help="run the long-running extraction service")
+    from repro.serve.__main__ import add_serve_arguments, run as _run_serve
+
+    add_serve_arguments(p)
+    p.set_defaults(func=_run_serve)
 
     return parser
 

@@ -15,11 +15,22 @@ raises :class:`StaleRuleError` when the stored path no longer resolves or
 the separator tag no longer occurs, and the pipeline falls back to full
 discovery (and re-learns the rule) -- the self-healing behaviour that makes
 Omini robust where hand-written wrappers break.
+
+The store is thread-safe: one instance serves every worker thread of a
+:class:`~repro.core.batch.BatchExtractor` or a ``repro.serve`` runtime.
+:meth:`RuleStore.save` writes atomically (temp file in the target
+directory, then ``os.replace``), so a reader never observes a
+half-written JSON file and two concurrent saves cannot interleave into a
+corrupt one -- the loser of the race is simply replaced by the winner's
+complete snapshot.
 """
 
 from __future__ import annotations
 
 import json
+import os
+import tempfile
+import threading
 from dataclasses import asdict, dataclass
 from pathlib import Path
 
@@ -69,53 +80,97 @@ class ExtractionRule:
 
 
 class RuleStore:
-    """In-memory site -> rule map with optional JSON persistence."""
+    """Thread-safe in-memory site -> rule map with optional JSON persistence."""
 
     def __init__(self, path: str | Path | None = None) -> None:
         self._path = Path(path) if path is not None else None
         self._rules: dict[str, ExtractionRule] = {}
+        # Reentrant so load() may run from the constructor path and so a
+        # holder of the lock can call any other store method safely.
+        self._lock = threading.RLock()
         if self._path is not None and self._path.exists():
             self.load()
 
+    @property
+    def path(self) -> Path | None:
+        """The persistence path this store was created with (or None)."""
+        return self._path
+
     def get(self, site: str) -> ExtractionRule | None:
         """The cached rule for ``site``, or None."""
-        return self._rules.get(site)
+        with self._lock:
+            return self._rules.get(site)
 
     def put(self, rule: ExtractionRule) -> None:
         """Store (or replace) the rule for ``rule.site``."""
-        self._rules[rule.site] = rule
+        with self._lock:
+            self._rules[rule.site] = rule
 
     def invalidate(self, site: str) -> None:
         """Forget the rule for ``site`` (after a :class:`StaleRuleError`)."""
-        self._rules.pop(site, None)
+        with self._lock:
+            self._rules.pop(site, None)
 
     def __len__(self) -> int:
-        return len(self._rules)
+        with self._lock:
+            return len(self._rules)
 
     def __contains__(self, site: str) -> bool:
-        return site in self._rules
+        with self._lock:
+            return site in self._rules
 
     def sites(self) -> list[str]:
         """All sites with cached rules, sorted."""
-        return sorted(self._rules)
+        with self._lock:
+            return sorted(self._rules)
+
+    def snapshot(self) -> dict[str, ExtractionRule]:
+        """A consistent point-in-time copy of the whole map."""
+        with self._lock:
+            return dict(self._rules)
 
     def save(self, path: str | Path | None = None) -> Path:
-        """Persist all rules as JSON; returns the path written."""
-        target = Path(path) if path is not None else self._path
-        if target is None:
-            raise ValueError("no path given and store created without one")
-        payload = {site: asdict(rule) for site, rule in self._rules.items()}
-        target.write_text(json.dumps(payload, indent=2, sort_keys=True))
-        return target
+        """Persist all rules as JSON; returns the path written.
+
+        The write is atomic: the payload lands in a temp file next to the
+        target and is moved into place with ``os.replace``, so concurrent
+        readers (and concurrent savers) always see a complete document.
+        The rule map is snapshotted and serialized under the store lock,
+        which also serializes the replace step -- two racing ``save()``
+        calls each publish a complete snapshot, never an interleaving.
+        """
+        with self._lock:
+            target = Path(path) if path is not None else self._path
+            if target is None:
+                raise ValueError("no path given and store created without one")
+            payload = {site: asdict(rule) for site, rule in self._rules.items()}
+            text = json.dumps(payload, indent=2, sort_keys=True)
+            directory = target.parent if str(target.parent) else Path(".")
+            directory.mkdir(parents=True, exist_ok=True)
+            fd, tmp_name = tempfile.mkstemp(
+                prefix=f".{target.name}.", suffix=".tmp", dir=directory
+            )
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                    handle.write(text)
+                os.replace(tmp_name, target)
+            except BaseException:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+                raise
+            return target
 
     def load(self, path: str | Path | None = None) -> int:
         """Load rules from JSON; returns the number loaded."""
-        source = Path(path) if path is not None else self._path
-        if source is None:
-            raise ValueError("no path given and store created without one")
-        payload = json.loads(source.read_text())
-        count = 0
-        for site, fields in payload.items():
-            self._rules[site] = ExtractionRule(**fields)
-            count += 1
-        return count
+        with self._lock:
+            source = Path(path) if path is not None else self._path
+            if source is None:
+                raise ValueError("no path given and store created without one")
+            payload = json.loads(source.read_text())
+            count = 0
+            for site, fields in payload.items():
+                self._rules[site] = ExtractionRule(**fields)
+                count += 1
+            return count

@@ -1,0 +1,53 @@
+"""The long-running extraction service (Section 6.6 as a subsystem).
+
+The paper frames rule caching as an amortization argument: discovery is
+expensive once, application is cheap forever after -- which only pays off
+inside a *process that stays up*.  This package is that process:
+
+* :mod:`repro.serve.protocol` -- the wire contract (requests, response
+  envelopes, the pinned ``/metrics`` schema);
+* :mod:`repro.serve.lifecycle` -- starting/ready/draining/stopped;
+* :mod:`repro.serve.rulecache` -- single-flight rule learning shared
+  across worker threads, write-behind persistence;
+* :mod:`repro.serve.treecache` -- parsed-tree reuse (the Table 17
+  "read+parse dominates" fix);
+* :mod:`repro.serve.runtime` -- bounded admission, worker pool,
+  per-request deadlines, graceful drain;
+* :mod:`repro.serve.server` -- the stdlib HTTP layer;
+* ``python -m repro.serve`` -- the bootable entry point.
+"""
+
+from repro.serve.lifecycle import DRAINING, READY, STARTING, STOPPED, Lifecycle
+from repro.serve.protocol import (
+    METRICS_SCHEMA,
+    ExtractRequest,
+    ProtocolError,
+    ServeResponse,
+    parse_extract_request,
+    validate_metrics,
+)
+from repro.serve.rulecache import RuleLease, SharedRuleCache
+from repro.serve.runtime import PendingRequest, ServeConfig, ServeRuntime
+from repro.serve.server import ExtractionHTTPServer
+from repro.serve.treecache import TreeCache
+
+__all__ = [
+    "DRAINING",
+    "ExtractRequest",
+    "ExtractionHTTPServer",
+    "Lifecycle",
+    "METRICS_SCHEMA",
+    "PendingRequest",
+    "ProtocolError",
+    "READY",
+    "RuleLease",
+    "STARTING",
+    "STOPPED",
+    "ServeConfig",
+    "ServeResponse",
+    "ServeRuntime",
+    "SharedRuleCache",
+    "TreeCache",
+    "parse_extract_request",
+    "validate_metrics",
+]

@@ -1,0 +1,76 @@
+"""The serve lifecycle state machine: starting -> ready -> draining -> stopped.
+
+One linear, monotone progression -- a state never moves backwards::
+
+    STARTING --start()--> READY --drain()--> DRAINING --stopped()--> STOPPED
+        \\___________________________drain()______/
+
+* **STARTING**: workers are being spawned; admission is closed.
+* **READY**: ``/readyz`` answers 200 and ``POST /extract`` admits.
+* **DRAINING**: SIGTERM (or shutdown) arrived; admission is closed, but
+  already-admitted requests keep running to completion.
+* **STOPPED**: the queue is empty, workers joined, rules and metrics
+  flushed; the process may exit 0.
+
+All transitions go through one lock; every observed transition is
+recorded with a timestamp from the injected
+:class:`~repro.fetch.base.Clock`, so a :class:`~repro.fetch.base.FakeClock`
+test can assert the drain schedule exactly.  :meth:`await_state` lets the
+main thread (or a test) block until a target state is reached.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.fetch.base import Clock, SystemClock
+
+__all__ = ["DRAINING", "Lifecycle", "READY", "STARTING", "STOPPED"]
+
+STARTING = "starting"
+READY = "ready"
+DRAINING = "draining"
+STOPPED = "stopped"
+
+#: The only legal order; transitions must strictly advance along it.
+_ORDER = (STARTING, READY, DRAINING, STOPPED)
+
+
+class Lifecycle:
+    """Thread-safe, monotone serve state with recorded transitions."""
+
+    def __init__(self, *, clock: Clock | None = None) -> None:
+        self.clock = clock if clock is not None else SystemClock()
+        self._cond = threading.Condition()
+        self._state = STARTING
+        #: ``[(timestamp, old, new), ...]`` for every transition taken.
+        self.transitions: list[tuple[float, str, str]] = []
+
+    @property
+    def state(self) -> str:
+        with self._cond:
+            return self._state
+
+    @property
+    def accepting(self) -> bool:
+        """Is admission open (READY and nothing else)?"""
+        with self._cond:
+            return self._state == READY
+
+    def advance(self, new: str) -> None:
+        """Move to ``new``; skipping forward is legal, regressing is not."""
+        with self._cond:
+            old = self._state
+            if _ORDER.index(new) <= _ORDER.index(old):
+                raise ValueError(f"illegal lifecycle transition {old} -> {new}")
+            self._state = new
+            self.transitions.append((self.clock.time(), old, new))
+            self._cond.notify_all()
+
+    def await_state(self, target: str, timeout: float | None = None) -> bool:
+        """Block until the state is (at least) ``target``; True on success."""
+        rank = _ORDER.index(target)
+        with self._cond:
+            return self._cond.wait_for(
+                lambda: _ORDER.index(self._state) >= rank, timeout=timeout
+            )

@@ -1,0 +1,238 @@
+"""The process-wide rule-cache front: single-flight learning over a RuleStore.
+
+Section 6.6's economics only pay off in a long-running process if rule
+discovery is *shared*: when a site redesigns, N concurrent requests all
+find the cached rule stale at once, and naively each would rerun the full
+Phase 2 discovery -- an N-fold thundering herd on the most expensive code
+path.  :class:`SharedRuleCache` makes rediscovery single-flight:
+
+* :meth:`lease` hands out the cached rule (LRU, bounded), *or* elects the
+  calling thread as the one **learner** for the site while every other
+  caller blocks until the learner publishes;
+* :meth:`report_stale` arbitrates redesign detection -- only the holder of
+  the *current* rule generation wins the right to relearn (identity
+  check), so N threads reporting the same stale rule produce exactly one
+  learner and N-1 waiters;
+* :meth:`publish` / :meth:`abort` complete or give up a learn, waking the
+  waiters either way.
+
+Persistence is write-behind: a published rule lands in the backing
+:class:`~repro.core.rules.RuleStore` map immediately (cheap, in-memory)
+but the JSON file is only written by :meth:`flush` -- called on drain and
+whenever enough dirty rules accumulate -- so the request path never pays
+for disk I/O.  Sites whose discovery *abstains* are cached negatively
+(``rule None``) so they do not serialize behind the learner lock on every
+request; :meth:`offer` upgrades a negative entry when a later page of the
+site does yield a rule.
+
+Counters (``rules.hits/misses/store_hits/stale/relearned/shared/evicted/
+flushes``) land in an injected
+:class:`~repro.observe.metrics.MetricsRegistry` under the pinned
+``/metrics`` schema.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.core.rules import ExtractionRule, RuleStore
+from repro.observe.metrics import MetricsRegistry
+
+__all__ = ["RuleLease", "SharedRuleCache"]
+
+#: Entry states: a READY entry holds a rule (or a cached abstention);
+#: a LEARNING entry means one thread is rediscovering and others wait.
+_READY = "ready"
+_LEARNING = "learning"
+
+
+class _Entry:
+    __slots__ = ("state", "rule")
+
+    def __init__(self, state: str, rule: ExtractionRule | None) -> None:
+        self.state = state
+        self.rule = rule
+
+
+@dataclass(frozen=True)
+class RuleLease:
+    """The answer to one :meth:`SharedRuleCache.lease` call.
+
+    ``learner=True`` obliges the caller to run discovery and then call
+    :meth:`~SharedRuleCache.publish` (or :meth:`~SharedRuleCache.abort`
+    on failure).  Otherwise ``rule`` is the shared cached rule -- or
+    ``None`` for a cached abstention, in which case the caller runs
+    discovery for its own page with no publish obligation (see
+    :meth:`~SharedRuleCache.offer`).
+    """
+
+    site: str
+    rule: ExtractionRule | None
+    learner: bool
+
+
+class SharedRuleCache:
+    """Bounded, thread-safe, single-flight front over a :class:`RuleStore`."""
+
+    def __init__(
+        self,
+        store: RuleStore | None = None,
+        *,
+        capacity: int = 256,
+        flush_threshold: int = 32,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.store = store if store is not None else RuleStore()
+        self.capacity = capacity
+        self.flush_threshold = flush_threshold
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._cond = threading.Condition()
+        self._entries: "OrderedDict[str, _Entry]" = OrderedDict()
+        self._dirty: set[str] = set()
+
+    # -- the lease protocol -------------------------------------------------
+
+    def lease(self, site: str) -> RuleLease:
+        """The cached rule for ``site``, or election as its learner.
+
+        Blocks while another thread is learning the site; the wake-up
+        returns whatever that thread published (counted as a *shared*
+        rediscovery).
+        """
+        waited = False
+        with self._cond:
+            while True:
+                entry = self._entries.get(site)
+                if entry is None:
+                    stored = self.store.get(site)
+                    if stored is not None:
+                        self._entries[site] = _Entry(_READY, stored)
+                        self._entries.move_to_end(site)
+                        self._evict_excess()
+                        self.metrics.counter("rules.store_hits").inc()
+                        return RuleLease(site, stored, learner=False)
+                    self._entries[site] = _Entry(_LEARNING, None)
+                    self.metrics.counter("rules.misses").inc()
+                    return RuleLease(site, None, learner=True)
+                if entry.state == _READY:
+                    self._entries.move_to_end(site)
+                    name = "rules.shared" if waited else "rules.hits"
+                    self.metrics.counter(name).inc()
+                    return RuleLease(site, entry.rule, learner=False)
+                self._cond.wait()
+                waited = True
+
+    def report_stale(self, site: str, rule: ExtractionRule) -> bool:
+        """A leased rule failed to apply; compete for the right to relearn.
+
+        Returns True for exactly one of N concurrent reporters of the
+        same rule generation: the winner transitions the entry to
+        LEARNING (and must publish/abort); losers should re-:meth:`lease`
+        and wait for the winner's publication.  A reporter whose rule is
+        no longer the cached generation (someone already relearned)
+        loses immediately.
+        """
+        with self._cond:
+            self.metrics.counter("rules.stale").inc()
+            entry = self._entries.get(site)
+            if entry is None or entry.state != _READY or entry.rule is not rule:
+                return False
+            entry.state = _LEARNING
+            entry.rule = None
+            self.store.invalidate(site)
+            self.metrics.counter("rules.relearned").inc()
+            return True
+
+    def publish(self, site: str, rule: ExtractionRule | None) -> None:
+        """Complete a learn: install ``rule`` (None = cached abstention)."""
+        flush_after = False
+        with self._cond:
+            self._entries[site] = _Entry(_READY, rule)
+            self._entries.move_to_end(site)
+            if rule is not None:
+                self.store.put(rule)
+                self._dirty.add(site)
+                flush_after = len(self._dirty) >= self.flush_threshold
+            self._evict_excess()
+            self._cond.notify_all()
+        if flush_after:
+            self.flush()
+
+    def abort(self, site: str) -> None:
+        """Give up a learn (the learner raised); waiters re-elect."""
+        with self._cond:
+            entry = self._entries.get(site)
+            if entry is not None and entry.state == _LEARNING:
+                del self._entries[site]
+            self._cond.notify_all()
+
+    def offer(self, site: str, rule: ExtractionRule) -> bool:
+        """Upgrade a cached abstention with a rule a later page yielded."""
+        with self._cond:
+            entry = self._entries.get(site)
+            if entry is None or entry.state != _READY or entry.rule is not None:
+                return False
+            entry.rule = rule
+            self.store.put(rule)
+            self._dirty.add(site)
+            self._entries.move_to_end(site)
+            return True
+
+    # -- persistence --------------------------------------------------------
+
+    def flush(self) -> int:
+        """Write-behind checkpoint: persist the backing store's JSON file.
+
+        Returns the number of dirty sites flushed.  A store created
+        without a path (pure in-memory serving) flushes trivially -- the
+        rules already live in the store map.
+        """
+        with self._cond:
+            dirty, self._dirty = self._dirty, set()
+        if not dirty:
+            return 0
+        if self.store.path is not None:
+            self.store.save()
+        self.metrics.counter("rules.flushes").inc()
+        return len(dirty)
+
+    @property
+    def dirty_count(self) -> int:
+        with self._cond:
+            return len(self._dirty)
+
+    # -- inspection ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        with self._cond:
+            return len(self._entries)
+
+    def cached_sites(self) -> list[str]:
+        """Sites currently resident in the LRU (sorted)."""
+        with self._cond:
+            return sorted(self._entries)
+
+    # -- internals ----------------------------------------------------------
+
+    def _evict_excess(self) -> None:
+        """Drop least-recent READY entries beyond capacity (lock held).
+
+        LEARNING entries are never evicted -- their waiters hold
+        references.  Evicting a rule loses nothing durable: publish
+        already copied it into the backing store map, and ``_dirty``
+        keeps it scheduled for the next flush.
+        """
+        excess = len(self._entries) - self.capacity
+        if excess <= 0:
+            return
+        for site in list(self._entries):
+            if excess <= 0:
+                break
+            if self._entries[site].state == _READY:
+                del self._entries[site]
+                self.metrics.counter("rules.evicted").inc()
+                excess -= 1

@@ -1,0 +1,447 @@
+"""The serving runtime: admission, workers, deadlines, shared caches, drain.
+
+This is the core of ``repro.serve`` -- the HTTP layer in
+:mod:`repro.serve.server` is a thin translation onto this class.  One
+:class:`ServeRuntime` owns:
+
+* a **bounded admission queue**: :meth:`submit` either enqueues a
+  :class:`PendingRequest` or answers immediately with backpressure --
+  429 + ``Retry-After`` when the queue is full, 503 while draining;
+* a **fixed worker pool** (named threads) that shares one fetcher, one
+  :class:`~repro.serve.rulecache.SharedRuleCache` (single-flight rule
+  learning over the :class:`~repro.core.rules.RuleStore`), and one
+  :class:`~repro.serve.treecache.TreeCache` (digest-keyed parsed trees,
+  the Table 17 "read+parse dominates" fix);
+* **per-request deadlines**: each admitted request carries an absolute
+  monotonic deadline; a request that expires in the queue is answered
+  504 without doing work, and a fetch that consumes the budget is
+  answered 504 without running the pipeline.  The companion config-level
+  propagation: :func:`repro.serve.__main__` caps the HTTP transport
+  timeout at the serve deadline so no single fetch attempt can outlive a
+  request budget;
+* **graceful drain**: :meth:`drain` closes admission, lets every
+  already-admitted request finish, joins the workers, flushes the rule
+  cache's write-behind state, and advances the lifecycle to STOPPED.
+
+Every time read goes through the injected
+:class:`~repro.fetch.base.Clock`, so the whole lifecycle -- saturation,
+deadline expiry, drain -- replays deterministically under
+:class:`~repro.fetch.base.FakeClock`.  Every request runs under a root
+``request`` span with extract/stage/fetch spans nested beneath, and the
+pinned ``/metrics`` names (:data:`repro.serve.protocol.METRICS_SCHEMA`)
+are pre-registered so the first scrape already carries the full surface.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from dataclasses import dataclass, field
+
+from repro.core.rules import ExtractionRule, RuleStore, StaleRuleError
+from repro.core.stages.config import ExtractorConfig
+from repro.core.stages.context import ExtractionContext, ExtractionResult
+from repro.core.stages.engine import StageEngine
+from repro.core.stages.instrumentation import (
+    CompositeInstrumentation,
+    Instrumentation,
+    TimingInstrumentation,
+)
+from repro.core.stages.plan import ParseStage, cached_plan, discovery_plan
+from repro.fetch.base import Clock, FetchError, Fetcher, SystemClock, body_digest
+from repro.fetch.retry import site_key
+from repro.observe.adapter import TracingInstrumentation
+from repro.observe.metrics import MetricsRegistry
+from repro.observe.span import Tracer
+from repro.serve.lifecycle import DRAINING, READY, STOPPED, Lifecycle
+from repro.serve.protocol import (
+    METRICS_SCHEMA,
+    ExtractRequest,
+    ServeResponse,
+    deadline_exceeded_response,
+    draining_response,
+    fetch_failed_response,
+    internal_error_response,
+    saturated_response,
+    success_response,
+)
+from repro.serve.rulecache import SharedRuleCache
+from repro.serve.treecache import TreeCache
+from repro.tree.paths import path_of
+
+__all__ = ["PendingRequest", "ServeConfig", "ServeRuntime"]
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Knobs of one serving runtime."""
+
+    #: Fixed worker-pool size.
+    workers: int = 4
+    #: Admission-queue bound; a full queue answers 429.
+    queue_limit: int = 64
+    #: Default per-request budget in seconds (clients may tighten it).
+    deadline: float = 10.0
+    #: Seconds suggested in 429 ``Retry-After`` answers.
+    retry_after: float = 1.0
+    #: LRU capacity of the in-memory rule cache.
+    rule_capacity: int = 256
+    #: LRU capacity of the parsed-tree cache.
+    tree_capacity: int = 128
+    #: Dirty-rule count that triggers a write-behind flush before drain.
+    flush_threshold: int = 32
+    #: Collect request/extract/stage spans (metrics are always on).
+    tracing: bool = True
+    #: Finished spans retained before the oldest are dropped.
+    trace_capacity: int = 4096
+
+
+@dataclass
+class PendingRequest:
+    """One admitted request travelling from the queue to a worker."""
+
+    request: ExtractRequest
+    #: Monotonic admission time (queue-delay accounting).
+    enqueued: float
+    #: Absolute monotonic deadline.
+    deadline: float
+    #: The budget the deadline was derived from, in seconds.
+    budget: float
+    event: threading.Event = field(default_factory=threading.Event)
+    response: ServeResponse | None = None
+
+
+class ServeRuntime:
+    """Admission control + worker pool + shared caches + graceful drain."""
+
+    def __init__(
+        self,
+        config: ServeConfig | None = None,
+        *,
+        fetcher: Fetcher | None = None,
+        clock: Clock | None = None,
+        rule_store: RuleStore | None = None,
+        rule_cache: SharedRuleCache | None = None,
+        tree_cache: TreeCache | None = None,
+        metrics: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
+        extractor_config: ExtractorConfig | None = None,
+    ) -> None:
+        self.config = config if config is not None else ServeConfig()
+        self.clock: Clock = clock if clock is not None else SystemClock()
+        self.fetcher = fetcher
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.tracer = (
+            tracer
+            if tracer is not None
+            else Tracer(enabled=self.config.tracing, clock=self.clock)
+        )
+        self.lifecycle = Lifecycle(clock=self.clock)
+        self.rules = (
+            rule_cache
+            if rule_cache is not None
+            else SharedRuleCache(
+                rule_store if rule_store is not None else RuleStore(),
+                capacity=self.config.rule_capacity,
+                flush_threshold=self.config.flush_threshold,
+                metrics=self.metrics,
+            )
+        )
+        self.trees = (
+            tree_cache
+            if tree_cache is not None
+            else TreeCache(capacity=self.config.tree_capacity, metrics=self.metrics)
+        )
+
+        self.adapter = TracingInstrumentation(
+            self.tracer, self.metrics, enabled=self.config.tracing, clock=self.clock
+        )
+        self.observer: Instrumentation = CompositeInstrumentation(
+            [TimingInstrumentation(), self.adapter]
+        )
+        self.engine = StageEngine(self.observer)
+        extractor_config = (
+            extractor_config if extractor_config is not None else ExtractorConfig()
+        )
+        self._subtree_finder = extractor_config.build_subtree_finder()
+        self._separator_finder = extractor_config.build_separator_finder()
+        self._refinement = extractor_config.build_refinement()
+
+        self._queue: "queue.Queue[PendingRequest | None]" = queue.Queue(
+            maxsize=self.config.queue_limit
+        )
+        self._threads: list[threading.Thread] = []
+        self._drain_lock = threading.Lock()
+        self._preregister_metrics()
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self) -> "ServeRuntime":
+        """Spawn the worker pool and open admission."""
+        for index in range(self.config.workers):
+            thread = threading.Thread(
+                target=self._worker_loop,
+                name=f"serve-worker-{index}",
+                daemon=True,
+            )
+            self._threads.append(thread)
+            thread.start()
+        self.lifecycle.advance(READY)
+        return self
+
+    def drain(self, join_timeout: float | None = None) -> None:
+        """Stop accepting, finish in-flight work, flush, stop.
+
+        Idempotent: a second drain (SIGTERM racing SIGINT) is a no-op.
+        Stop sentinels are enqueued with blocking puts -- safe because
+        admission closed the moment the lifecycle left READY, so the
+        queue can only shrink.
+        """
+        with self._drain_lock:
+            if self.lifecycle.state in (DRAINING, STOPPED):
+                return
+            self.lifecycle.advance(DRAINING)
+        for _ in self._threads:
+            self._queue.put(None)
+        for thread in self._threads:
+            thread.join(timeout=join_timeout)
+        self.rules.flush()
+        self.lifecycle.advance(STOPPED)
+
+    # -- admission ----------------------------------------------------------
+
+    def submit(self, request: ExtractRequest) -> PendingRequest | ServeResponse:
+        """Admit ``request`` or answer immediately with backpressure.
+
+        Returns a :class:`PendingRequest` ticket on admission; a ready
+        :class:`ServeResponse` (429 saturated / 503 draining) otherwise.
+        """
+        if not self.lifecycle.accepting:
+            self.metrics.counter("serve.rejected.draining").inc()
+            return draining_response()
+        budget = request.deadline if request.deadline is not None else (
+            self.config.deadline
+        )
+        now = self.clock.monotonic()
+        pending = PendingRequest(
+            request=request, enqueued=now, deadline=now + budget, budget=budget
+        )
+        try:
+            self._queue.put_nowait(pending)
+        except queue.Full:
+            self.metrics.counter("serve.rejected.saturated").inc()
+            return saturated_response(self.config.retry_after)
+        self.metrics.counter("serve.accepted").inc()
+        return pending
+
+    def wait(
+        self, pending: PendingRequest, timeout: float | None = None
+    ) -> ServeResponse:
+        """Block until ``pending`` is answered (or ``timeout`` elapses)."""
+        if not pending.event.wait(timeout=timeout):
+            return internal_error_response("ResponseTimeout")
+        assert pending.response is not None
+        return pending.response
+
+    def handle(self, request: ExtractRequest) -> ServeResponse:
+        """Submit and wait: the synchronous one-call surface for HTTP."""
+        admitted = self.submit(request)
+        if isinstance(admitted, ServeResponse):
+            return admitted
+        return self.wait(admitted)
+
+    # -- the worker side ----------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        while True:
+            pending = self._queue.get()
+            try:
+                if pending is None:
+                    return
+                self._process(pending)
+            finally:
+                self._queue.task_done()
+
+    def _process(self, pending: PendingRequest) -> None:
+        start = self.clock.monotonic()
+        self.metrics.histogram("serve.queue.seconds").observe(
+            max(0.0, start - pending.enqueued)
+        )
+        request = pending.request
+        attributes: dict[str, object] = {"request.mode": request.mode}
+        if request.site is not None:
+            attributes["site"] = request.site
+        if request.url is not None:
+            attributes["url"] = request.url
+        handle = self.tracer.start("request", **attributes)
+        try:
+            if start >= pending.deadline:
+                # Expired while queued: answer without doing any work.
+                response = deadline_exceeded_response(pending.budget)
+            else:
+                response = self._answer(pending)
+        except Exception as error:
+            self.metrics.counter("serve.errors").inc()
+            response = internal_error_response(type(error).__name__)
+        try:
+            self.tracer.end(
+                handle,
+                status="ok" if response.ok else "error",
+                http_status=response.status,
+            )
+            end = self.clock.monotonic()
+            self.metrics.histogram("serve.request.seconds").observe(
+                max(0.0, end - pending.enqueued)
+            )
+            if response.ok:
+                self.metrics.counter("serve.completed").inc()
+            elif response.status == 504:
+                self.metrics.counter("serve.deadline_exceeded").inc()
+            if len(self.tracer.spans) > self.config.trace_capacity:
+                self.tracer.drain()  # keep long-running memory bounded
+        finally:
+            pending.response = response
+            pending.event.set()
+
+    def _answer(self, pending: PendingRequest) -> ServeResponse:
+        """Acquire the body, run the pipeline, build the 200 envelope."""
+        request = pending.request
+        if request.html is not None:
+            body = request.html
+            site = request.site
+            fetched_from_cache = False
+        else:
+            assert request.url is not None
+            site = site_key(request.url, request.site)
+            if self.fetcher is None:
+                self.metrics.counter("serve.fetch_failures").inc()
+                return fetch_failed_response(
+                    "unconfigured", "server has no fetcher for URL requests"
+                )
+            try:
+                fetched = self.fetcher.fetch(request.url, site=site)
+            except FetchError as error:
+                self.metrics.counter("serve.fetch_failures").inc()
+                return fetch_failed_response(error.kind, str(error))
+            if self.clock.monotonic() >= pending.deadline:
+                # The fetch consumed the whole budget (slow or stalled
+                # origin): the client has given up, skip the pipeline.
+                return deadline_exceeded_response(pending.budget)
+            body = fetched.body
+            fetched_from_cache = fetched.from_cache
+
+        digest = body_digest(body)
+        tree = self.trees.get(digest)
+        parsed_from_cache = tree is not None
+
+        ctx = ExtractionContext(
+            source=body,
+            site=site,
+            subtree_finder=self._subtree_finder,
+            separator_finder=self._separator_finder,
+            refinement=self._refinement,
+        )
+        if tree is not None:
+            ctx.root = tree
+        self.observer.on_extract_start(ctx)
+        result: ExtractionResult | None = None
+        try:
+            if ctx.root is None:
+                self.engine.run_stage(ParseStage(), ctx)
+                assert ctx.root is not None
+                self.trees.put(digest, ctx.root)
+            result = self._run_plans(ctx, site)
+        finally:
+            self.observer.on_extract_end(ctx, result)
+
+        assert result is not None
+        elapsed = self.clock.monotonic() - pending.enqueued
+        return success_response(
+            request,
+            site=site,
+            objects=[obj.text() for obj in result.objects],
+            candidate_objects=result.candidate_objects,
+            separator=result.separator,
+            subtree_path=result.subtree_path,
+            used_cached_rule=result.used_cached_rule,
+            fetched_from_cache=fetched_from_cache,
+            parsed_from_cache=parsed_from_cache,
+            timings_ms=result.timings.as_milliseconds(),
+            elapsed_ms=elapsed * 1e3,
+        )
+
+    # -- rule-sharing pipeline flow -----------------------------------------
+
+    def _run_plans(self, ctx: ExtractionContext, site: str | None) -> ExtractionResult:
+        """Drive the stage plans through the shared rule cache.
+
+        Mirrors :meth:`StageEngine._extract`'s plan selection, but routes
+        rule lookup/learning through :class:`SharedRuleCache` so a stale
+        rule triggers exactly one rediscovery no matter how many worker
+        threads hit it concurrently: the :meth:`~SharedRuleCache.
+        report_stale` winner relearns and publishes; losers re-lease,
+        block until publication, and apply the fresh rule.
+        """
+        if site is None:
+            self.engine.run_plan(discovery_plan(), ctx)
+            return ctx.to_result()
+
+        # Bounded retries: each loop iteration either returns or has
+        # observed a staleness lost to another thread's learn, which can
+        # only happen a bounded number of times before the fresh rule
+        # applies (or we give up sharing and discover privately below).
+        for _ in range(4):
+            lease = self.rules.lease(site)
+            if lease.learner:
+                return self._learn(ctx, site)
+            if lease.rule is None:
+                # Cached abstention: discovery for this page only, with
+                # an opportunistic upgrade if it does find a separator.
+                self.engine.run_plan(discovery_plan(), ctx)
+                learned = self._rule_from(ctx, site)
+                if learned is not None:
+                    self.rules.offer(site, learned)
+                    ctx.rule = learned
+                return ctx.to_result()
+            ctx.rule = lease.rule
+            try:
+                self.engine.run_plan(cached_plan(), ctx)
+                return ctx.to_result()
+            except StaleRuleError as error:
+                won = self.rules.report_stale(site, lease.rule)
+                self.observer.on_fallback(ctx, error)
+                ctx.reset_for_discovery()
+                if won:
+                    return self._learn(ctx, site)
+        self.engine.run_plan(discovery_plan(), ctx)
+        return ctx.to_result()
+
+    def _learn(self, ctx: ExtractionContext, site: str) -> ExtractionResult:
+        """Run discovery as the site's elected learner and publish."""
+        try:
+            self.engine.run_plan(discovery_plan(), ctx)
+        except BaseException:
+            self.rules.abort(site)  # wake waiters; one of them re-elects
+            raise
+        learned = self._rule_from(ctx, site)
+        self.rules.publish(site, learned)
+        ctx.rule = learned
+        return ctx.to_result()
+
+    @staticmethod
+    def _rule_from(ctx: ExtractionContext, site: str) -> ExtractionRule | None:
+        """The rule a finished discovery implies (None when it abstained)."""
+        if ctx.separator is None or ctx.subtree is None:
+            return None
+        return ExtractionRule(
+            site=site, subtree_path=path_of(ctx.subtree), separator=ctx.separator
+        )
+
+    # -- metrics ------------------------------------------------------------
+
+    def _preregister_metrics(self) -> None:
+        """Materialize the pinned schema so the first scrape is complete."""
+        for name in METRICS_SCHEMA["counters"]:
+            self.metrics.counter(name)
+        for name in METRICS_SCHEMA["histograms"]:
+            self.metrics.histogram(name)

@@ -1,0 +1,72 @@
+"""Shared parsed-tree cache: skip Phase 1 for bodies the service has seen.
+
+Table 17's lesson is that once rules are cached, *read+parse dominates*
+total extraction time -- our own baseline shows ``parse_page`` costs
+roughly 3x all the discovery stages combined.  A long-running service
+that re-parses an identical body on every request therefore caps its
+warm-path speedup well below what rule caching promises.  This cache
+closes that gap: trees are keyed by content digest
+(:func:`~repro.fetch.base.body_digest`), so repeat requests for an
+unchanged page -- the common case behind the
+:class:`~repro.fetch.cache.CachingFetcher` -- skip parsing entirely and
+go straight to ``ApplyRuleStage``.
+
+Sharing parsed trees across worker threads is safe because extraction
+never mutates a tree: stages only read structure, and the lazily cached
+per-node metrics (``_node_size``/``_tag_count``) are idempotent
+single-attribute writes of deterministic values.
+
+Counters (``trees.hits/misses/evicted``) land in the injected
+:class:`~repro.observe.metrics.MetricsRegistry` under the pinned
+``/metrics`` schema.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+
+from repro.observe.metrics import MetricsRegistry
+from repro.tree.node import TagNode
+
+__all__ = ["TreeCache"]
+
+
+class TreeCache:
+    """Bounded LRU of parsed tag trees, keyed by body digest."""
+
+    def __init__(
+        self, *, capacity: int = 128, metrics: MetricsRegistry | None = None
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[str, TagNode]" = OrderedDict()
+
+    def get(self, digest: str) -> TagNode | None:
+        """The cached tree for ``digest``, or None (counted hit/miss)."""
+        with self._lock:
+            tree = self._entries.get(digest)
+            if tree is not None:
+                self._entries.move_to_end(digest)
+        name = "trees.hits" if tree is not None else "trees.misses"
+        self.metrics.counter(name).inc()
+        return tree
+
+    def put(self, digest: str, root: TagNode) -> None:
+        """Install a freshly parsed tree, evicting the least recent."""
+        evicted = 0
+        with self._lock:
+            self._entries[digest] = root
+            self._entries.move_to_end(digest)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                evicted += 1
+        if evicted:
+            self.metrics.counter("trees.evicted").inc(evicted)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)

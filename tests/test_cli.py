@@ -163,3 +163,35 @@ class TestDiffCommand:
         assert main(["diff", page_file, str(redesigned)]) == 0
         out = capsys.readouterr().out
         assert "inserted" in out or "removed" in out
+
+
+class TestVersionAndUsage:
+    def test_version_flag_prints_package_version(self, capsys):
+        import repro
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert out.strip() == f"omini {repro.__version__}"
+
+    def test_unknown_subcommand_exits_2_with_usage(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["frobnicate"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "usage:" in err
+        assert "invalid choice" in err
+
+    def test_missing_subcommand_exits_2_with_usage(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main([])
+        assert excinfo.value.code == 2
+        assert "usage:" in capsys.readouterr().err
+
+    def test_serve_subcommand_is_registered(self):
+        parser = build_parser()
+        args = parser.parse_args(["serve", "--port", "0", "--workers", "1"])
+        assert args.port == 0
+        assert args.workers == 1
+        assert callable(args.func)

@@ -369,6 +369,63 @@ class TestRep007:
         assert lint(tmp_path, "print('demo')\n", rel="examples/demo.py").ok
 
 
+# -- REP008: unnamed threads --------------------------------------------------
+
+
+class TestRep008:
+    def test_unnamed_thread_is_flagged(self, tmp_path):
+        result = lint(
+            tmp_path,
+            """\
+            import threading
+            t = threading.Thread(target=lambda: None)
+            """,
+        )
+        assert rule_ids(result) == ["REP008"]
+
+    def test_bare_thread_import_is_flagged(self, tmp_path):
+        result = lint(
+            tmp_path,
+            """\
+            from threading import Thread
+            t = Thread(target=lambda: None, daemon=True)
+            """,
+        )
+        assert rule_ids(result) == ["REP008"]
+
+    def test_named_thread_passes(self, tmp_path):
+        result = lint(
+            tmp_path,
+            """\
+            import threading
+            t = threading.Thread(target=lambda: None, name="serve-worker-0")
+            """,
+        )
+        assert result.ok
+
+    def test_other_thread_like_calls_are_ignored(self, tmp_path):
+        result = lint(
+            tmp_path,
+            """\
+            import threading
+            e = threading.Event()
+            lock = threading.Lock()
+            """,
+        )
+        assert result.ok
+
+    def test_tests_are_out_of_scope(self, tmp_path):
+        result = lint(
+            tmp_path,
+            """\
+            import threading
+            t = threading.Thread(target=lambda: None)
+            """,
+            rel="tests/test_x.py",
+        )
+        assert result.ok
+
+
 # -- suppressions -------------------------------------------------------------
 
 

@@ -1,0 +1,119 @@
+"""Regression tests for RuleStore's concurrent-access hardening.
+
+Before PR 5 the store was a bare dict + ``json.dump`` straight onto the
+target path: concurrent ``put``/``save`` could interleave a dict mutation
+with serialization, and a reader could observe a half-written JSON file.
+These tests hammer the store from many threads and assert the two fixes:
+every method is lock-guarded, and ``save()`` is atomic (temp file in the
+same directory + ``os.replace``), so the on-disk file is always complete,
+parseable JSON.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.core.rules import ExtractionRule, RuleStore
+
+
+def _rule(site: str, generation: int = 0) -> ExtractionRule:
+    return ExtractionRule(
+        site=site,
+        subtree_path=f"html[1].body[2].div[{generation + 1}]",
+        separator="li",
+    )
+
+
+class TestConcurrentMutation:
+    def test_hammer_put_get_invalidate_save_from_8_threads(self, tmp_path):
+        """8 threads × mixed operations: no exception, consistent finale."""
+        path = tmp_path / "rules.json"
+        store = RuleStore(path)
+        errors: list[BaseException] = []
+        barrier = threading.Barrier(8)
+        rounds = 60
+
+        def worker(worker_id: int) -> None:
+            try:
+                barrier.wait()
+                for round_no in range(rounds):
+                    site = f"site-{worker_id % 4}.test"
+                    store.put(_rule(site, generation=round_no))
+                    store.get(site)
+                    if round_no % 7 == 0:
+                        store.invalidate(site)
+                    if round_no % 5 == 0:
+                        store.save()
+                    len(store)
+                    store.sites()
+            except BaseException as exc:  # noqa: BLE001 - collected for assert
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(i,), name=f"rules-hammer-{i}")
+            for i in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert not errors, errors
+
+        # The file on disk is complete, valid JSON at all times -- the
+        # final state included.
+        store.save()
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        assert isinstance(payload, dict)
+        for site, entry in payload.items():
+            assert entry["subtree_path"].startswith("html[1].body[2].div[")
+            assert entry["separator"] == "li"
+
+        # Round-trips through a fresh store.
+        reloaded = RuleStore(path)
+        assert sorted(reloaded.sites()) == sorted(store.sites())
+
+    def test_save_leaves_no_temp_files_behind(self, tmp_path):
+        path = tmp_path / "nested" / "rules.json"
+        store = RuleStore(path)
+        store.put(_rule("a.test"))
+        for _ in range(10):
+            store.save()
+        leftovers = [p.name for p in path.parent.iterdir() if p.name != "rules.json"]
+        assert leftovers == []
+
+    def test_save_is_atomic_replace(self, tmp_path, monkeypatch):
+        """A crash mid-write must not damage the previous file version."""
+        import os
+
+        path = tmp_path / "rules.json"
+        store = RuleStore(path)
+        store.put(_rule("a.test"))
+        store.save()
+        before = path.read_text(encoding="utf-8")
+
+        real_replace = os.replace
+
+        def exploding_replace(src, dst):
+            os.unlink(src)
+            raise OSError("simulated crash before replace")
+
+        monkeypatch.setattr(os, "replace", exploding_replace)
+        store.put(_rule("b.test"))
+        with pytest.raises(OSError, match="simulated crash"):
+            store.save()
+        monkeypatch.setattr(os, "replace", real_replace)
+
+        # The original file survived the failed save, byte for byte.
+        assert path.read_text(encoding="utf-8") == before
+        # And no temp litter remains next to it.
+        assert [p.name for p in tmp_path.iterdir()] == ["rules.json"]
+
+    def test_snapshot_is_a_copy(self, tmp_path):
+        store = RuleStore()
+        store.put(_rule("a.test"))
+        snap = store.snapshot()
+        snap.clear()
+        assert "a.test" in store

@@ -1,0 +1,152 @@
+"""Golden snapshots of the serve wire protocol, one per response class.
+
+Each file under ``tests/golden/serve/`` pins the exact JSON a client sees
+for one canonical scenario -- success, 400 malformed, 429 saturated, and
+504 deadline-exceeded -- including the HTTP status and protocol-relevant
+headers.  Any change to the envelope shape fails here before it can break
+a deployed client.
+
+Refreshing after an intentional protocol change::
+
+    PYTHONPATH=src python -m pytest tests/test_serve_golden.py --update-golden
+
+Per-phase stage timings come from ``time.perf_counter`` (real wall clock,
+deliberately outside the Clock seam -- they measure *our* code), so the
+snapshots zero ``timings_ms`` and ``elapsed_ms``; everything else is
+byte-stable.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from pathlib import Path
+from typing import Any
+
+import pytest
+
+from repro.fetch.base import FakeClock, FetchResult
+from repro.serve.protocol import (
+    ProtocolError,
+    ServeResponse,
+    malformed_response,
+    parse_extract_request,
+)
+from repro.serve.runtime import PendingRequest, ServeConfig, ServeRuntime
+
+GOLDEN_DIR = Path(__file__).parent / "golden" / "serve"
+
+LIST_HTML = (
+    "<html><body><ul>"
+    + "".join(f"<li>item {i} alpha beta</li>" for i in range(4))
+    + "</ul></body></html>"
+)
+
+
+def _normalize(response: ServeResponse) -> dict[str, Any]:
+    payload = json.loads(response.body())  # round-trip: what the client sees
+    if "timings_ms" in payload:
+        payload["timings_ms"] = {key: 0.0 for key in payload["timings_ms"]}
+    if "elapsed_ms" in payload:
+        payload["elapsed_ms"] = 0.0
+    return {
+        "http_status": response.status,
+        "headers": dict(sorted(response.headers.items())),
+        "payload": payload,
+    }
+
+
+def _scenario_success() -> tuple[dict[str, Any], ServeResponse]:
+    request_body = {"html": LIST_HTML, "site": "golden.test"}
+    runtime = ServeRuntime(ServeConfig(workers=1), clock=FakeClock()).start()
+    response = runtime.handle(parse_extract_request(json.dumps(request_body)))
+    runtime.drain()
+    return request_body, response
+
+
+def _scenario_malformed() -> tuple[dict[str, Any], ServeResponse]:
+    request_body = {"url": "http://golden.test/p.html", "html": LIST_HTML}
+    try:
+        parse_extract_request(json.dumps(request_body))
+    except ProtocolError as error:
+        return request_body, malformed_response(str(error))
+    raise AssertionError("request unexpectedly validated")
+
+
+def _scenario_saturated() -> tuple[dict[str, Any], ServeResponse]:
+    request_body = {"url": "http://golden.test/p.html"}
+    gate = threading.Event()
+    entered = threading.Semaphore(0)
+
+    class GateFetcher:
+        def fetch(self, url: str, *, site: str | None = None) -> FetchResult:
+            entered.release()
+            assert gate.wait(timeout=30)
+            return FetchResult.of(url, LIST_HTML, site=site)
+
+    runtime = ServeRuntime(
+        ServeConfig(workers=1, queue_limit=1, retry_after=1.0),
+        fetcher=GateFetcher(),
+        clock=FakeClock(),
+    ).start()
+    request = parse_extract_request(json.dumps(request_body))
+    blocker = runtime.submit(request)  # occupies the only worker
+    assert isinstance(blocker, PendingRequest)
+    assert entered.acquire(timeout=30)
+    queued = runtime.submit(request)  # fills the queue
+    assert isinstance(queued, PendingRequest)
+    rejected = runtime.submit(request)  # bounces
+    assert isinstance(rejected, ServeResponse)
+    gate.set()
+    runtime.wait(blocker, timeout=30)
+    runtime.wait(queued, timeout=30)
+    runtime.drain()
+    return request_body, rejected
+
+
+def _scenario_deadline() -> tuple[dict[str, Any], ServeResponse]:
+    request_body = {"url": "http://golden.test/p.html", "deadline_ms": 1000}
+    clock = FakeClock()
+
+    class SlowFetcher:
+        def fetch(self, url: str, *, site: str | None = None) -> FetchResult:
+            clock.advance(5.0)  # eats the whole budget
+            return FetchResult.of(url, LIST_HTML, site=site)
+
+    runtime = ServeRuntime(
+        ServeConfig(workers=1), fetcher=SlowFetcher(), clock=clock
+    ).start()
+    response = runtime.handle(parse_extract_request(json.dumps(request_body)))
+    runtime.drain()
+    return request_body, response
+
+
+SCENARIOS = {
+    "success": _scenario_success,
+    "malformed_400": _scenario_malformed,
+    "saturated_429": _scenario_saturated,
+    "deadline_504": _scenario_deadline,
+}
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_golden_serve_protocol(name, update_golden):
+    request_body, response = SCENARIOS[name]()
+    actual = {"request": request_body, "response": _normalize(response)}
+    path = GOLDEN_DIR / f"{name}.json"
+    if update_golden:
+        GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(actual, indent=2, sort_keys=True) + "\n")
+        return
+    assert path.exists(), (
+        f"no golden snapshot for serve scenario {name!r}; generate with "
+        "pytest tests/test_serve_golden.py --update-golden"
+    )
+    expected = json.loads(path.read_text())
+    assert expected == actual, f"serve protocol diverged from {path.name}"
+
+
+def test_golden_serve_files_cover_every_scenario():
+    expected = {f"{name}.json" for name in SCENARIOS}
+    present = {p.name for p in GOLDEN_DIR.glob("*.json")}
+    assert present == expected

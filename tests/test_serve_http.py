@@ -1,0 +1,151 @@
+"""End-to-end tests over a real listening ExtractionHTTPServer."""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.fetch.base import StaticFetcher
+from repro.serve.runtime import ServeConfig, ServeRuntime
+from repro.serve.server import ExtractionHTTPServer
+
+LIST_HTML = (
+    "<html><body><ul>"
+    + "".join(f"<li>item {i} alpha beta</li>" for i in range(5))
+    + "</ul></body></html>"
+)
+
+
+@pytest.fixture()
+def service():
+    runtime = ServeRuntime(
+        ServeConfig(workers=2),
+        fetcher=StaticFetcher({"http://s.test/p.html": LIST_HTML}),
+    ).start()
+    server = ExtractionHTTPServer(("127.0.0.1", 0), runtime)
+    thread = threading.Thread(
+        target=server.serve_forever, name="test-serve-http", daemon=True
+    )
+    thread.start()
+    base = f"http://127.0.0.1:{server.server_address[1]}"
+    yield base, runtime
+    server.shutdown()
+    thread.join(timeout=10)
+    server.server_close()
+    if runtime.lifecycle.state != "stopped":
+        runtime.drain()
+
+
+def _get(url: str):
+    try:
+        with urllib.request.urlopen(url, timeout=30) as resp:
+            return resp.status, resp.read().decode("utf-8"), dict(resp.headers)
+    except urllib.error.HTTPError as error:
+        return error.code, error.read().decode("utf-8"), dict(error.headers)
+
+
+def _post(url: str, body: str):
+    request = urllib.request.Request(
+        url, data=body.encode("utf-8"), headers={"Content-Type": "application/json"}
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=30) as resp:
+            return resp.status, resp.read().decode("utf-8"), dict(resp.headers)
+    except urllib.error.HTTPError as error:
+        return error.code, error.read().decode("utf-8"), dict(error.headers)
+
+
+class TestRoutes:
+    def test_healthz_always_200(self, service):
+        base, _ = service
+        status, body, _ = _get(f"{base}/healthz")
+        assert status == 200
+        assert json.loads(body) == {"state": "ready", "status": "alive"}
+
+    def test_readyz_tracks_lifecycle(self, service):
+        base, runtime = service
+        assert _get(f"{base}/readyz")[0] == 200
+        runtime.drain()
+        status, body, _ = _get(f"{base}/readyz")
+        assert status == 503
+        assert json.loads(body)["state"] == "stopped"
+
+    def test_extract_inline_html(self, service):
+        base, _ = service
+        status, body, _ = _post(
+            f"{base}/extract", json.dumps({"html": LIST_HTML, "site": "inline.test"})
+        )
+        assert status == 200
+        payload = json.loads(body)
+        assert payload["status"] == "ok"
+        assert payload["mode"] == "inline"
+        assert payload["record_count"] >= 1
+        assert len(payload["records"]) == payload["record_count"]
+
+    def test_extract_url_via_fetcher(self, service):
+        base, _ = service
+        status, body, _ = _post(
+            f"{base}/extract", json.dumps({"url": "http://s.test/p.html"})
+        )
+        assert status == 200
+        payload = json.loads(body)
+        assert payload["mode"] == "url"
+        assert payload["site"] == "s.test"
+        assert payload["record_count"] >= 1
+
+    def test_malformed_body_is_400(self, service):
+        base, _ = service
+        status, body, _ = _post(f"{base}/extract", "{not json")
+        assert status == 400
+        assert json.loads(body)["error"]["kind"] == "malformed"
+
+    def test_unknown_path_is_404(self, service):
+        base, _ = service
+        assert _get(f"{base}/bogus")[0] == 404
+        assert _post(f"{base}/bogus", "{}")[0] == 404
+
+    def test_wrong_method_is_405(self, service):
+        base, _ = service
+        assert _post(f"{base}/metrics", "{}")[0] == 405
+        assert _get(f"{base}/extract")[0] == 405
+
+    def test_extract_during_drain_is_503(self, service):
+        base, runtime = service
+        runtime.drain()
+        status, body, _ = _post(
+            f"{base}/extract", json.dumps({"html": LIST_HTML})
+        )
+        assert status == 503
+        assert json.loads(body)["error"]["kind"] == "draining"
+
+
+class TestMetricsEndpoint:
+    def test_text_format(self, service):
+        base, _ = service
+        _post(f"{base}/extract", json.dumps({"html": LIST_HTML, "site": "m.test"}))
+        status, body, headers = _get(f"{base}/metrics")
+        assert status == 200
+        assert headers["Content-Type"].startswith("text/plain")
+        lines = dict(
+            line.rsplit(" ", 1) for line in body.splitlines() if " " in line
+        )
+        assert lines["serve.accepted"] == "1"
+        assert lines["serve.completed"] == "1"
+
+    def test_json_format_validates_against_schema(self, service):
+        from repro.serve.protocol import validate_metrics
+
+        base, _ = service
+        status, body, headers = _get(f"{base}/metrics?format=json")
+        assert status == 200
+        assert headers["Content-Type"].startswith("application/json")
+        assert validate_metrics(json.loads(body)) == []
+
+    def test_responses_carry_content_length(self, service):
+        base, _ = service
+        status, body, headers = _get(f"{base}/healthz")
+        assert int(headers["Content-Length"]) == len(body.encode("utf-8"))

@@ -1,0 +1,126 @@
+"""The serve wire protocol: request validation and the metrics schema."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.serve.protocol import (
+    METRICS_SCHEMA,
+    ExtractRequest,
+    ProtocolError,
+    error_response,
+    parse_extract_request,
+    saturated_response,
+    validate_metrics,
+)
+
+
+class TestParseExtractRequest:
+    def test_inline_html(self):
+        req = parse_extract_request('{"html": "<ul><li>x</li></ul>", "site": "a.test"}')
+        assert req.mode == "inline"
+        assert req.site == "a.test"
+        assert req.url is None
+        assert req.deadline is None
+
+    def test_url_with_deadline(self):
+        req = parse_extract_request(
+            b'{"url": "http://a.test/p.html", "deadline_ms": 1500}'
+        )
+        assert req.mode == "url"
+        assert req.deadline == pytest.approx(1.5)
+
+    @pytest.mark.parametrize(
+        "body, fragment",
+        [
+            ("", "JSON"),
+            ("{nope", "JSON"),
+            ("[1, 2]", "object"),
+            ("{}", "exactly one"),
+            ('{"url": "u", "html": "h"}', "exactly one"),
+            ('{"url": ""}', "non-empty"),
+            ('{"url": 7}', "non-empty"),
+            ('{"html": 7}', "string"),
+            ('{"html": "x", "site": ""}', "site"),
+            ('{"html": "x", "bogus": 1}', "unknown"),
+            ('{"html": "x", "deadline_ms": "fast"}', "number"),
+            ('{"html": "x", "deadline_ms": 0}', "deadline_ms"),
+            ('{"html": "x", "deadline_ms": -5}', "deadline_ms"),
+            ('{"html": "x", "deadline_ms": 600000}', "deadline_ms"),
+            ('{"html": "x", "deadline_ms": true}', "number"),
+        ],
+    )
+    def test_malformed_bodies_raise(self, body, fragment):
+        with pytest.raises(ProtocolError, match=fragment):
+            parse_extract_request(body)
+
+    def test_request_is_frozen(self):
+        req = ExtractRequest(html="<p>x</p>")
+        with pytest.raises(AttributeError):
+            req.html = "other"  # type: ignore[misc]
+
+
+class TestResponses:
+    def test_error_envelope_mirrors_status(self):
+        resp = error_response(418, "teapot", "short and stout")
+        assert resp.status == 418
+        assert not resp.ok
+        payload = json.loads(resp.body())
+        assert payload["status"] == "error"
+        assert payload["error"]["code"] == 418
+        assert payload["error"]["kind"] == "teapot"
+
+    def test_saturated_carries_retry_after_header_and_body(self):
+        resp = saturated_response(0.25)
+        assert resp.status == 429
+        assert resp.headers["Retry-After"] == "1"  # ceiling, min 1s
+        assert json.loads(resp.body())["error"]["retry_after"] == 1
+
+    def test_body_is_stable_sorted_json(self):
+        resp = error_response(400, "malformed", "x")
+        assert resp.body() == resp.body()
+        assert resp.body().endswith(b"\n")
+
+
+class TestMetricsSchema:
+    def test_fresh_runtime_snapshot_validates(self):
+        from repro.serve.runtime import ServeConfig, ServeRuntime
+
+        runtime = ServeRuntime(ServeConfig(workers=1))
+        # No requests served, workers never started: the pre-registered
+        # surface alone must satisfy the pinned schema.
+        assert validate_metrics(runtime.metrics.snapshot()) == []
+
+    def test_schema_names_are_pinned(self):
+        # The dashboard contract: renaming or dropping any of these is a
+        # breaking change and must show up in review as a test edit.
+        assert "serve.accepted" in METRICS_SCHEMA["counters"]
+        assert "serve.rejected.saturated" in METRICS_SCHEMA["counters"]
+        assert "rules.relearned" in METRICS_SCHEMA["counters"]
+        assert "trees.hits" in METRICS_SCHEMA["counters"]
+        assert "serve.request.seconds" in METRICS_SCHEMA["histograms"]
+        assert "serve.queue.seconds" in METRICS_SCHEMA["histograms"]
+
+    def test_missing_counter_is_reported(self):
+        from repro.serve.runtime import ServeConfig, ServeRuntime
+
+        runtime = ServeRuntime(ServeConfig(workers=1))
+        snapshot = runtime.metrics.snapshot()
+        del snapshot["counters"]["serve.accepted"]
+        problems = validate_metrics(snapshot)
+        assert any("serve.accepted" in p for p in problems)
+
+    def test_malformed_snapshot_shapes(self):
+        assert validate_metrics({}) == ["snapshot has no 'counters' object"]
+        assert validate_metrics({"counters": {}}) == [
+            "snapshot has no 'histograms' object"
+        ]
+
+    def test_extra_metrics_are_allowed(self):
+        from repro.serve.runtime import ServeConfig, ServeRuntime
+
+        runtime = ServeRuntime(ServeConfig(workers=1))
+        runtime.metrics.counter("custom.extra").inc()
+        assert validate_metrics(runtime.metrics.snapshot()) == []

@@ -1,0 +1,190 @@
+"""SharedRuleCache: single-flight learning, stale arbitration, write-behind."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.core.rules import ExtractionRule, RuleStore
+from repro.observe.metrics import MetricsRegistry
+from repro.serve.rulecache import SharedRuleCache
+
+
+def _rule(site: str, generation: int = 0) -> ExtractionRule:
+    return ExtractionRule(
+        site=site,
+        subtree_path=f"html[1].body[2].table[{generation + 1}]",
+        separator="tr",
+    )
+
+
+class TestLeaseProtocol:
+    def test_first_lease_elects_learner(self):
+        cache = SharedRuleCache()
+        lease = cache.lease("a.test")
+        assert lease.learner
+        assert lease.rule is None
+
+    def test_store_hit_skips_election(self):
+        store = RuleStore()
+        store.put(_rule("a.test"))
+        cache = SharedRuleCache(store)
+        lease = cache.lease("a.test")
+        assert not lease.learner
+        assert lease.rule is not None
+        assert cache.metrics.snapshot()["counters"].get("rules.store_hits") == 1
+
+    def test_publish_unblocks_waiters_single_flight(self):
+        """8 concurrent leases of an unknown site -> exactly 1 learner."""
+        metrics = MetricsRegistry()
+        cache = SharedRuleCache(metrics=metrics)
+        barrier = threading.Barrier(8)
+        published = _rule("a.test")
+        results = []
+        results_lock = threading.Lock()
+
+        def contender() -> None:
+            barrier.wait()
+            lease = cache.lease("a.test")
+            if lease.learner:
+                cache.publish("a.test", published)
+                with results_lock:
+                    results.append(("learned", None))
+            else:
+                with results_lock:
+                    results.append(("shared", lease.rule))
+
+        threads = [
+            threading.Thread(target=contender, name=f"lease-{i}") for i in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        assert len(results) == 8
+        learners = [r for r in results if r[0] == "learned"]
+        sharers = [r for r in results if r[0] == "shared"]
+        assert len(learners) == 1
+        assert len(sharers) == 7
+        assert all(rule is published for _, rule in sharers)
+        counters = metrics.snapshot()["counters"]
+        assert counters["rules.misses"] == 1
+        # A contender that blocked behind the learner counts as shared;
+        # one that leased after publication counts as a plain hit.  The
+        # split is scheduling-dependent but the total is not.
+        shared = counters.get("rules.shared", 0)
+        hits = counters.get("rules.hits", 0)
+        assert shared + hits == 7
+
+    def test_report_stale_single_winner(self):
+        """N holders of the same generation -> exactly one relearn right."""
+        metrics = MetricsRegistry()
+        cache = SharedRuleCache(metrics=metrics)
+        generation0 = _rule("a.test", generation=0)
+        cache.publish("a.test", generation0)
+        wins = [cache.report_stale("a.test", generation0) for _ in range(5)]
+        assert wins.count(True) == 1
+        counters = metrics.snapshot()["counters"]
+        assert counters["rules.stale"] == 5
+        assert counters["rules.relearned"] == 1
+
+    def test_report_stale_of_old_generation_loses(self):
+        cache = SharedRuleCache()
+        generation0 = _rule("a.test", generation=0)
+        cache.publish("a.test", generation0)
+        assert cache.report_stale("a.test", generation0)
+        cache.publish("a.test", _rule("a.test", generation=1))
+        # A laggard still holding generation 0 must not trigger another
+        # relearn of the already-refreshed entry.
+        assert not cache.report_stale("a.test", generation0)
+
+    def test_stale_report_invalidates_backing_store(self):
+        store = RuleStore()
+        cache = SharedRuleCache(store)
+        rule = _rule("a.test")
+        cache.publish("a.test", rule)
+        assert store.get("a.test") is rule
+        assert cache.report_stale("a.test", rule)
+        assert store.get("a.test") is None
+
+    def test_abort_allows_reelection(self):
+        cache = SharedRuleCache()
+        assert cache.lease("a.test").learner
+        cache.abort("a.test")
+        assert cache.lease("a.test").learner  # fresh election, no deadlock
+
+
+class TestNegativeCache:
+    def test_abstention_is_cached_without_blocking(self):
+        cache = SharedRuleCache()
+        assert cache.lease("a.test").learner
+        cache.publish("a.test", None)  # discovery abstained
+        lease = cache.lease("a.test")
+        assert not lease.learner
+        assert lease.rule is None
+
+    def test_offer_upgrades_negative_entry(self):
+        cache = SharedRuleCache()
+        cache.lease("a.test")
+        cache.publish("a.test", None)
+        rule = _rule("a.test")
+        assert cache.offer("a.test", rule)
+        assert cache.lease("a.test").rule is rule
+
+    def test_offer_does_not_downgrade_positive_entry(self):
+        cache = SharedRuleCache()
+        original = _rule("a.test", generation=0)
+        cache.publish("a.test", original)
+        assert not cache.offer("a.test", _rule("a.test", generation=1))
+        assert cache.lease("a.test").rule is original
+
+
+class TestEvictionAndPersistence:
+    def test_lru_eviction_beyond_capacity(self):
+        metrics = MetricsRegistry()
+        cache = SharedRuleCache(capacity=2, metrics=metrics)
+        for i in range(3):
+            cache.publish(f"s{i}.test", _rule(f"s{i}.test"))
+        assert len(cache) == 2
+        assert cache.cached_sites() == ["s1.test", "s2.test"]
+        assert metrics.snapshot()["counters"]["rules.evicted"] == 1
+
+    def test_eviction_keeps_rule_durable_in_store(self):
+        store = RuleStore()
+        cache = SharedRuleCache(store, capacity=1)
+        cache.publish("s0.test", _rule("s0.test"))
+        cache.publish("s1.test", _rule("s1.test"))
+        assert cache.cached_sites() == ["s1.test"]
+        # Evicted from the LRU but not lost: the store still has it, and
+        # the next lease promotes it back without relearning.
+        assert store.get("s0.test") is not None
+        assert not cache.lease("s0.test").learner
+
+    def test_write_behind_flush(self, tmp_path):
+        path = tmp_path / "rules.json"
+        store = RuleStore(path)
+        metrics = MetricsRegistry()
+        cache = SharedRuleCache(store, metrics=metrics)
+        cache.publish("a.test", _rule("a.test"))
+        assert cache.dirty_count == 1
+        assert not path.exists()  # request path never touched disk
+        assert cache.flush() == 1
+        assert cache.dirty_count == 0
+        assert path.exists()
+        assert metrics.snapshot()["counters"]["rules.flushes"] == 1
+        assert cache.flush() == 0  # nothing dirty -> no-op
+
+    def test_flush_threshold_triggers_automatic_save(self, tmp_path):
+        path = tmp_path / "rules.json"
+        store = RuleStore(path)
+        cache = SharedRuleCache(store, flush_threshold=2)
+        cache.publish("s0.test", _rule("s0.test"))
+        assert not path.exists()
+        cache.publish("s1.test", _rule("s1.test"))  # hits the threshold
+        assert path.exists()
+        assert cache.dirty_count == 0
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            SharedRuleCache(capacity=0)

@@ -1,0 +1,375 @@
+"""Deterministic lifecycle tests for the serve runtime.
+
+Everything here runs under :class:`~repro.fetch.base.FakeClock`: real
+threads do the work, but every *time read* -- deadlines, queue delays,
+span stamps, lifecycle transitions -- comes off the simulated clock, so
+saturation, expiry, redesign, and drain replay with exact counters.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.core.rules import RuleStore
+from repro.fetch.base import FakeClock, FetchResult, StaticFetcher
+from repro.fetch.faults import FaultInjectingFetcher
+from repro.serve.lifecycle import DRAINING, READY, STARTING, STOPPED
+from repro.serve.protocol import ExtractRequest, validate_metrics
+from repro.serve.rulecache import SharedRuleCache
+from repro.serve.runtime import PendingRequest, ServeConfig, ServeRuntime
+
+LIST_HTML = (
+    "<html><body><ul>"
+    + "".join(f"<li>item {i} alpha beta gamma</li>" for i in range(6))
+    + "</ul></body></html>"
+)
+#: A redesign of the same site: the old subtree path no longer resolves,
+#: so an applied v1 rule raises StaleRuleError.
+REDESIGN_HTML = (
+    "<html><body><div><section><table>"
+    + "".join(f"<tr><td>row {i} delta epsilon</td></tr>" for i in range(6))
+    + "</table></section></div></body></html>"
+)
+
+
+class GateFetcher:
+    """An origin that parks every fetch on an Event until the test opens it."""
+
+    def __init__(self, pages: dict[str, str]) -> None:
+        self.pages = dict(pages)
+        self.gate = threading.Event()
+        self.entered = threading.Semaphore(0)
+
+    def fetch(self, url: str, *, site: str | None = None) -> FetchResult:
+        self.entered.release()
+        assert self.gate.wait(timeout=30), "test never opened the fetch gate"
+        return FetchResult.of(url, self.pages[url], site=site)
+
+
+class AdvancingFetcher:
+    """An origin whose fetch consumes simulated time (a slow upstream)."""
+
+    def __init__(self, pages: dict[str, str], clock: FakeClock, cost: float) -> None:
+        self.pages = dict(pages)
+        self.clock = clock
+        self.cost = cost
+
+    def fetch(self, url: str, *, site: str | None = None) -> FetchResult:
+        self.clock.advance(self.cost)
+        return FetchResult.of(url, self.pages[url], site=site)
+
+
+def _inline(site: str, html: str = LIST_HTML, **kw) -> ExtractRequest:
+    return ExtractRequest(html=html, site=site, **kw)
+
+
+def _counters(runtime: ServeRuntime) -> dict[str, int]:
+    return {k: v for k, v in runtime.metrics.snapshot()["counters"].items() if v}
+
+
+class TestAdmission:
+    def test_not_accepting_before_start(self):
+        runtime = ServeRuntime(ServeConfig(workers=1), clock=FakeClock())
+        assert runtime.lifecycle.state == STARTING
+        response = runtime.submit(_inline("a.test"))
+        assert not isinstance(response, PendingRequest)
+        assert response.status == 503
+
+    def test_saturation_answers_429_with_retry_after(self):
+        clock = FakeClock()
+        gate = GateFetcher({"http://a.test/p.html": LIST_HTML})
+        runtime = ServeRuntime(
+            ServeConfig(workers=1, queue_limit=2, retry_after=2.5),
+            fetcher=gate,
+            clock=clock,
+        ).start()
+
+        url_req = ExtractRequest(url="http://a.test/p.html")
+        first = runtime.submit(url_req)
+        assert isinstance(first, PendingRequest)
+        assert gate.entered.acquire(timeout=30)  # the worker is parked
+
+        queued = [runtime.submit(url_req) for _ in range(2)]
+        assert all(isinstance(p, PendingRequest) for p in queued)
+
+        rejected = runtime.submit(url_req)
+        assert not isinstance(rejected, PendingRequest)
+        assert rejected.status == 429
+        assert rejected.headers["Retry-After"] == "3"  # ceil(2.5)
+        assert rejected.payload["error"]["kind"] == "saturated"
+
+        gate.gate.set()
+        responses = [runtime.wait(p, timeout=30) for p in [first, *queued]]
+        assert [r.status for r in responses] == [200, 200, 200]
+
+        counters = _counters(runtime)
+        assert counters["serve.accepted"] == 3
+        assert counters["serve.completed"] == 3
+        assert counters["serve.rejected.saturated"] == 1
+        runtime.drain()
+
+
+class TestDeadlines:
+    def test_request_expired_in_queue_is_504_without_work(self):
+        clock = FakeClock()
+        gate = GateFetcher({"http://a.test/p.html": LIST_HTML})
+        runtime = ServeRuntime(
+            ServeConfig(workers=1, deadline=10.0), fetcher=gate, clock=clock
+        ).start()
+
+        blocker = runtime.submit(ExtractRequest(url="http://a.test/p.html"))
+        assert isinstance(blocker, PendingRequest)
+        assert gate.entered.acquire(timeout=30)
+
+        # Tight client budget; expires while the worker is busy.
+        doomed = runtime.submit(_inline("b.test", deadline=5.0))
+        assert isinstance(doomed, PendingRequest)
+
+        clock.advance(6.0)  # past doomed's deadline, within blocker's
+        gate.gate.set()
+
+        assert runtime.wait(blocker, timeout=30).status == 200
+        expired = runtime.wait(doomed, timeout=30)
+        assert expired.status == 504
+        assert expired.payload["error"]["deadline_ms"] == pytest.approx(5000.0)
+
+        counters = _counters(runtime)
+        assert counters["serve.deadline_exceeded"] == 1
+        assert counters["serve.completed"] == 1
+        # The expired request never reached parse: only the blocker's
+        # body went through the tree cache.
+        assert counters["trees.misses"] == 1
+        assert "trees.hits" not in counters
+        runtime.drain()
+
+    def test_fetch_consuming_budget_is_504_without_pipeline(self):
+        clock = FakeClock()
+        slow = AdvancingFetcher({"http://a.test/p.html": LIST_HTML}, clock, cost=20.0)
+        runtime = ServeRuntime(
+            ServeConfig(workers=1, deadline=10.0), fetcher=slow, clock=clock
+        ).start()
+        response = runtime.handle(ExtractRequest(url="http://a.test/p.html"))
+        assert response.status == 504
+        counters = _counters(runtime)
+        assert counters["serve.deadline_exceeded"] == 1
+        assert "trees.misses" not in counters  # pipeline skipped entirely
+        runtime.drain()
+
+
+class TestFailureClassification:
+    def test_fetch_error_maps_to_502_with_kind(self):
+        runtime = ServeRuntime(
+            ServeConfig(workers=1),
+            fetcher=StaticFetcher({}),  # 404s every URL
+            clock=FakeClock(),
+        ).start()
+        response = runtime.handle(ExtractRequest(url="http://a.test/nope.html"))
+        assert response.status == 502
+        assert response.payload["error"]["kind"] == "fetch:http_status"
+        assert _counters(runtime)["serve.fetch_failures"] == 1
+        runtime.drain()
+
+    def test_url_request_without_fetcher_is_502(self):
+        runtime = ServeRuntime(ServeConfig(workers=1), clock=FakeClock()).start()
+        response = runtime.handle(ExtractRequest(url="http://a.test/p.html"))
+        assert response.status == 502
+        assert response.payload["error"]["kind"] == "fetch:unconfigured"
+        runtime.drain()
+
+    def test_pipeline_exception_is_500_internal(self):
+        class ExplodingFetcher:
+            def fetch(self, url: str, *, site: str | None = None) -> FetchResult:
+                raise RuntimeError("wires crossed")
+
+        runtime = ServeRuntime(
+            ServeConfig(workers=1), fetcher=ExplodingFetcher(), clock=FakeClock()
+        ).start()
+        response = runtime.handle(ExtractRequest(url="http://a.test/p.html"))
+        assert response.status == 500
+        assert "RuntimeError" in response.payload["error"]["message"]
+        assert _counters(runtime)["serve.errors"] == 1
+        runtime.drain()
+
+    def test_seeded_fault_injection_replays_exactly(self):
+        """Same seed -> same per-request outcome sequence, twice over."""
+
+        def outcomes() -> list[int]:
+            clock = FakeClock()
+            origin = StaticFetcher({"http://a.test/p.html": LIST_HTML}, clock=clock)
+            flaky = FaultInjectingFetcher(
+                origin, rate=0.5, seed=1234, timeout=5.0, clock=clock
+            )
+            runtime = ServeRuntime(
+                ServeConfig(workers=1, deadline=60.0), fetcher=flaky, clock=clock
+            ).start()
+            statuses = [
+                runtime.handle(ExtractRequest(url="http://a.test/p.html")).status
+                for _ in range(12)
+            ]
+            runtime.drain()
+            return statuses
+
+        first, second = outcomes(), outcomes()
+        assert first == second
+        assert 200 in first  # some succeed...
+        assert any(status != 200 for status in first)  # ...some are degraded
+
+
+class BarrierRuleCache(SharedRuleCache):
+    """Forces all N stale reporters to rendezvous before arbitration.
+
+    Guarantees the worst-case interleaving the single-flight design must
+    survive: every concurrent request has already leased the doomed rule
+    generation and failed with it before any of them is allowed to win
+    the relearn election.
+    """
+
+    def __init__(self, parties: int, **kwargs) -> None:
+        super().__init__(**kwargs)
+        self.stale_barrier = threading.Barrier(parties)
+
+    def report_stale(self, site, rule):
+        self.stale_barrier.wait(timeout=30)
+        return super().report_stale(site, rule)
+
+
+class TestRedesignSingleFlight:
+    def test_concurrent_stale_requests_trigger_exactly_one_relearn(self):
+        clock = FakeClock()
+        cache = BarrierRuleCache(parties=2, metrics=None)
+        runtime = ServeRuntime(
+            ServeConfig(workers=2), rule_cache=cache, clock=clock
+        )
+        cache.metrics = runtime.metrics  # share the runtime registry
+        runtime.start()
+
+        # Learn the v1 rule.
+        warm = runtime.handle(_inline("redesign.test", LIST_HTML))
+        assert warm.status == 200
+        assert not warm.payload["used_cached_rule"]
+
+        # Both workers hit the redesigned page concurrently; each leases
+        # the (now stale) v1 rule, fails, and meets at the barrier.
+        pendings = [
+            runtime.submit(_inline("redesign.test", REDESIGN_HTML)) for _ in range(2)
+        ]
+        assert all(isinstance(p, PendingRequest) for p in pendings)
+        responses = [runtime.wait(p, timeout=30) for p in pendings]
+        assert [r.status for r in responses] == [200, 200]
+        for response in responses:
+            assert response.payload["record_count"] >= 1
+
+        counters = _counters(runtime)
+        assert counters["rules.stale"] == 2
+        assert counters["rules.relearned"] == 1  # exactly one rediscovery
+        # The loser applied the winner's fresh rule: one of the two
+        # answers used the cache (shared or re-leased after publish).
+        assert counters.get("rules.shared", 0) + counters.get("rules.hits", 0) >= 1
+
+        # The relearned rule is now the cached generation: a third
+        # request applies it without any further staleness.
+        third = runtime.handle(_inline("redesign.test", REDESIGN_HTML))
+        assert third.status == 200
+        assert third.payload["used_cached_rule"]
+        assert _counters(runtime)["rules.stale"] == 2  # unchanged
+        runtime.drain()
+
+
+class TestDrain:
+    def test_drain_finishes_inflight_flushes_and_stops(self, tmp_path):
+        clock = FakeClock()
+        rules_path = tmp_path / "rules.json"
+        gate = GateFetcher({"http://a.test/p.html": LIST_HTML})
+        runtime = ServeRuntime(
+            ServeConfig(workers=2),
+            fetcher=gate,
+            clock=clock,
+            rule_store=RuleStore(rules_path),
+        ).start()
+        assert runtime.lifecycle.state == READY
+
+        inflight = runtime.submit(ExtractRequest(url="http://a.test/p.html"))
+        assert isinstance(inflight, PendingRequest)
+        assert gate.entered.acquire(timeout=30)
+
+        drainer = threading.Thread(
+            target=runtime.drain, name="test-drainer", daemon=True
+        )
+        drainer.start()
+        assert runtime.lifecycle.await_state(DRAINING, timeout=30)
+
+        # Admission is closed the moment draining begins...
+        rejected = runtime.submit(_inline("b.test"))
+        assert not isinstance(rejected, PendingRequest)
+        assert rejected.status == 503
+        # ...but the in-flight request still completes.
+        gate.gate.set()
+        assert runtime.wait(inflight, timeout=30).status == 200
+
+        drainer.join(timeout=30)
+        assert not drainer.is_alive()
+        assert runtime.lifecycle.state == STOPPED
+        # Write-behind rules were flushed to disk on the way out.
+        assert rules_path.exists()
+        assert "a.test" in rules_path.read_text(encoding="utf-8")
+
+        counters = _counters(runtime)
+        assert counters["serve.rejected.draining"] == 1
+        assert counters["rules.flushes"] == 1
+
+        # The lifecycle journal is exact and clock-stamped.
+        assert [(old, new) for _, old, new in runtime.lifecycle.transitions] == [
+            (STARTING, READY),
+            (READY, DRAINING),
+            (DRAINING, STOPPED),
+        ]
+
+    def test_drain_is_idempotent(self):
+        runtime = ServeRuntime(ServeConfig(workers=1), clock=FakeClock()).start()
+        runtime.drain()
+        runtime.drain()  # second call is a no-op, not an error
+        assert runtime.lifecycle.state == STOPPED
+
+
+class TestWarmPathAndMetrics:
+    def test_second_request_reuses_rule_and_tree(self):
+        clock = FakeClock()
+        runtime = ServeRuntime(ServeConfig(workers=1), clock=clock).start()
+        cold = runtime.handle(_inline("warm.test"))
+        warm = runtime.handle(_inline("warm.test"))
+        runtime.drain()
+
+        assert not cold.payload["used_cached_rule"]
+        assert not cold.payload["parsed_from_cache"]
+        assert warm.payload["used_cached_rule"]
+        assert warm.payload["parsed_from_cache"]
+        assert warm.payload["records"] == cold.payload["records"]
+
+        counters = _counters(runtime)
+        assert counters["serve.accepted"] == 2
+        assert counters["serve.completed"] == 2
+        assert counters["rules.misses"] == 1
+        assert counters["rules.hits"] == 1
+        assert counters["trees.misses"] == 1
+        assert counters["trees.hits"] == 1
+
+    def test_snapshot_validates_under_load(self):
+        runtime = ServeRuntime(ServeConfig(workers=2), clock=FakeClock()).start()
+        for _ in range(3):
+            runtime.handle(_inline("a.test"))
+        runtime.drain()
+        assert validate_metrics(runtime.metrics.snapshot()) == []
+
+    def test_every_request_is_a_root_span(self):
+        runtime = ServeRuntime(ServeConfig(workers=1), clock=FakeClock()).start()
+        runtime.handle(_inline("a.test"))
+        runtime.drain()
+        spans = runtime.tracer.spans
+        roots = [s for s in spans if s.name == "request"]
+        assert len(roots) == 1
+        extracts = [s for s in spans if s.name == "extract"]
+        assert len(extracts) == 1
+        # The extract span nests under the request root.
+        assert extracts[0].parent_id == roots[0].span_id
