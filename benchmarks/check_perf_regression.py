@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Perf-regression gate: fresh parse_page p50 vs the committed baseline.
+
+Compares the ``parse_engine.parse_page_fused.p50_ms`` of a fresh
+``run_perf_baseline.py`` output against the baseline JSON committed at the
+repo root and fails (exit 1) when the fresh number exceeds the baseline by
+more than the tolerance (default 15%).  The fused column is the gated one
+because it is what ``ParseStage`` actually runs; the traced stage latency
+carries span overhead and is reported for context only.
+
+Usage::
+
+    python benchmarks/check_perf_regression.py CURRENT.json \
+        [--baseline BENCH_extraction.json] [--tolerance 0.15]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+GATED_METRIC = ("parse_engine", "parse_page_fused", "p50_ms")
+
+
+def _read_metric(path: Path) -> float:
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    node = payload
+    for key in GATED_METRIC:
+        if key not in node:
+            raise KeyError(f"{path}: missing {'.'.join(GATED_METRIC)}")
+        node = node[key]
+    return float(node)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("current", help="fresh run_perf_baseline.py output JSON")
+    parser.add_argument(
+        "--baseline",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_extraction.json"),
+        help="committed baseline JSON (default: repo-root BENCH_extraction.json)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.15,
+        help="allowed relative slowdown before failing (default 0.15 = 15%%)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = _read_metric(Path(args.baseline))
+    current = _read_metric(Path(args.current))
+    limit = baseline * (1.0 + args.tolerance)
+    ratio = current / baseline if baseline else float("inf")
+
+    metric = ".".join(GATED_METRIC)
+    print(
+        f"{metric}: baseline={baseline:.3f}ms current={current:.3f}ms "
+        f"limit={limit:.3f}ms ({ratio:.2f}x of baseline)"
+    )
+    if current > limit:
+        print(
+            f"FAIL: parse_page p50 regressed more than "
+            f"{args.tolerance:.0%} over the committed baseline"
+        )
+        return 1
+    print("OK: within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

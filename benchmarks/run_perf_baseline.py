@@ -9,7 +9,11 @@ adapter attached, then writes ``BENCH_extraction.json``:
   estimates -- every stage run's engine-measured elapsed is in the trace);
 * the same percentiles for whole-extraction latency;
 * pages/sec for the batch engine at 1, 4 and 8 workers (tracing off, so
-  throughput reflects the pipeline, not the observer).
+  throughput reflects the pipeline, not the observer);
+* a ``parse_engine`` section: streaming-tokenizer tokens/sec plus a
+  direct before/after on ``parse_page`` -- the legacy three-stage path
+  (tokenize -> normalize -> build) vs the fused single-pass engine --
+  with the p50 speedup ratio the CI perf gate pins.
 
 Scale: ``REPRO_BENCH_PAGES=N`` caps pages per site (the CI perf job uses a
 reduced corpus); default is 8 per site over the 15 test sites.
@@ -33,7 +37,10 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.core.batch import BatchExtractor, PageTask  # noqa: E402
 from repro.corpus import CorpusGenerator, TEST_SITES  # noqa: E402
+from repro.html.normalizer import Normalizer  # noqa: E402
+from repro.html.tokenizer import iter_tokens  # noqa: E402
 from repro.observe import TracingInstrumentation  # noqa: E402
+from repro.tree.builder import build_tag_tree, parse_document  # noqa: E402
 
 WORKER_COUNTS = (1, 4, 8)
 
@@ -91,6 +98,49 @@ def measure_stage_latencies(tasks: list[PageTask]) -> dict:
     }
 
 
+def measure_parse_engine(tasks: list[PageTask]) -> dict:
+    """Tokenizer event rate + fused-vs-legacy ``parse_page`` comparison.
+
+    The "legacy" column drives the pre-fusion three-stage pipeline
+    (materialized token list -> streaming repair -> tree build); the
+    "fused" column is :func:`repro.tree.builder.parse_document`, which is
+    what ``ParseStage`` actually runs.  Both parse the same corpus pages
+    back to back so the p50 ratio isolates the engine change from machine
+    noise.
+    """
+    sources = [task.source for task in tasks]
+
+    token_count = 0
+    start = time.perf_counter()
+    for source in sources:
+        for _ in iter_tokens(source):
+            token_count += 1
+    tokenize_elapsed = time.perf_counter() - start
+
+    legacy: list[float] = []
+    fused: list[float] = []
+    for source in sources:
+        t0 = time.perf_counter()
+        build_tag_tree(Normalizer().normalize(source))
+        legacy.append(time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        parse_document(source)
+        fused.append(time.perf_counter() - t0)
+
+    legacy_p50 = _percentile(sorted(legacy), 0.50)
+    fused_p50 = _percentile(sorted(fused), 0.50)
+    return {
+        "tokens": token_count,
+        "tokenize_elapsed_s": round(tokenize_elapsed, 4),
+        "tokens_per_second": round(token_count / tokenize_elapsed, 1)
+        if tokenize_elapsed
+        else 0.0,
+        "parse_page_legacy_three_stage": _stats_ms(legacy),
+        "parse_page_fused": _stats_ms(fused),
+        "parse_page_speedup_p50": round(legacy_p50 / fused_p50, 2) if fused_p50 else 0.0,
+    }
+
+
 def measure_throughput(tasks: list[PageTask]) -> dict:
     """Pages/sec per worker count, tracing off (pure pipeline cost)."""
     throughput = {}
@@ -118,6 +168,7 @@ def run(pages_per_site: int) -> dict:
             "pages": len(tasks),
         },
         "latency": measure_stage_latencies(tasks),
+        "parse_engine": measure_parse_engine(tasks),
         "throughput_by_workers": measure_throughput(tasks),
     }
 
@@ -148,6 +199,13 @@ def main(argv: list[str] | None = None) -> int:
     )
     for workers, row in payload["throughput_by_workers"].items():
         print(f"workers={workers}: {row['pages_per_second']} pages/s")
+    engine = payload["parse_engine"]
+    print(
+        f"parse engine: {engine['tokens_per_second']:.0f} tokens/s, "
+        f"parse_page p50 {engine['parse_page_legacy_three_stage']['p50_ms']:.3f}ms "
+        f"(legacy) -> {engine['parse_page_fused']['p50_ms']:.3f}ms (fused), "
+        f"{engine['parse_page_speedup_p50']:.2f}x"
+    )
     return 0
 
 

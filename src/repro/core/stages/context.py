@@ -24,7 +24,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Callable
 
 from repro.core.objects import ExtractedObject
 from repro.core.refinement import RefinementConfig
@@ -110,6 +110,12 @@ class ExtractionContext:
     separator_finder: "CombinedSeparatorFinder | None" = None
     refinement: RefinementConfig = field(default_factory=RefinementConfig)
     rule_store: RuleStore | None = None
+    #: Optional parse override used by :class:`~repro.core.stages.plan.
+    #: ParseStage` in place of ``parse_document`` -- the serve runtime
+    #: injects an incremental re-parser here so a near-miss in the tree
+    #: cache patches the cached tree instead of re-parsing from scratch,
+    #: while the work still lands in the ``parse_page`` timing column.
+    parser: Callable[[str], TagNode] | None = None
 
     # -- artifacts -------------------------------------------------------
     root: TagNode | None = None

@@ -61,14 +61,22 @@ class ReadStage:
 
 
 class ParseStage:
-    """Phase 1: normalize + parse ``ctx.source`` into the tag tree."""
+    """Phase 1: one fused pass from ``ctx.source`` to the tag tree.
+
+    Uses ``ctx.parser`` when the caller injected one (the serve runtime's
+    incremental re-parser); either way the time lands in the
+    ``parse_page`` column of Tables 16/17.
+    """
 
     name = "parse_page"
     timing_column = "parse_page"
 
     def run(self, ctx: ExtractionContext) -> None:
         assert ctx.source is not None, "ParseStage needs ctx.source"
-        ctx.root = parse_document(ctx.source)
+        parser = ctx.parser
+        ctx.root = (
+            parser(ctx.source) if parser is not None else parse_document(ctx.source)
+        )
 
 
 class SubtreeStage:

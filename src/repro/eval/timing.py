@@ -4,6 +4,11 @@
 :func:`time_pipeline` does the same, against pages materialized on disk so
 the Read File column measures real I/O, and averages per split exactly as
 the paper's tables do (Test / Experimental / Combined rows).
+
+The ``parse_page`` column is whatever ``ParseStage`` runs -- since the
+parse fusion that is the single-pass engine (tokenize + repair + build in
+one scan), so the column stays comparable across table regenerations even
+though the implementation under it changed.
 """
 
 from __future__ import annotations

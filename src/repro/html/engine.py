@@ -1,0 +1,496 @@
+"""Fused single-pass parse engine: raw HTML to a finished tag tree.
+
+This module collapses the three-layer parse stack -- tokenizer, normalizer,
+tree builder -- into one loop over the source.  A master regular expression
+finds the next markup event in C; the loop body applies the same tag-soup
+repairs as :class:`repro.html.normalizer.Normalizer` and attaches nodes to
+the growing :class:`~repro.tree.node.TagNode` tree directly, so a single
+scan of the page yields the finished tree with no intermediate token list
+(and no token objects at all).
+
+Semantics contract
+------------------
+:func:`parse_html` must produce a tree identical -- node for node, metric
+for metric, repair counter for repair counter -- to the composed legacy
+path::
+
+    build_tag_tree(Normalizer(**options).normalize(source))
+
+That equivalence is pinned by ``tests/test_random_properties.py`` (fused vs
+three-pass on corpus pages and random tag soup) and by the golden-corpus
+snapshots.  Any behavior change here must be mirrored in
+``repro.html.normalizer`` (and vice versa) or those tests fail.  The tag
+vocabulary facts both paths rely on live once, in :mod:`repro.html.tags`
+(:func:`~repro.html.tags.close_info`, :func:`~repro.html.tags.intern_tag`),
+and the attribute grammar lives once in
+:func:`repro.html.tokenizer._parse_attrs`, which this module reuses.
+
+In addition to the tree, the engine records source *spans* on tag nodes
+(``span_start``/``span_end``: the half-open byte range of the element in
+the original source).  Spans are what make the incremental re-parse in
+:mod:`repro.tree.incremental` possible: a cached tree can map an edited
+byte range back to the deepest enclosing element and re-parse only that
+fragment.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.html.entities import decode_entities
+from repro.html.normalizer import _HEAD_ONLY, NormalizationReport
+from repro.html.tags import (
+    _CLOSE_INFO,
+    _INTERN,
+    RAW_TEXT_TAGS,
+    VOID_TAGS,
+    intern_tag,
+)
+from repro.html.tokenizer import _parse_attrs
+from repro.tree.node import ContentNode, TagNode
+
+#: One markup event.  Alternatives, in order: end tag name; start tag with
+#: no attributes (the dominant shape -- matched through the closing ``>``
+#: with an optional self-closing slash); start tag name only (attributes
+#: parsed separately); comment/declaration openers; and the empty
+#: alternative, which makes every ``<`` match so stray ones degrade to
+#: text exactly like the tokenizer's character-level loop.
+_TAG_RE = re.compile(
+    r"<(?:"
+    r"/(?P<e>[a-zA-Z][a-zA-Z0-9\-_:.]*)"
+    r"|(?P<s>[a-zA-Z][a-zA-Z0-9\-_:.]*)[ \t\n\r\f]*(?P<c>/?)>"
+    r"|(?P<g>[a-zA-Z][a-zA-Z0-9\-_:.]*)"
+    r"|(?P<b>!--|!|\?)"
+    r")?"
+)
+
+_EMPTY_ATTRS: tuple = ()
+
+
+def parse_html(
+    source: str,
+    *,
+    drop_scripts: bool = True,
+    drop_comments: bool = True,
+    synthesize_structure: bool = True,
+    collapse_whitespace: bool = True,
+    report: NormalizationReport | None = None,
+) -> TagNode:
+    """Parse raw HTML into a tag tree in one pass over ``source``.
+
+    Options mirror :class:`~repro.html.normalizer.Normalizer`.  If
+    ``report`` is given, its fields are overwritten with the repair counts
+    of this parse (same counters the normalizer would report).
+
+    Raises ``ValueError`` exactly when the legacy three-pass path would:
+    when the (possibly repaired) stream yields no element at all, or more
+    than one root element -- both only reachable with
+    ``synthesize_structure=False``.
+    """
+    length = len(source)
+    find = source.find
+    search = _TAG_RE.search
+    interned_get = _INTERN.get
+    close_info_get = _CLOSE_INFO.get
+    lowered: str | None = None  # lazily computed for raw-text scanning
+
+    root: TagNode | None = None
+    nodes: list[TagNode] = []  # open elements, innermost last
+    names: list[str] = []  # parallel list of open element names
+    in_head = False  # "head" is currently on the open stack
+    body_open = False  # "body" is on the stack (it never leaves it)
+    saw_body_content = False
+    emitted = False  # the legacy path's "out is non-empty"
+    pre_depth = 0
+
+    # Repair counters (written into ``report`` at the end).
+    n_implied = 0
+    n_unmatched = 0
+    n_unclosed = 0
+    n_comments = 0
+    n_decls = 0
+    n_raw = 0
+    n_synth = 0
+    n_misnested = 0
+
+    def attach(node: TagNode) -> None:
+        """Attach a fresh node under the innermost open element (or as root)."""
+        nonlocal root
+        if nodes:
+            node.parent = nodes[-1]
+            nodes[-1].children.append(node)
+        elif root is None:
+            root = node
+        else:
+            raise ValueError("multiple root elements in token stream")
+
+    def open_node(name: str, at: int) -> None:
+        """Open an attribute-less element (structural synthesis path)."""
+        nonlocal pre_depth, emitted
+        node = TagNode.__new__(TagNode)
+        node.parent = None
+        node._node_size = None
+        node._tag_count = None
+        node._fanout = None
+        node.name = name
+        node.attrs = _EMPTY_ATTRS
+        node.children = []
+        node.span_start = at
+        node.span_end = None
+        attach(node)
+        nodes.append(node)
+        names.append(name)
+        if name == "pre":
+            pre_depth += 1
+        emitted = True
+
+    def close_top(end_at: int) -> None:
+        nonlocal pre_depth, in_head, body_open
+        node = nodes.pop()
+        names.pop()
+        node.span_end = end_at
+        if node.name == "pre" and pre_depth:
+            pre_depth -= 1
+        elif node.name == "head":
+            # A misnested close-through can pop a late <head> opened inside
+            # the body (or, without structure synthesis, even a <body>);
+            # keep the flags in sync with actual stack membership.
+            in_head = False
+        elif node.name == "body":
+            body_open = False
+
+    def ensure_structure(for_tag: str | None, at: int) -> None:
+        """Make sure <html> and the right one of <head>/<body> are open."""
+        nonlocal in_head, body_open, saw_body_content, n_synth
+        if not synthesize_structure:
+            return
+        if root is None or "html" not in names:
+            open_node("html", at)
+            n_synth += 1
+        if in_head or body_open:
+            return
+        if for_tag is not None and for_tag in _HEAD_ONLY and not saw_body_content:
+            open_node("head", at)
+            in_head = True
+            n_synth += 1
+        else:
+            open_node("body", at)
+            body_open = True
+            n_synth += 1
+            saw_body_content = True
+
+    def leave_head(at: int) -> None:
+        """Close the head section when body content starts."""
+        nonlocal in_head, n_unclosed
+        while names and names[-1] != "head":
+            close_top(at)
+            n_unclosed += 1
+        if names and names[-1] == "head":
+            close_top(at)
+        in_head = False
+
+    def structural_start(name: str, at: int) -> None:
+        """Open html/head/body exactly once each, in order."""
+        nonlocal in_head, body_open, n_synth, n_unclosed
+        if name == "html":
+            if "html" not in names:
+                open_node("html", at)
+            return
+        if "html" not in names:
+            open_node("html", at)
+            n_synth += 1
+        if name == "head":
+            if in_head:
+                return  # duplicate <head>
+        elif body_open:
+            return  # duplicate <body>
+        if name == "body" and in_head:
+            leave_head(at)
+        open_node(name, at)
+        if name == "head":
+            in_head = True
+        else:
+            body_open = True
+
+    def handle_text(text: str, at: int) -> None:
+        """One run of character data, after entity decoding."""
+        nonlocal saw_body_content, emitted
+        if collapse_whitespace and pre_depth == 0:
+            text = " ".join(text.split())
+            if not text:
+                return
+        elif not text:
+            return
+        if in_head and names and names[-1] == "head" and text.strip():
+            # Character data directly inside <head> ends the head section
+            # (text inside <title> etc. stays in the head).
+            leave_head(at)
+        if not body_open and not in_head:
+            ensure_structure(None, at)
+        if nodes:
+            children = nodes[-1].children
+            last = children[-1] if children else None
+            if type(last) is ContentNode:
+                # Coalesce adjacent text runs into one content node so
+                # leaf-node boundaries reflect markup, not tokenization.
+                last.content += text
+                last._node_size = None
+            else:
+                leaf = ContentNode.__new__(ContentNode)
+                leaf.parent = nodes[-1]
+                leaf._node_size = None
+                leaf._tag_count = None
+                leaf._fanout = None
+                leaf.content = text
+                children.append(leaf)
+        # Text outside any element (only possible without structure
+        # synthesis) has no position in the tree and is dropped, but it
+        # still counts as emitted output and body content.
+        saw_body_content = True
+        emitted = True
+
+    # Local bindings for the hot loop (LOAD_FAST beats LOAD_GLOBAL/DEREF).
+    raw_tags = RAW_TEXT_TAGS
+    void_tags = VOID_TAGS
+    head_only = _HEAD_ONLY
+    content_cls = ContentNode
+    tag_cls = TagNode
+    tag_new = TagNode.__new__
+    decode = decode_entities
+
+    pos = 0
+    text_start = 0
+    while pos < length:
+        m = search(source, pos)
+        if m is None:
+            break
+        lt = m.start()
+        if lt > text_start:
+            if body_open and not in_head:
+                # Fast path: the common steady state once <body> is open --
+                # no head bookkeeping, no structure synthesis possible.
+                text = source[text_start:lt]
+                if "&" in text:
+                    text = decode(text)
+                if collapse_whitespace and pre_depth == 0:
+                    text = " ".join(text.split())
+                if text:
+                    children = nodes[-1].children
+                    last = children[-1] if children else None
+                    if type(last) is content_cls:
+                        last.content += text
+                        last._node_size = None
+                    else:
+                        leaf = content_cls.__new__(content_cls)
+                        leaf.parent = nodes[-1]
+                        leaf._node_size = None
+                        leaf._tag_count = None
+                        leaf._fanout = None
+                        leaf.content = text
+                        children.append(leaf)
+                    saw_body_content = True
+                    emitted = True
+            else:
+                handle_text(decode(source[text_start:lt]), lt)
+        text_start = lt
+        gi = m.lastindex
+        if gi == 3:
+            # -- start tag, no attributes -----------------------------------
+            raw = m.group(2)
+            name = interned_get(raw) or intern_tag(raw)
+            self_closing = m.group(3) != ""
+            attrs: tuple = _EMPTY_ATTRS
+            pos = m.end()
+        elif gi == 1:
+            # -- end tag ----------------------------------------------------
+            raw = m.group(1)
+            name = interned_get(raw) or intern_tag(raw)
+            gt = find(">", m.end())
+            pos = length if gt == -1 else gt + 1
+            text_start = pos
+            if name in raw_tags and drop_scripts:
+                continue  # stray </script> with no open element
+            if name == "html" or name == "body":
+                # Deferred: body/html end at end of input, as in Tidy.
+                continue
+            if name == "head":
+                if in_head:
+                    while names and names[-1] != "head":
+                        close_top(lt)
+                        n_unclosed += 1
+                    if names and names[-1] == "head":
+                        close_top(pos)
+                    in_head = False
+                else:
+                    n_unmatched += 1
+                continue
+            if name in void_tags:
+                # </br> style end tags for void elements are dropped; the
+                # start tag already emitted its pair.
+                n_unmatched += 1
+                continue
+            if name not in names:
+                n_unmatched += 1
+                continue
+            # Close intervening unclosed elements (condition 5: repair
+            # overlapping tags by closing inner elements first).
+            while names[-1] != name:
+                close_top(lt)
+                n_misnested += 1
+            close_top(pos)
+            continue
+        elif gi == 4:
+            # -- start tag with attributes ----------------------------------
+            raw = m.group(4)
+            name = interned_get(raw) or intern_tag(raw)
+            attrs, self_closing, pos = _parse_attrs(source, m.end(), length)
+        elif gi == 5:
+            # -- comment / declaration --------------------------------------
+            b = m.group(5)
+            if b == "!--":
+                end = find("-->", lt + 4)
+                pos = length if end == -1 else end + 3
+                if drop_comments:
+                    n_comments += 1
+                else:
+                    # Kept comments pass through the legacy stream verbatim;
+                    # the tree ignores them but they count as output.
+                    emitted = True
+            else:
+                end = find(">", lt + 1)
+                pos = length if end == -1 else end + 1
+                n_decls += 1
+            text_start = pos
+            continue
+        else:
+            # -- stray '<': literal text ------------------------------------
+            nxt = lt + 1
+            if nxt >= length:
+                pos = length  # trailing '<' at end of input
+                break
+            # text_start stays at lt; resume past "</" or past the '<'.
+            pos = min(lt + 2, length) if source[nxt] == "/" else nxt
+            continue
+
+        # -- common start-tag handling (gi == 3 or gi == 4) ------------------
+        text_start = pos
+        if name in raw_tags:
+            if drop_scripts:
+                n_raw += 1
+                if not self_closing:
+                    # Swallow the raw content and its end tag.
+                    if lowered is None:
+                        lowered = source.lower()
+                    idx = lowered.find("</" + name, pos)
+                    if idx == -1:
+                        pos = length
+                    else:
+                        gt = find(">", idx)
+                        pos = length if gt == -1 else gt + 1
+                    text_start = pos
+                continue
+            # Keeping scripts: the element nests normally; its raw content
+            # (never tokenized as markup) becomes its text child.
+        if name == "html" or name == "head" or name == "body":
+            structural_start(name, lt)
+            if name == "body":
+                saw_body_content = True
+            continue
+        if in_head and not body_open and name not in head_only:
+            leave_head(lt)
+        if not body_open and not in_head:
+            ensure_structure(name, lt)
+        ci = close_info_get(name)
+        if ci is not None and names:
+            boundaries, implied, closes_p = ci
+            while names:
+                top = names[-1]
+                if top in boundaries:
+                    break
+                if top in implied or (closes_p and top == "p"):
+                    close_top(lt)
+                    n_implied += 1
+                    continue
+                break
+        node = tag_new(tag_cls)
+        node.parent = None
+        node._node_size = None
+        node._tag_count = None
+        node._fanout = None
+        node.name = name
+        node.attrs = attrs
+        node.children = []
+        node.span_start = lt
+        if name in void_tags or self_closing:
+            # Condition 4 of Section 2.1: immediately pair the tag.
+            node.span_end = pos
+            if nodes:
+                parent = nodes[-1]
+                node.parent = parent
+                parent.children.append(node)
+            else:
+                attach(node)
+            saw_body_content = saw_body_content or body_open
+            emitted = True
+            continue
+        node.span_end = None
+        if nodes:
+            parent = nodes[-1]
+            node.parent = parent
+            parent.children.append(node)
+        else:
+            attach(node)
+        nodes.append(node)
+        names.append(name)
+        if name == "pre":
+            pre_depth += 1
+        emitted = True
+        if name in raw_tags:
+            # drop_scripts=False: consume the raw content and end tag here,
+            # mirroring the tokenizer's raw-text mode.
+            if lowered is None:
+                lowered = source.lower()
+            idx = lowered.find("</" + name, pos)
+            if idx == -1:
+                if pos < length:
+                    handle_text(source[pos:], pos)
+                pos = length
+                end_at = length
+            else:
+                if idx > pos:
+                    handle_text(source[pos:idx], pos)
+                gt = find(">", idx)
+                pos = length if gt == -1 else gt + 1
+                end_at = pos
+            # The synthesized end tag closes the element through the normal
+            # end-tag logic (it is always the innermost open element).
+            while names[-1] != name:
+                close_top(end_at)
+                n_misnested += 1
+            close_top(end_at)
+            text_start = pos
+
+    if text_start < length:
+        handle_text(decode_entities(source[text_start:]), length)
+
+    if not emitted and synthesize_structure:
+        # Even an empty document yields the html > body skeleton so that
+        # parse_document never fails (Phase 1 accepts anything).
+        open_node("html", 0)
+        open_node("body", 0)
+        n_synth += 2
+    while nodes:
+        close_top(length)
+        n_unclosed += 1
+    if report is not None:
+        report.implied_end_tags = n_implied
+        report.unmatched_end_tags_dropped = n_unmatched
+        report.unclosed_tags_closed = n_unclosed
+        report.comments_dropped = n_comments
+        report.declarations_dropped = n_decls
+        report.raw_text_blocks_dropped = n_raw
+        report.structural_tags_synthesized = n_synth
+        report.misnested_repairs = n_misnested
+    if root is None:
+        raise ValueError("token stream contains no elements")
+    return root

@@ -27,6 +27,7 @@ builder in :mod:`repro.tree.builder` consumes this stream directly.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterable, Iterator
 
 from repro.html.tags import closes_implicitly, is_raw_text, is_void, scope_boundary
 from repro.html.tokenizer import (
@@ -106,9 +107,30 @@ class Normalizer:
     report: NormalizationReport = field(default_factory=NormalizationReport)
 
     def normalize(self, source: str) -> list[Token]:
-        """Normalize raw HTML ``source`` into a balanced token stream."""
+        """Normalize raw HTML ``source`` into a balanced token stream.
+
+        Convenience shim over :meth:`iter_normalize`; pipeline code should
+        prefer the streaming form (or the fused engine via
+        :func:`repro.tree.builder.parse_document`), which never holds the
+        whole token list in memory.
+        """
+        return list(self.iter_normalize(iter_tokens(source)))
+
+    def iter_normalize(self, tokens: Iterable[Token]) -> Iterator[Token]:
+        """Streaming repair filter: lazily normalize a token stream.
+
+        Consumes ``tokens`` one at a time and yields repaired tokens as soon
+        as they are determined, holding only the open-element stack -- this
+        is the middle stage of the fused pipeline
+        ``iter_tokens -> iter_normalize -> build_tag_tree``, which parses a
+        page in one pass without materializing any intermediate list.
+
+        ``self.report`` is reset when iteration starts (not at call time --
+        generators are lazy).
+        """
         self.report = NormalizationReport()
-        out: list[Token] = []
+        out: list[Token] = []  # small per-token buffer, flushed every step
+        emitted_any = False
         stack: list[str] = []  # open element names, innermost last
         saw_body_content = False
         pre_depth = 0
@@ -161,11 +183,12 @@ class Normalizer:
                 if stack and stack[-1] == "head":
                     close_top()
 
-        for token in iter_tokens(source):
+        def step(token: Token) -> None:
+            nonlocal saw_body_content, skip_raw_until
             if skip_raw_until is not None:
                 if isinstance(token, EndTagToken) and token.name == skip_raw_until:
                     skip_raw_until = None
-                continue
+                return
             if isinstance(token, CommentToken):
                 if self.drop_comments:
                     self.report.comments_dropped += 1
@@ -173,18 +196,18 @@ class Normalizer:
                     # Kept comments pass through verbatim; the tree builder
                     # ignores them, but serialization round-trips them.
                     out.append(token)
-                continue
+                return
             if isinstance(token, DoctypeToken):
                 self.report.declarations_dropped += 1
-                continue
+                return
             if isinstance(token, TextToken):
                 text = token.text
                 if self.collapse_whitespace and pre_depth == 0:
                     text = " ".join(text.split())
                     if not text:
-                        continue
+                        return
                 elif not text:
-                    continue
+                    return
                 if stack and stack[-1] == "head" and text.strip():
                     # Character data directly inside <head> ends the head
                     # section (text inside <title> etc. stays in the head).
@@ -192,19 +215,19 @@ class Normalizer:
                 ensure_structure(None)
                 out.append(TextToken(text))
                 saw_body_content = True
-                continue
+                return
             if isinstance(token, StartTagToken):
                 name = token.name
                 if self.drop_scripts and is_raw_text(name):
                     self.report.raw_text_blocks_dropped += 1
                     if not token.self_closing:
                         skip_raw_until = name
-                    continue
+                    return
                 if name in _STRUCTURAL:
                     self._handle_structural_start(name, stack, out, open_tag, close_top)
                     if name == "body":
                         saw_body_content = True
-                    continue
+                    return
                 if name not in _HEAD_ONLY and "body" not in stack and "head" in stack:
                     leave_head()
                 ensure_structure(name)
@@ -214,19 +237,19 @@ class Normalizer:
                     out.append(StartTagToken(name, token.attrs))
                     out.append(EndTagToken(name))
                     saw_body_content = saw_body_content or "body" in stack
-                    continue
+                    return
                 open_tag(StartTagToken(name, token.attrs))
-                continue
+                return
             if isinstance(token, EndTagToken):
                 name = token.name
                 if self.drop_scripts and is_raw_text(name):
-                    continue
+                    return
                 if name == "html" or name == "body":
                     # Deferred: the body (and html) end at end of input, as
                     # in Tidy -- a mid-document </body> would otherwise make
                     # a following <body> open a duplicate, and trailing
                     # content after </body>/</html> belongs in the body.
-                    continue
+                    return
                 if name == "head":
                     if name in stack:
                         while stack and stack[-1] != name:
@@ -236,24 +259,31 @@ class Normalizer:
                             close_top()
                     else:
                         self.report.unmatched_end_tags_dropped += 1
-                    continue
+                    return
                 if is_void(name):
                     # </br> style end tags for void elements are dropped;
                     # the start tag already emitted its pair.
                     self.report.unmatched_end_tags_dropped += 1
-                    continue
+                    return
                 if name not in stack:
                     self.report.unmatched_end_tags_dropped += 1
-                    continue
+                    return
                 # Close intervening unclosed elements (condition 5: repair
                 # overlapping tags by closing inner elements first).
                 while stack and stack[-1] != name:
                     close_top()
                     self.report.misnested_repairs += 1
                 close_top()
-                continue
+                return
 
-        if not out and self.synthesize_structure:
+        for token in tokens:
+            step(token)
+            if out:
+                emitted_any = True
+                yield from out
+                out.clear()
+
+        if not emitted_any and self.synthesize_structure:
             # Even an empty document yields the html > body skeleton so that
             # parse_document never fails (Phase 1 accepts anything).
             open_tag(StartTagToken("html"))
@@ -262,7 +292,7 @@ class Normalizer:
         while stack:
             close_top()
             self.report.unclosed_tags_closed += 1
-        return out
+        yield from out
 
     def _handle_structural_start(
         self,

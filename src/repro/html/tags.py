@@ -19,6 +19,8 @@ Three kinds of facts are recorded:
 
 from __future__ import annotations
 
+import sys
+
 #: Elements with no content model.  A well-formed rendering pairs them
 #: immediately with their end tag (Section 2.1, condition 4).
 VOID_TAGS: frozenset[str] = frozenset(
@@ -176,6 +178,71 @@ SCOPE_BOUNDARIES: dict[str, frozenset[str]] = {
     "option": frozenset({"select"}),
     "p": frozenset({"body", "html", "td", "th", "li", "dd", "blockquote", "form", "div"}),
 }
+
+
+#: Cap on the intern table: pathological soup with millions of distinct tag
+#: names must not grow process memory without bound.  Beyond the cap lookups
+#: fall back to plain ``str.lower()`` (correct, just uncached).
+_INTERN_CAP = 4096
+
+#: Maps raw (possibly mixed-case) tag names as scanned from source to their
+#: canonical lower-case, ``sys.intern``-ed form.  One page mentions ``TD``
+#: hundreds of times; interning makes every occurrence the same object, so
+#: downstream name comparisons are pointer checks and the per-name
+#: ``str.lower()`` is paid once per distinct spelling, not once per tag.
+_INTERN: dict[str, str] = {}
+
+
+def intern_tag(name: str) -> str:
+    """Canonical (lower-case, interned) form of a scanned tag name.
+
+    The module-level table is shared by the tokenizer, the fused parse
+    engine and anything constructing :class:`~repro.tree.node.TagNode`
+    objects by hand, so equal tag names are the *same* string object
+    process-wide.
+
+    >>> intern_tag("TABLE") is intern_tag("table")
+    True
+    """
+    cached = _INTERN.get(name)
+    if cached is None:
+        cached = sys.intern(name.lower())
+        if len(_INTERN) < _INTERN_CAP:
+            _INTERN[name] = cached
+    return cached
+
+
+# Pre-seed the table with the era vocabulary (both spellings the corpus
+# actually uses) so the very first page parsed already hits the fast path.
+for _name in BLOCK_TAGS | INLINE_TAGS | VOID_TAGS | RAW_TEXT_TAGS:
+    _INTERN[_name] = sys.intern(_name)
+    _INTERN[_name.upper()] = _INTERN[_name]
+del _name
+
+
+#: Per-tag implied-close facts, precomputed for the fused parse engine:
+#: ``name -> (scope boundaries, tags it implicitly closes, closes-open-p)``.
+#: A name absent from this table closes nothing implicitly, which lets the
+#: engine skip the whole implied-end walk with one dict miss.
+_CLOSE_INFO: dict[str, tuple[frozenset[str], frozenset[str], bool]] = {}
+for _name in set(_IMPLIED_END) | FLOW_BREAKERS:
+    _CLOSE_INFO[_name] = (
+        SCOPE_BOUNDARIES.get(_name, frozenset()),
+        _IMPLIED_END.get(_name, frozenset()),
+        _name in FLOW_BREAKERS and _name != "p",
+    )
+del _name
+
+
+def close_info(tag: str) -> tuple[frozenset[str], frozenset[str], bool] | None:
+    """The precomputed implied-close facts for ``tag`` (None = closes nothing).
+
+    Equivalent to combining :func:`scope_boundary` and
+    :func:`closes_implicitly`, folded into one lookup for the parse hot
+    path: ``closes_implicitly(tag, top)`` is
+    ``top in implied or (closes_p and top == "p")``.
+    """
+    return _CLOSE_INFO.get(tag)
 
 
 def is_void(tag: str) -> bool:

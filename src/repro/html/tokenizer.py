@@ -9,21 +9,65 @@ Anything that cannot be parsed as a tag is downgraded to text, never raised
 as an error: Phase 1 of Omini must accept arbitrary pages.
 
 The token stream preserves the source order exactly; normalization (implied
-end tags, tag-soup repair) is a separate pass in
-:mod:`repro.html.normalizer`.
+end tags, tag-soup repair) is a separate streaming pass in
+:mod:`repro.html.normalizer`, and the fused single-pass parse engine lives
+in :mod:`repro.html.engine`.
+
+Two surfaces exist over one scanning core:
+
+* :func:`scan` -- the hot path.  Yields plain tuples (``(kind, ...)`` with
+  integer kinds) so the fused engine pays no per-token object construction;
+  tag names come back already lower-cased and interned via
+  :func:`repro.html.tags.intern_tag`.
+* :func:`iter_tokens` / :func:`tokenize` -- the original dataclass-token
+  API, now a thin wrapper that materializes :data:`Token` objects from the
+  tuple stream.  Everything outside ``repro.html`` that wants a parse
+  should go through :func:`repro.tree.builder.parse_document` instead
+  (reprolint REP009 enforces this).
+
+The scanner uses compiled regular expressions for the overwhelmingly common
+shapes (end tags, attribute-free start tags, single attributes) so the per
+character work happens in C; only genuinely odd soup falls back to the
+character-level loop.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import re
+from dataclasses import dataclass
 from typing import Iterator, Union
 
 from repro.html.entities import decode_entities
-from repro.html.tags import is_raw_text
+from repro.html.tags import RAW_TEXT_TAGS, intern_tag
 
 _WHITESPACE = " \t\n\r\f"
 _NAME_START = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ")
-_NAME_CHARS = _NAME_START | set("0123456789-_:.")
+
+#: Event kinds yielded by :func:`scan`.  Tuple shapes:
+#: ``(TEXT, text, pos)`` (entity-decoded), ``(START, name, attrs,
+#: self_closing, pos)``, ``(END, name, pos, endpos)`` (``endpos`` is the
+#: offset just past the end tag's ``>``), ``(COMMENT, text, pos)``,
+#: ``(DECL, text, pos)``.
+TEXT, START, END, COMMENT, DECL = 0, 1, 2, 3, 4
+
+#: A start tag with no attributes -- ``<td>``, ``</tr>``-mate ``<tr>``,
+#: ``<br/>`` -- by far the most common tag shape in the corpus.
+_SIMPLE_START_RE = re.compile(r"<([a-zA-Z][a-zA-Z0-9\-_:.]*)[ \t\n\r\f]*(/?)>")
+
+#: An end tag's name; trailing junk up to ``>`` is skipped separately.
+_END_NAME_RE = re.compile(r"</([a-zA-Z][a-zA-Z0-9\-_:.]*)")
+
+#: A start tag's name (the attribute loop continues from the match end).
+_START_NAME_RE = re.compile(r"<([a-zA-Z][a-zA-Z0-9\-_:.]*)")
+
+#: One attribute: optional leading whitespace, a name (any run of characters
+#: that cannot end the name), then optionally ``= value`` where the value is
+#: double-quoted, single-quoted or unquoted.  Mirrors the hand parser the
+#: corpus was validated against, including unterminated-quote handling.
+_ATTR_RE = re.compile(
+    r"[ \t\n\r\f]*([^=>/ \t\n\r\f]+)"
+    r"(?:[ \t\n\r\f]*=[ \t\n\r\f]*(\"[^\"]*\"?|'[^']*'?|[^> \t\n\r\f]*))?"
+)
 
 
 @dataclass(frozen=True, slots=True)
@@ -83,219 +127,192 @@ class DoctypeToken:
 Token = Union[StartTagToken, EndTagToken, TextToken, CommentToken, DoctypeToken]
 
 
-@dataclass
-class _Scanner:
-    """Cursor over the source string with small lookahead helpers."""
+def _parse_attrs(source: str, pos: int, length: int) -> tuple[tuple, bool, int]:
+    """Parse the attribute region of a start tag beginning at ``pos``.
 
-    source: str
-    pos: int = 0
-    length: int = field(init=False)
-
-    def __post_init__(self) -> None:
-        self.length = len(self.source)
-
-    def eof(self) -> bool:
-        return self.pos >= self.length
-
-    def peek(self) -> str:
-        return self.source[self.pos] if self.pos < self.length else ""
-
-    def startswith(self, prefix: str) -> bool:
-        return self.source.startswith(prefix, self.pos)
-
-    def find(self, needle: str) -> int:
-        return self.source.find(needle, self.pos)
-
-
-def _skip_whitespace(sc: _Scanner) -> None:
-    while not sc.eof() and sc.peek() in _WHITESPACE:
-        sc.pos += 1
-
-
-def _read_name(sc: _Scanner) -> str:
-    start = sc.pos
-    while not sc.eof() and sc.source[sc.pos] in _NAME_CHARS:
-        sc.pos += 1
-    return sc.source[start : sc.pos]
-
-
-def _read_attribute(sc: _Scanner) -> tuple[str, str] | None:
-    """Parse one ``name``, ``name=value``, ``name="value"`` attribute.
-
-    Returns None when no attribute starts at the cursor.  Handles the
-    unquoted and single-quoted values rampant in the paper's corpus.
+    Returns ``(attrs, self_closing, new_pos)`` with ``new_pos`` just past
+    the closing ``>`` (or at end of input for an unterminated tag).
     """
-    _skip_whitespace(sc)
-    if sc.eof() or sc.peek() in ">/":
-        return None
-    # Attribute names may start with odd characters in real-world soup;
-    # consume up to '=', whitespace, '>' or '/'.
-    start = sc.pos
-    while not sc.eof() and sc.peek() not in "=>/" + _WHITESPACE:
-        sc.pos += 1
-    name = sc.source[start : sc.pos].lower()
-    if not name:
-        # Stray character (e.g. a lone quote); skip it to make progress.
-        sc.pos += 1
-        return None
-    _skip_whitespace(sc)
-    if sc.eof() or sc.peek() != "=":
-        return (name, "")
-    sc.pos += 1  # consume '='
-    _skip_whitespace(sc)
-    if sc.eof():
-        return (name, "")
-    quote = sc.peek()
-    if quote in "\"'":
-        sc.pos += 1
-        end = sc.find(quote)
-        if end == -1:
-            value = sc.source[sc.pos :]
-            sc.pos = sc.length
-        else:
-            value = sc.source[sc.pos : end]
-            sc.pos = end + 1
-        return (name, decode_entities(value))
-    # Unquoted value: runs to whitespace or '>'.
-    vstart = sc.pos
-    while not sc.eof() and sc.peek() not in ">" + _WHITESPACE:
-        sc.pos += 1
-    return (name, decode_entities(sc.source[vstart : sc.pos]))
-
-
-def _read_tag(sc: _Scanner) -> Token | None:
-    """Parse a tag starting at ``<``; returns None if it is not a real tag.
-
-    On a None return the cursor is left just past the ``<`` so the caller can
-    treat it as literal text.
-    """
-    tag_start = sc.pos
-    sc.pos += 1  # consume '<'
-    if sc.eof():
-        return None
-    ch = sc.peek()
-    if ch == "!":
-        if sc.startswith("!--"):
-            end = sc.source.find("-->", sc.pos + 3)
-            if end == -1:
-                text = sc.source[sc.pos + 3 :]
-                sc.pos = sc.length
-            else:
-                text = sc.source[sc.pos + 3 : end]
-                sc.pos = end + 3
-            return CommentToken(text, position=tag_start)
-        end = sc.find(">")
-        if end == -1:
-            text = sc.source[sc.pos + 1 :]
-            sc.pos = sc.length
-        else:
-            text = sc.source[sc.pos + 1 : end]
-            sc.pos = end + 1
-        return DoctypeToken(text, position=tag_start)
-    if ch == "?":
-        end = sc.find(">")
-        if end == -1:
-            text = sc.source[sc.pos + 1 :]
-            sc.pos = sc.length
-        else:
-            text = sc.source[sc.pos + 1 : end]
-            sc.pos = end + 1
-        return DoctypeToken(text, position=tag_start)
-    closing = False
-    if ch == "/":
-        closing = True
-        sc.pos += 1
-        if sc.eof():
-            return None
-    if sc.peek() not in _NAME_START:
-        # "<3", "< a" etc.: not a tag, emit literal '<' as text.
-        return None
-    name = _read_name(sc).lower()
-    if closing:
-        # Skip anything up to '>' (attributes on end tags are ignored).
-        end = sc.find(">")
-        sc.pos = sc.length if end == -1 else end + 1
-        return EndTagToken(name, position=tag_start)
     attrs: list[tuple[str, str]] = []
     self_closing = False
+    attr_match = _ATTR_RE.match
     while True:
-        _skip_whitespace(sc)
-        if sc.eof():
+        # Skip whitespace between attributes.
+        while pos < length and source[pos] in _WHITESPACE:
+            pos += 1
+        if pos >= length:
             break
-        if sc.startswith("/>"):
-            self_closing = True
-            sc.pos += 2
+        ch = source[pos]
+        if ch == ">":
+            pos += 1
             break
-        if sc.peek() == ">":
-            sc.pos += 1
-            break
-        if sc.peek() == "/":
-            sc.pos += 1
+        if ch == "/":
+            if source.startswith("/>", pos):
+                self_closing = True
+                pos += 2
+                break
+            pos += 1
             continue
-        attr = _read_attribute(sc)
-        if attr is not None:
-            attrs.append(attr)
-    return StartTagToken(name, tuple(attrs), self_closing, position=tag_start)
+        m = attr_match(source, pos)
+        if m is None:
+            # Stray character (e.g. a lone '='); skip it to make progress.
+            pos += 1
+            continue
+        pos = m.end()
+        name = m.group(1).lower()
+        value = m.group(2)
+        if value:
+            quote = value[0]
+            if quote == '"' or quote == "'":
+                if len(value) > 1 and value[-1] == quote:
+                    value = value[1:-1]
+                else:
+                    value = value[1:]
+            attrs.append((name, decode_entities(value)))
+        else:
+            attrs.append((name, ""))
+    return tuple(attrs), self_closing, pos
 
 
-def _read_raw_text(sc: _Scanner, tag: str) -> tuple[str, bool]:
-    """Consume raw content up to ``</tag``; returns (content, found_end).
+def scan(source: str) -> Iterator[tuple]:
+    """Tokenize ``source`` into a stream of plain event tuples.
 
-    Inside ``<script>``/``<style>`` no markup is recognized.  The end-tag
-    search is case-insensitive.
+    The hot-path core shared by :func:`iter_tokens` and the fused engine in
+    :mod:`repro.html.engine`.  Never raises on malformed input: unparseable
+    markup degrades to text.  The concatenation of all token source spans
+    covers the document, so the stream is a faithful linearization.  Tag
+    names are lower-cased and interned (:func:`~repro.html.tags.intern_tag`).
     """
-    lower = sc.source.lower()
-    needle = "</" + tag
-    idx = lower.find(needle, sc.pos)
-    if idx == -1:
-        content = sc.source[sc.pos :]
-        sc.pos = sc.length
-        return content, False
-    content = sc.source[sc.pos : idx]
-    end = sc.source.find(">", idx)
-    sc.pos = sc.length if end == -1 else end + 1
-    return content, True
+    length = len(source)
+    find = source.find
+    simple_match = _SIMPLE_START_RE.match
+    end_match = _END_NAME_RE.match
+    name_match = _START_NAME_RE.match
+    lowered: str | None = None  # lazily computed for raw-text scanning
+
+    pos = 0
+    text_start = 0
+    while pos < length:
+        lt = find("<", pos)
+        if lt == -1:
+            break
+        # Pending character data is flushed before the tag parse is even
+        # attempted; if the tag turns out to be bogus, the literal '<' run
+        # becomes its own later text token (matching the original parser).
+        if lt > text_start:
+            yield (TEXT, decode_entities(source[text_start:lt]), text_start)
+        text_start = lt
+        nxt = lt + 1
+        if nxt >= length:
+            # Trailing '<' at end of input: literal text.
+            pos = length
+            break
+        ch = source[nxt]
+        if ch == "!":
+            if source.startswith("!--", nxt):
+                end = find("-->", lt + 4)
+                if end == -1:
+                    yield (COMMENT, source[lt + 4 :], lt)
+                    pos = length
+                else:
+                    yield (COMMENT, source[lt + 4 : end], lt)
+                    pos = end + 3
+            else:
+                end = find(">", nxt)
+                if end == -1:
+                    yield (DECL, source[lt + 2 :], lt)
+                    pos = length
+                else:
+                    yield (DECL, source[lt + 2 : end], lt)
+                    pos = end + 1
+            text_start = pos
+            continue
+        if ch == "?":
+            end = find(">", nxt)
+            if end == -1:
+                yield (DECL, source[lt + 2 :], lt)
+                pos = length
+            else:
+                yield (DECL, source[lt + 2 : end], lt)
+                pos = end + 1
+            text_start = pos
+            continue
+        if ch == "/":
+            m = end_match(source, lt)
+            if m is None:
+                # "</3", "</ a", "</" + EOF: not a tag; the '<' is text
+                # (text_start stays at lt) and scanning resumes past "</".
+                pos = min(lt + 2, length)
+                continue
+            name = intern_tag(m.group(1))
+            end = find(">", m.end())
+            pos = length if end == -1 else end + 1
+            yield (END, name, lt, pos)
+            text_start = pos
+            continue
+        if ch not in _NAME_START:
+            # "<3", "< a" etc.: not a tag, the '<' is literal text.
+            pos = lt + 1
+            continue
+        # -- a start tag ----------------------------------------------------
+        m = simple_match(source, lt)
+        if m is not None:
+            name = intern_tag(m.group(1))
+            self_closing = m.group(2) == "/"
+            pos = m.end()
+            yield (START, name, (), self_closing, lt)
+        else:
+            nm = name_match(source, lt)  # always matches: ch is a letter
+            name = intern_tag(nm.group(1))  # type: ignore[union-attr]
+            attrs, self_closing, pos = _parse_attrs(source, nm.end(), length)  # type: ignore[union-attr]
+            yield (START, name, attrs, self_closing, lt)
+        text_start = pos
+        if self_closing or name not in RAW_TEXT_TAGS:
+            continue
+        # -- raw text content (<script>/<style>): no markup inside ----------
+        if lowered is None:
+            lowered = source.lower()
+        idx = lowered.find("</" + name, pos)
+        if idx == -1:
+            if pos < length:
+                yield (TEXT, source[pos:], pos)
+            pos = length
+            yield (END, name, length, length)
+        else:
+            if idx > pos:
+                yield (TEXT, source[pos:idx], pos)
+            end = find(">", idx)
+            pos = length if end == -1 else end + 1
+            yield (END, name, pos, pos)
+        text_start = pos
+    if text_start < length:
+        yield (TEXT, decode_entities(source[text_start:]), text_start)
 
 
 def iter_tokens(source: str) -> Iterator[Token]:
     """Lazily tokenize ``source`` into a stream of :data:`Token` values.
 
-    Never raises on malformed input: unparseable markup degrades to text.
-    The concatenation of all token source spans covers the document, so the
-    stream is a faithful linearization.
+    Compatibility wrapper over :func:`scan` that materializes the dataclass
+    tokens; see :func:`scan` for the guarantees.
     """
-    sc = _Scanner(source)
-    text_start = sc.pos
-    while not sc.eof():
-        lt = sc.find("<")
-        if lt == -1:
-            break
-        if lt > text_start:
-            yield TextToken(decode_entities(sc.source[text_start:lt]), position=text_start)
-        sc.pos = lt
-        token = _read_tag(sc)
-        if token is None:
-            # Literal '<' in text; cursor already past it.
-            text_start = lt
-            # Ensure forward progress past the '<'.
-            if sc.pos <= lt:
-                sc.pos = lt + 1
-            continue
-        yield token
-        if isinstance(token, StartTagToken) and not token.self_closing and is_raw_text(token.name):
-            raw_pos = sc.pos
-            content, found = _read_raw_text(sc, token.name)
-            if content:
-                yield TextToken(content, position=raw_pos)
-            yield EndTagToken(token.name, position=sc.pos)
-            if not found:
-                text_start = sc.pos
-                continue
-        text_start = sc.pos
-    if text_start < sc.length:
-        yield TextToken(decode_entities(sc.source[text_start:]), position=text_start)
+    for event in scan(source):
+        kind = event[0]
+        if kind == TEXT:
+            yield TextToken(event[1], position=event[2])
+        elif kind == START:
+            yield StartTagToken(event[1], event[2], event[3], position=event[4])
+        elif kind == END:
+            yield EndTagToken(event[1], position=event[2])
+        elif kind == COMMENT:
+            yield CommentToken(event[1], position=event[2])
+        else:
+            yield DoctypeToken(event[1], position=event[2])
 
 
 def tokenize(source: str) -> list[Token]:
-    """Eagerly tokenize ``source``; see :func:`iter_tokens`."""
+    """Eagerly tokenize ``source``; see :func:`iter_tokens`.
+
+    Legacy list-materializing entry point: fine for tests and small
+    documents, but pipeline code should stream (reprolint REP009).
+    """
     return list(iter_tokens(source))

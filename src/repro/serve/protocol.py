@@ -272,6 +272,8 @@ METRICS_SCHEMA: dict[str, tuple[str, ...]] = {
         "trees.hits",
         "trees.misses",
         "trees.evicted",
+        "trees.incremental.hits",
+        "trees.incremental.fallbacks",
     ),
     "histograms": (
         "serve.request.seconds",

@@ -37,6 +37,7 @@ from __future__ import annotations
 import queue
 import threading
 from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.core.rules import ExtractionRule, RuleStore, StaleRuleError
 from repro.core.stages.config import ExtractorConfig
@@ -67,6 +68,9 @@ from repro.serve.protocol import (
 )
 from repro.serve.rulecache import SharedRuleCache
 from repro.serve.treecache import TreeCache
+from repro.tree.builder import parse_document
+from repro.tree.incremental import try_incremental_parse
+from repro.tree.node import TagNode
 from repro.tree.paths import path_of
 
 __all__ = ["PendingRequest", "ServeConfig", "ServeRuntime"]
@@ -343,13 +347,21 @@ class ServeRuntime:
         )
         if tree is not None:
             ctx.root = tree
+        elif site is not None:
+            # Digest near-miss: the site's previous body may differ by one
+            # small edit; try patching its cached tree instead of a full
+            # re-parse (still inside ParseStage, so the Table 16/17
+            # ``parse_page`` column stays honest).
+            candidate = self.trees.incremental_candidate(site)
+            if candidate is not None:
+                ctx.parser = self._incremental_parser(*candidate)
         self.observer.on_extract_start(ctx)
         result: ExtractionResult | None = None
         try:
             if ctx.root is None:
                 self.engine.run_stage(ParseStage(), ctx)
                 assert ctx.root is not None
-                self.trees.put(digest, ctx.root)
+                self.trees.put(digest, ctx.root, site=site, body=body)
             result = self._run_plans(ctx, site)
         finally:
             self.observer.on_extract_end(ctx, result)
@@ -369,6 +381,27 @@ class ServeRuntime:
             timings_ms=result.timings.as_milliseconds(),
             elapsed_ms=elapsed * 1e3,
         )
+
+    def _incremental_parser(
+        self, old_body: str, old_root: "TagNode"
+    ) -> "Callable[[str], TagNode]":
+        """A parse function that patches ``old_root`` when the edit is small.
+
+        Falls back to the full fused parse whenever the conservative
+        safety contract of :func:`repro.tree.incremental.
+        try_incremental_parse` is not met; either way the counters say
+        which path ran.
+        """
+
+        def parse(source: str) -> "TagNode":
+            patched = try_incremental_parse(old_body, old_root, source)
+            if patched is not None:
+                self.metrics.counter("trees.incremental.hits").inc()
+                return patched
+            self.metrics.counter("trees.incremental.fallbacks").inc()
+            return parse_document(source)
+
+        return parse
 
     # -- rule-sharing pipeline flow -----------------------------------------
 

@@ -11,12 +11,22 @@ unchanged page -- the common case behind the
 :class:`~repro.fetch.cache.CachingFetcher` -- skip parsing entirely and
 go straight to ``ApplyRuleStage``.
 
+When the digest *misses* but the request names a site, the cache can
+still help: :meth:`TreeCache.incremental_candidate` returns the most
+recent ``(body, tree)`` pair stored for that site, which the runtime
+hands to :func:`repro.tree.incremental.try_incremental_parse` -- a small
+page edit (counter ticked, one listing added) then patches the cached
+tree instead of re-parsing the whole page.
+
 Sharing parsed trees across worker threads is safe because extraction
 never mutates a tree: stages only read structure, and the lazily cached
-per-node metrics (``_node_size``/``_tag_count``) are idempotent
-single-attribute writes of deterministic values.
+per-node metrics (``_node_size``/``_tag_count``/``_fanout``) are
+idempotent single-attribute writes of deterministic values.  The
+incremental path preserves this: patching *clones* the old tree, it
+never mutates it.
 
-Counters (``trees.hits/misses/evicted``) land in the injected
+Counters (``trees.hits/misses/evicted`` and
+``trees.incremental.hits/fallbacks``) land in the injected
 :class:`~repro.observe.metrics.MetricsRegistry` under the pinned
 ``/metrics`` schema.
 """
@@ -33,7 +43,12 @@ __all__ = ["TreeCache"]
 
 
 class TreeCache:
-    """Bounded LRU of parsed tag trees, keyed by body digest."""
+    """Bounded LRU of parsed tag trees, keyed by body digest.
+
+    Each entry optionally remembers the ``site`` and raw ``body`` it was
+    parsed from; the newest entry per site seeds incremental re-parse on
+    digest misses.
+    """
 
     def __init__(
         self, *, capacity: int = 128, metrics: MetricsRegistry | None = None
@@ -43,29 +58,64 @@ class TreeCache:
         self.capacity = capacity
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._lock = threading.Lock()
-        self._entries: "OrderedDict[str, TagNode]" = OrderedDict()
+        self._entries: "OrderedDict[str, tuple[TagNode, str | None, str | None]]" = (
+            OrderedDict()
+        )
+        #: site -> digest of the newest entry stored for that site.
+        self._by_site: dict[str, str] = {}
 
     def get(self, digest: str) -> TagNode | None:
         """The cached tree for ``digest``, or None (counted hit/miss)."""
         with self._lock:
-            tree = self._entries.get(digest)
-            if tree is not None:
+            entry = self._entries.get(digest)
+            if entry is not None:
                 self._entries.move_to_end(digest)
-        name = "trees.hits" if tree is not None else "trees.misses"
+        name = "trees.hits" if entry is not None else "trees.misses"
         self.metrics.counter(name).inc()
-        return tree
+        return entry[0] if entry is not None else None
 
-    def put(self, digest: str, root: TagNode) -> None:
-        """Install a freshly parsed tree, evicting the least recent."""
+    def put(
+        self,
+        digest: str,
+        root: TagNode,
+        *,
+        site: str | None = None,
+        body: str | None = None,
+    ) -> None:
+        """Install a freshly parsed tree, evicting the least recent.
+
+        ``site``/``body``, when given, register this entry as the site's
+        incremental-reparse candidate (newest write wins).
+        """
         evicted = 0
         with self._lock:
-            self._entries[digest] = root
+            self._entries[digest] = (root, site, body if site is not None else None)
             self._entries.move_to_end(digest)
+            if site is not None:
+                self._by_site[site] = digest
             while len(self._entries) > self.capacity:
-                self._entries.popitem(last=False)
+                old_digest, (_, old_site, _) = self._entries.popitem(last=False)
+                if old_site is not None and self._by_site.get(old_site) == old_digest:
+                    del self._by_site[old_site]
                 evicted += 1
         if evicted:
             self.metrics.counter("trees.evicted").inc(evicted)
+
+    def incremental_candidate(self, site: str) -> tuple[str, TagNode] | None:
+        """The newest ``(body, tree)`` stored for ``site``, if any.
+
+        Does not touch hit/miss counters (the digest lookup already did)
+        and does not refresh LRU order -- only an actual reuse via
+        :meth:`put` keeps a site's entry alive.
+        """
+        with self._lock:
+            digest = self._by_site.get(site)
+            if digest is None:
+                return None
+            entry = self._entries.get(digest)
+        if entry is None or entry[2] is None:
+            return None
+        return entry[2], entry[0]
 
     def __len__(self) -> int:
         with self._lock:

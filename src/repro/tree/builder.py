@@ -12,15 +12,19 @@ raw HTML in, root :class:`~repro.tree.node.TagNode` out.
 
 from __future__ import annotations
 
-from repro.html.normalizer import Normalizer
+from typing import Iterable
+
 from repro.html.tokenizer import EndTagToken, StartTagToken, TextToken, Token
 from repro.tree.node import ContentNode, Node, TagNode
 
 
-def build_tag_tree(tokens: list[Token]) -> TagNode:
+def build_tag_tree(tokens: Iterable[Token]) -> TagNode:
     """Build a tag tree from a balanced token stream.
 
-    The stream must contain at least one start tag; the first start tag
+    Accepts any iterable -- in particular the lazy stream from
+    :meth:`repro.html.normalizer.Normalizer.iter_normalize`, so the
+    three-stage pipeline runs without materializing a token list.  The
+    stream must contain at least one start tag; the first start tag
     becomes the root (the normalizer guarantees this is ``html``).  Raises
     ``ValueError`` on an unbalanced stream -- that indicates a bug in the
     normalizer, not bad input, since arbitrary input is repaired upstream.
@@ -66,16 +70,24 @@ def build_tag_tree(tokens: list[Token]) -> TagNode:
 
 
 def parse_document(source: str, **normalizer_options) -> TagNode:
-    """Parse raw HTML into a tag tree: normalize, then build.
+    """Parse raw HTML into a tag tree in a single pass over the source.
 
     This is the full Phase 1 of the Omini pipeline minus the network fetch.
+    It drives the fused engine (:func:`repro.html.engine.parse_html`):
+    tokenization, tag-soup repair, and tree construction happen in one scan
+    with no intermediate token stream.  The result is pinned (by the golden
+    corpus and property tests) to be identical to the legacy three-pass
+    path ``build_tag_tree(Normalizer(...).normalize(source))``.
 
     >>> tree = parse_document("<ul><li>a<li>b</ul>")
     >>> tree.name
     'html'
     """
-    tokens = Normalizer(**normalizer_options).normalize(source)
-    return build_tag_tree(tokens)
+    # Imported here, not at module level: the engine builds TagNodes, so a
+    # top-of-module import would cycle through repro.tree's package init.
+    from repro.html.engine import parse_html
+
+    return parse_html(source, **normalizer_options)
 
 
 def tree_to_tokens(root: TagNode) -> list[Token]:

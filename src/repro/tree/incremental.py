@@ -1,0 +1,340 @@
+"""Incremental re-parse: patch a cached tag tree after a small page edit.
+
+A long-running extraction service (:mod:`repro.serve`) sees the same pages
+over and over.  When a page's body changes *slightly* -- a counter ticked,
+one listing was added, a timestamp moved -- the digest-keyed tree cache
+misses even though almost the entire parse would come out identical.  This
+module recovers that work: given the previously parsed tree (with the
+source *spans* the fused engine records on every tag node) and the new
+body, it
+
+1. locates the changed character range via longest common prefix/suffix
+   (:func:`common_affix`);
+2. finds the deepest *safe* element whose source span covers the change
+   (:func:`find_cover`) -- safe means re-parsing its markup out of context
+   cannot diverge from a full parse (no structural/``pre``/``head``
+   interactions, see below);
+3. re-parses only that element's new markup with the fused engine
+   (``synthesize_structure=False`` so the fragment's own tag is the root);
+4. splices the fresh subtree into a *clone* of the old tree
+   (:func:`_splice`), transplanting the memoized ``nodeSize``/``tagCount``/
+   ``fanout`` caches of every untouched node and shifting spans after the
+   edit by the length delta -- so the patched tree can itself seed the next
+   incremental parse.
+
+The old tree is never mutated: it may be shared with concurrent readers
+through :class:`repro.serve.treecache.TreeCache`.
+
+Correctness rests on a conservative bail-out contract --
+:func:`try_incremental_parse` returns ``None`` (caller does a full parse)
+whenever any of these hold:
+
+* no safe cover element exists (change touches top-level structure);
+* the cover has a ``pre`` or ``head`` ancestor (whitespace collapse and
+  the head->body transition depend on context a fragment parse lacks);
+* the fragment mentions ``html``/``head``/``body`` tags (structural
+  handling is global);
+* the fragment parse reports *any* repair that can leak past the fragment
+  boundary: synthesized structure, dropped unmatched end tags, or
+  elements left open at end-of-fragment;
+* the re-parsed root is not the cover's own element closed exactly at the
+  fragment's end (an edit that escapes the element shows up here);
+* the fragment parse raises (e.g. "multiple root elements").
+
+Every accepted patch is therefore byte-equivalent to a full parse; the
+property tests pin this by comparing against :func:`repro.html.engine.
+parse_html` over random edits, and ``verify=True`` re-checks at runtime
+for the paranoid.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.html.normalizer import NormalizationReport
+from repro.tree.node import ContentNode, Node, TagNode
+
+__all__ = ["common_affix", "find_cover", "try_incremental_parse"]
+
+#: Tags whose start/end handling consults global document state; a changed
+#: region that mentions any of them is re-parsed from scratch.
+_STRUCTURAL_RE = re.compile(r"</?(?:html|head|body)[\s/>]", re.IGNORECASE)
+
+_STRUCTURAL_NAMES = frozenset({"html", "head", "body"})
+
+#: Ancestor names that make a fragment parse context-dependent: ``pre``
+#: changes whitespace collapse, ``head`` changes where non-head tags land.
+_CONTEXT_NAMES = frozenset({"pre", "head"})
+
+
+def _common_prefix_len(a: str, b: str) -> int:
+    """Length of the longest common prefix (binary search, C-speed slices)."""
+    limit = min(len(a), len(b))
+    if a[:limit] == b[:limit]:
+        return limit
+    lo, hi = 0, limit  # a[:lo] == b[:lo]; a[:hi] != b[:hi]
+    while lo + 1 < hi:
+        mid = (lo + hi) // 2
+        if a[:mid] == b[:mid]:
+            lo = mid
+        else:
+            hi = mid
+    return lo
+
+
+def common_affix(old: str, new: str) -> tuple[int, int]:
+    """``(prefix, suffix)`` lengths of the common affixes of two strings.
+
+    The suffix is capped so the two regions never overlap
+    (``prefix + suffix <= min(len(old), len(new))``); the changed region of
+    ``old`` is then ``old[prefix : len(old) - suffix]``.
+
+    >>> common_affix("<p>old</p>", "<p>new!</p>")
+    (3, 4)
+    """
+    prefix = _common_prefix_len(old, new)
+    limit = min(len(old), len(new)) - prefix
+    ra, rb = old[::-1], new[::-1]
+    suffix = min(limit, _common_prefix_len(ra, rb))
+    return prefix, suffix
+
+
+def find_cover(root: TagNode, start: int, end: int) -> TagNode | None:
+    """The deepest *safe* element whose span covers ``[start, end)``.
+
+    Descends the span-annotated tree; among the chain of covering elements
+    picks the deepest one that (a) is not ``html``/``head``/``body``, and
+    (b) has no ``pre``/``head`` ancestor.  Returns ``None`` when only
+    structural elements cover the change.
+    """
+    chain: list[TagNode] = []
+    node = root
+    while True:
+        chain.append(node)
+        descend: TagNode | None = None
+        for child in node.children:
+            if (
+                isinstance(child, TagNode)
+                and child.span_start is not None
+                and child.span_end is not None
+                and child.span_start <= start
+                and child.span_end >= end
+            ):
+                descend = child
+                break
+        if descend is None:
+            break
+        node = descend
+    context_unsafe = False
+    best: TagNode | None = None
+    for candidate in chain:  # root -> deepest; remember the last safe one
+        if not context_unsafe and candidate.name not in _STRUCTURAL_NAMES:
+            best = candidate
+        if candidate.name in _CONTEXT_NAMES:
+            context_unsafe = True  # everything below is context-dependent
+    return best
+
+
+def _source_backed(node: TagNode, source: str) -> bool:
+    """True when ``node``'s span really starts at its own start tag.
+
+    Synthesized elements carry spans too (the position they were implied
+    at); re-parsing from such a span would read some *other* markup.
+    """
+    start = node.span_start
+    if start is None or node.span_end is None:
+        return False
+    name = node.name
+    probe = source[start : start + len(name) + 1]
+    return probe.lower() == "<" + name
+
+
+def _shift_spans(root: TagNode, offset: int) -> None:
+    """Move every span in ``root``'s subtree by ``offset`` characters."""
+    if offset == 0:
+        return
+    stack: list[Node] = [root]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, TagNode):
+            if node.span_start is not None:
+                node.span_start += offset
+            if node.span_end is not None:
+                node.span_end += offset
+            stack.extend(node.children)
+
+
+def _splice(
+    old_root: TagNode, cover: TagNode, replacement: TagNode, delta: int
+) -> TagNode:
+    """Clone ``old_root`` with ``cover`` swapped for ``replacement``.
+
+    The clone shares nothing with the old tree (parent pointers stay
+    consistent on both sides) but transplants the memoized metric caches
+    of every node outside the splice; ancestors of the splice keep only
+    ``fanout`` (child count is unchanged) and spans after the edit shift
+    by ``delta`` so the clone's spans index the *new* source.
+    """
+    cover_end = cover.span_end
+    assert cover_end is not None
+    path_ids = {id(ancestor) for ancestor in cover.iter_ancestors()}
+    result: TagNode | None = None
+    stack: list[tuple[Node, TagNode | None]] = [(old_root, None)]
+    while stack:
+        node, parent_clone = stack.pop()
+        clone: Node
+        if node is cover:
+            clone = replacement
+        elif isinstance(node, ContentNode):
+            leaf = ContentNode.__new__(ContentNode)
+            leaf.parent = None
+            leaf._node_size = node._node_size
+            leaf._tag_count = node._tag_count
+            leaf._fanout = None
+            leaf.content = node.content
+            clone = leaf
+        else:
+            assert isinstance(node, TagNode)
+            tag = TagNode.__new__(TagNode)
+            tag.parent = None
+            tag.name = node.name
+            tag.attrs = node.attrs
+            tag.children = []
+            on_path = id(node) in path_ids
+            if on_path:
+                # Sizes depend on the replaced subtree; fanout does not.
+                tag._node_size = None
+                tag._tag_count = None
+            else:
+                tag._node_size = node._node_size
+                tag._tag_count = node._tag_count
+            tag._fanout = node._fanout
+            start, end = node.span_start, node.span_end
+            if on_path:
+                tag.span_start = start
+                tag.span_end = None if end is None else end + delta
+            elif start is not None and start >= cover_end:
+                tag.span_start = start + delta
+                tag.span_end = None if end is None else end + delta
+            else:
+                tag.span_start = start
+                tag.span_end = end
+            for child in reversed(node.children):
+                stack.append((child, tag))
+            clone = tag
+        if parent_clone is None:
+            assert isinstance(clone, TagNode)
+            result = clone
+        else:
+            clone.parent = parent_clone
+            parent_clone.children.append(clone)
+    assert result is not None
+    return result
+
+
+def _signature(root: TagNode) -> list[tuple[object, ...]]:
+    """Pre-order skeleton used by the ``verify=True`` cross-check."""
+    out: list[tuple[object, ...]] = []
+    stack: list[Node] = [root]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, ContentNode):
+            out.append(("#text", node.content))
+        else:
+            assert isinstance(node, TagNode)
+            out.append((node.name, node.attrs, len(node.children)))
+            stack.extend(reversed(node.children))
+    return out
+
+
+def try_incremental_parse(
+    old_source: str,
+    old_root: TagNode,
+    new_source: str,
+    *,
+    verify: bool = False,
+    **options: bool,
+) -> TagNode | None:
+    """Patch ``old_root`` (parsed from ``old_source``) to match ``new_source``.
+
+    Returns the patched tree, or ``None`` whenever the conservative safety
+    contract (module docstring) is not met -- the caller then runs a full
+    parse.  ``options`` are the parse options the old tree was built with;
+    they must match for the patch to be equivalent.  With ``verify=True``
+    the patch is cross-checked against a full parse (defeating the speedup;
+    meant for tests and debugging).
+    """
+    from repro.html.engine import parse_html  # lazy: avoids an import cycle
+
+    if old_source == new_source:
+        return None  # the digest cache already handles identical bodies
+    prefix, suffix = common_affix(old_source, new_source)
+    changed_start = prefix
+    changed_end = len(old_source) - suffix
+    delta = len(new_source) - len(old_source)
+
+    cover = find_cover(old_root, changed_start, changed_end)
+    if cover is None or cover.parent is None:
+        return None
+    if not _source_backed(cover, old_source):
+        return None
+    frag_start = cover.span_start
+    frag_end = cover.span_end
+    assert frag_start is not None and frag_end is not None
+    fragment = new_source[frag_start : frag_end + delta]
+    if _STRUCTURAL_RE.search(fragment):
+        return None
+    if not fragment.endswith(">"):
+        # The old span ended just past a '>'; anything else means the edit
+        # reached the cover's own end tag, where a truncated construct
+        # (end tag, attribute quote, comment) would scan past the fragment
+        # in a full parse but stop at end-of-input here.
+        return None
+
+    report = NormalizationReport()
+    fragment_options = dict(options)
+    fragment_options["synthesize_structure"] = False
+    try:
+        fresh = parse_html(fragment, report=report, **fragment_options)
+    except ValueError:
+        return None
+    if (
+        report.structural_tags_synthesized
+        or report.unmatched_end_tags_dropped
+        or report.unclosed_tags_closed
+    ):
+        # Any of these repairs may have leaked context past the fragment.
+        return None
+    if fresh.name != cover.name or fresh.span_start != 0 or (
+        fresh.span_end != len(fragment)
+    ):
+        # The fragment must BE the cover element: an edit landing exactly on
+        # the span boundary can prepend content the fragment parse would
+        # silently drop (text before the root) or close the root early.
+        return None
+    if '"' in fragment or "'" in fragment:
+        # Unterminated-quote runoff: an edit can leave an attribute quote
+        # open so the value scan consumes exactly to the fragment boundary
+        # here but would keep consuming in the full page (the guards above
+        # miss this when the cover is a void element, which pairs
+        # immediately and leaves nothing unclosed).  A probe element
+        # appended to a *self-contained* fragment must surface as a second
+        # root ("multiple root elements"); a runoff swallows it silently.
+        try:
+            parse_html(
+                fragment + "<i>probe</i>",
+                report=NormalizationReport(),
+                **fragment_options,
+            )
+        except ValueError:
+            pass
+        else:
+            return None
+
+    _shift_spans(fresh, frag_start)
+    patched = _splice(old_root, cover, fresh, delta)
+    if verify:
+        full = parse_html(new_source, **options)
+        if _signature(patched) != _signature(full):
+            return None
+    return patched

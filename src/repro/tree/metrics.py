@@ -21,9 +21,18 @@ from repro.tree.node import ContentNode, Node, TagNode
 
 
 def fanout(node: Node) -> int:
-    """Number of children of ``node``; 0 for content nodes."""
+    """Number of children of ``node``; 0 for content nodes.
+
+    Memoized on the node like ``node_size``/``tag_count`` (and invalidated
+    by mutation through :meth:`~repro.tree.node.TagNode.append`/``detach``),
+    so heuristics that consult fanout repeatedly never re-measure the child
+    list.
+    """
     if isinstance(node, TagNode):
-        return len(node.children)
+        cached = node._fanout
+        if cached is None:
+            cached = node._fanout = len(node.children)
+        return cached
     return 0
 
 
@@ -41,7 +50,11 @@ def node_size(node: Node) -> int:
 
 
 def subtree_size(node: Node) -> int:
-    """Size of the subtree anchored at ``node``; equals :func:`node_size`."""
+    """Size of the subtree anchored at ``node``; equals :func:`node_size`.
+
+    Shares the ``_node_size`` cache, so repeated subtree-size queries after
+    the first are O(1) until the node (or a descendant) is mutated.
+    """
     return node_size(node)
 
 

@@ -21,12 +21,13 @@ from typing import Iterator, Optional
 class Node:
     """Common behaviour of tag and content nodes."""
 
-    __slots__ = ("parent", "_node_size", "_tag_count")
+    __slots__ = ("parent", "_node_size", "_tag_count", "_fanout")
 
     def __init__(self) -> None:
         self.parent: Optional[TagNode] = None
         self._node_size: int | None = None
         self._tag_count: int | None = None
+        self._fanout: int | None = None
 
     # -- Definition 2: paths / ancestry -------------------------------------
 
@@ -67,13 +68,21 @@ class Node:
         while node is not None:
             node._node_size = None
             node._tag_count = None
+            node._fanout = None
             node = node.parent
 
 
 class TagNode(Node):
-    """An internal node: a start tag, its attributes, and its children."""
+    """An internal node: a start tag, its attributes, and its children.
 
-    __slots__ = ("name", "attrs", "children")
+    ``span_start``/``span_end`` hold the half-open character range the
+    element covers in the original source when the tree was built by the
+    fused engine (:mod:`repro.html.engine`); hand-built nodes leave them
+    ``None``.  Spans feed the incremental re-parse in
+    :mod:`repro.tree.incremental`.
+    """
+
+    __slots__ = ("name", "attrs", "children", "span_start", "span_end")
 
     def __init__(
         self,
@@ -85,6 +94,8 @@ class TagNode(Node):
         self.name = name.lower()
         self.attrs = attrs
         self.children: list[Node] = []
+        self.span_start: int | None = None
+        self.span_end: int | None = None
         if children:
             for child in children:
                 self.append(child)

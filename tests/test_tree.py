@@ -169,6 +169,29 @@ class TestMetrics:
         node.append(ContentNode("bb"))
         assert node_size(node) == 6  # cache invalidated by mutation
 
+    def test_fanout_cache_invalidated_by_append_after_read(self):
+        node = TagNode("d", children=[ContentNode("a")])
+        assert fanout(node) == 1  # primes the memoized value
+        assert node._fanout == 1
+        node.append(TagNode("span"))
+        assert node._fanout is None  # append dropped the stale cache
+        assert fanout(node) == 2
+
+    def test_subtree_size_cache_invalidated_by_append_after_read(self):
+        inner = TagNode("ul", children=[ContentNode("aa")])
+        root = TagNode("body", children=[inner])
+        assert subtree_size(root) == 2  # primes caches on root and inner
+        inner.append(ContentNode("bbb"))  # mutate a descendant, not root
+        assert subtree_size(root) == 5  # ancestor caches were invalidated
+        assert subtree_size(inner) == 5
+
+    def test_fanout_cache_invalidated_by_detach_after_read(self):
+        child = TagNode("li")
+        node = TagNode("ul", children=[child, ContentNode("x")])
+        assert fanout(node) == 2
+        node.detach(child)
+        assert fanout(node) == 1
+
     def test_max_child_tag_appearance(self, simple_tree):
         ul = find_first(simple_tree, "ul")
         assert max_child_tag_appearance(ul) == ("li", 2)

