@@ -491,7 +491,7 @@ class Rep007PrintInLibrary(Rule):
         "output that corrupts machine-read stdout (e.g. omini --json)"
     )
     scoped_paths = ("repro/*",)
-    allowed_paths = ("repro/cli.py", "repro/analysis/*")
+    allowed_paths = ("repro/cli.py", "repro/analysis/*", "repro/eval/harness2.py")
     visitor_class = _Rep007Visitor
 
 

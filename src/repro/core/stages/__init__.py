@@ -34,6 +34,7 @@ from repro.core.stages.context import (
     PhaseTimings,
 )
 from repro.core.stages.engine import StageEngine
+from repro.core.stages.lanes import ExtractorLane, LaneResult, PipelineLane
 from repro.core.stages.instrumentation import (
     CompositeInstrumentation,
     Instrumentation,
@@ -64,9 +65,12 @@ __all__ = [
     "ExtractionContext",
     "ExtractionResult",
     "ExtractorConfig",
+    "ExtractorLane",
     "HEURISTIC_REGISTRY",
     "Instrumentation",
+    "LaneResult",
     "LearnRuleStage",
+    "PipelineLane",
     "ParseStage",
     "PhaseTimings",
     "ReadStage",

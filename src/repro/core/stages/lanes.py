@@ -1,0 +1,82 @@
+"""Extractor lanes: one protocol for every extractor the harness compares.
+
+NEXT-EVAL-style evaluation (``repro.eval.harness2``) scores *systems*, not
+heuristics: the Omini staged pipeline, the BYU baseline, and any future
+extractor (nested-record stages, an LLM-fallback lane) must all be drivable
+through one surface.  :class:`ExtractorLane` is that surface -- a name plus
+``extract(html) -> LaneResult`` -- deliberately smaller than
+:class:`~repro.core.stages.engine.StageEngine`'s interface so lanes that do
+not use the stage machinery at all can still be compared.
+
+:class:`PipelineLane` adapts the staged pipeline to the protocol: any
+:class:`~repro.core.stages.config.ExtractorConfig` becomes a lane.  The
+stock comparison pair lives in :mod:`repro.eval.harness2` (``omini_lane`` /
+``byu_lane``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
+
+from repro.core.stages.config import ExtractorConfig
+from repro.core.stages.context import ExtractionContext
+from repro.core.stages.engine import StageEngine
+
+__all__ = ["ExtractorLane", "LaneResult", "PipelineLane"]
+
+
+@dataclass(frozen=True, slots=True)
+class LaneResult:
+    """What one lane produced for one page -- the scorable surface."""
+
+    #: Extracted object texts, in document order.
+    objects: tuple[str, ...]
+    #: The separator the lane committed to (None = abstained).
+    separator: str | None
+    #: Dot-notation path of the subtree the lane extracted from.
+    subtree_path: str | None
+
+
+@runtime_checkable
+class ExtractorLane(Protocol):
+    """Anything the evaluation harness can race against ground truth."""
+
+    #: Stable lane identifier used as the report key (``"omini"``, ...).
+    name: str
+
+    def extract(self, source: str, *, site: str | None = None) -> LaneResult:
+        """Extract ``source`` end to end and return the scorable result."""
+        ...
+
+
+class PipelineLane:
+    """An :class:`ExtractorLane` over the staged pipeline.
+
+    Stateless between calls (the engine and strategy objects are shared,
+    exactly as :class:`~repro.core.batch.BatchExtractor` shares them across
+    worker threads), so one lane instance may score pages concurrently.
+    """
+
+    def __init__(self, name: str, config: ExtractorConfig | None = None) -> None:
+        self.name = name
+        self.config = config if config is not None else ExtractorConfig()
+        self._subtree_finder = self.config.build_subtree_finder()
+        self._separator_finder = self.config.build_separator_finder()
+        self._refinement = self.config.build_refinement()
+        self._engine = StageEngine()
+
+    def extract(self, source: str, *, site: str | None = None) -> LaneResult:
+        ctx = ExtractionContext(
+            source=source,
+            site=site,
+            subtree_finder=self._subtree_finder,
+            separator_finder=self._separator_finder,
+            refinement=self._refinement,
+        )
+        result = self._engine.extract(ctx)
+        return LaneResult(
+            objects=tuple(obj.text() for obj in result.objects),
+            separator=result.separator,
+            subtree_path=result.subtree_path,
+        )

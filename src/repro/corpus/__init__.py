@@ -19,6 +19,12 @@ package regenerates an equivalent corpus deterministically:
   all experiments on local copies of the pages).
 """
 
+from repro.corpus.adversarial import (
+    CATEGORIES,
+    AdversarialCorpusGenerator,
+    AdversarySiteSpec,
+    synthesize_sites,
+)
 from repro.corpus.fetcher import PageCache
 from repro.corpus.generator import CorpusGenerator, LabeledPage
 from repro.corpus.ground_truth import GroundTruth
@@ -32,6 +38,9 @@ from repro.corpus.sites import (
 )
 
 __all__ = [
+    "CATEGORIES",
+    "AdversarialCorpusGenerator",
+    "AdversarySiteSpec",
     "CorpusGenerator",
     "EXPERIMENTAL_SITES",
     "GroundTruth",
@@ -42,4 +51,5 @@ __all__ = [
     "TEST_SITES",
     "all_sites",
     "site_by_name",
+    "synthesize_sites",
 ]

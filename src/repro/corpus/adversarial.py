@@ -1,0 +1,320 @@
+"""Adversarial corpus engine: ~1000 seeded sites with ground truth.
+
+The paper validated Omini on 50 sites / ~2000 pages; NEXT-EVAL-scale
+comparison (PAPERS.md) needs corpora an order of magnitude larger and
+deliberately hostile.  This module synthesizes any number of sites across
+five adversary categories, each attacking a different layer of the system:
+
+=============  ============================================================
+Category       What it attacks
+=============  ============================================================
+``nested``     Deep/nested record structures (Hiremath & Algur's workload):
+               records wrapped 3-6 container levels deep with inner
+               attribute sub-lists, so the separator tag also occurs inside
+               every record.
+``aliased``    Separator-tag aliasing: two tags (``div`` container, ``hr``
+               boundary) validly split the same records, optionally with
+               template comments stamped before every separator occurrence
+               and entity-soup attribute encoding.
+``malformed``  Tag soup requiring real repair (stray end tags, duplicated
+               closes, unclosed trailers, truncated tails) layered on
+               classic layouts -- drives the fused engine's repair path.
+``drift``      Template drift over time: each site's page sequence mutates
+               layout family *and* chrome across generations, so cached
+               rules go stale and the serve layer's relearning and
+               incremental re-parse bail-outs see realistic churn.
+``plain``      Control group: classic layout families at mild settings.
+=============  ============================================================
+
+Everything is deterministic in ``(master_seed, site index)``: two runs of
+:func:`synthesize_sites` + :class:`AdversarialCorpusGenerator` produce
+byte-identical pages, which is what lets ``BENCH_eval.json`` be committed
+and reproduced exactly.  Every page carries automatic ground truth (the
+region is labeled by parsing the *final* soup, exactly like the classic
+generator), and the differential test in ``tests/test_adversarial_corpus``
+round-trips each site's truth through the oracle rule so corpus bugs fail
+loudly instead of silently skewing evaluation scores.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+
+from repro.corpus.dictionary import random_words
+from repro.corpus.generator import CorpusGenerator, LabeledPage
+from repro.corpus.noise import (
+    comment_wrap_separators,
+    entity_soup_attributes,
+    malform,
+    malform_soup,
+)
+from repro.corpus.sites import SiteSpec
+from repro.corpus.templates import (
+    TEMPLATES,
+    AliasedSeparatorTemplate,
+    ChromeConfig,
+    DeepNestedTemplate,
+    PageTemplate,
+    make_records,
+)
+
+__all__ = [
+    "CATEGORIES",
+    "AdversarySiteSpec",
+    "AdversarialCorpusGenerator",
+    "synthesize_sites",
+]
+
+#: The adversary taxonomy (fixed order: site index -> category is stable).
+CATEGORIES: tuple[str, ...] = ("nested", "aliased", "malformed", "drift", "plain")
+
+#: Layout families a drifting site cycles through.  Every adjacent pair
+#: differs in both subtree path and separator tag, so each generation
+#: change invalidates the previous generation's learned rule.
+DRIFT_TEMPLATE_CYCLE: tuple[str, ...] = (
+    "table_rows",
+    "div_blocks",
+    "bullet_list",
+    "definition_list",
+    "paragraphs",
+)
+
+#: Families the malformed and plain categories draw their base layout from.
+_SOUP_TEMPLATES: tuple[str, ...] = (
+    "table_rows",
+    "bullet_list",
+    "paragraphs",
+    "div_blocks",
+)
+_PLAIN_TEMPLATES: tuple[str, ...] = (
+    "table_rows",
+    "bullet_list",
+    "paragraphs",
+    "definition_list",
+    "div_blocks",
+    "hr_pre",
+)
+
+
+@dataclass(frozen=True)
+class AdversarySiteSpec(SiteSpec):
+    """A :class:`~repro.corpus.sites.SiteSpec` plus adversarial knobs."""
+
+    #: One of :data:`CATEGORIES`.
+    category: str = "plain"
+    #: Intensity of :func:`~repro.corpus.noise.malform_soup` (0 = none).
+    soup_intensity: float = 0.0
+    #: Entity-encode attribute values (``href="/item&#47;3"`` soup).
+    entity_soup: bool = False
+    #: Stamp template comments before separator occurrences.
+    comment_wrapped: bool = False
+    #: Container depth for the ``nested`` category (0 = template default).
+    nesting_depth: int = 0
+    #: Number of layout generations for the ``drift`` category.
+    drift_generations: int = 1
+    #: Pages emitted per generation before the layout mutates.
+    pages_per_generation: int = 1
+
+
+class AdversarialCorpusGenerator(CorpusGenerator):
+    """Generates labeled pages for adversary specs.
+
+    Classic :class:`~repro.corpus.sites.SiteSpec` values fall through to
+    the base generator unchanged, so one generator instance can serve
+    mixed corpora.
+    """
+
+    def pages_for_site(self, spec: SiteSpec) -> list[LabeledPage]:
+        if not isinstance(spec, AdversarySiteSpec):
+            return super().pages_for_site(spec)
+        rng = random.Random(f"{self.master_seed}:{spec.seed}:adversary")
+        count = spec.pages
+        if self.max_pages_per_site is not None:
+            count = min(count, self.max_pages_per_site)
+        queries = random_words(rng, min(100, max(count, 1)))
+        pages: list[LabeledPage] = []
+        for page_id in range(count):
+            generation = (
+                page_id // spec.pages_per_generation
+                if spec.category == "drift"
+                else 0
+            )
+            pages.append(
+                self._adversary_page(
+                    spec, rng, page_id, queries[page_id % len(queries)], generation
+                )
+            )
+        return pages
+
+    def generation_page(
+        self, spec: AdversarySiteSpec, generation: int, *, page_id: int = 0
+    ) -> LabeledPage:
+        """One page of a drifting site at an explicit ``generation``.
+
+        Deterministic in (master seed, site seed, generation, page_id);
+        the serve chaos tests use this to hand the runtime one page per
+        layout generation.
+        """
+        rng = random.Random(
+            f"{self.master_seed}:{spec.seed}:gen{generation}:{page_id}"
+        )
+        query = random_words(rng, 1)[0]
+        return self._adversary_page(spec, rng, page_id, query, generation)
+
+    # -- internals -----------------------------------------------------------
+
+    def _adversary_page(
+        self,
+        spec: AdversarySiteSpec,
+        rng: random.Random,
+        page_id: int,
+        query: str,
+        generation: int,
+    ) -> LabeledPage:
+        template = self._template_for(spec, generation)
+        chrome = self._chrome_for(spec, generation)
+        record_count = rng.randint(spec.records_min, spec.records_max)
+        records = make_records(
+            rng,
+            record_count,
+            site=spec.name,
+            query=query,
+            size_jitter=spec.size_jitter,
+        )
+        html, region = template.render_page(
+            records, rng, chrome, site=spec.name, query=query
+        )
+        html = malform(html, rng, intensity=spec.malform_intensity)
+        if spec.comment_wrapped:
+            html = comment_wrap_separators(
+                html, rng, region.separators[0], intensity=0.8
+            )
+        if spec.entity_soup:
+            html = entity_soup_attributes(html, rng, intensity=0.6)
+        if spec.soup_intensity:
+            html = malform_soup(html, rng, intensity=spec.soup_intensity)
+        return self._labeled(
+            spec,
+            html,
+            region,
+            page_id=page_id,
+            query=query,
+            records=records,
+            layout=template.name,
+            category=spec.category,
+            generation=generation,
+        )
+
+    def _template_for(
+        self, spec: AdversarySiteSpec, generation: int
+    ) -> PageTemplate:
+        if spec.category == "nested" and spec.nesting_depth >= 2:
+            return DeepNestedTemplate(depth=spec.nesting_depth)
+        if spec.category == "aliased":
+            return AliasedSeparatorTemplate()
+        if spec.category == "drift":
+            name = DRIFT_TEMPLATE_CYCLE[
+                (spec.seed + generation) % len(DRIFT_TEMPLATE_CYCLE)
+            ]
+            return TEMPLATES[name]
+        template = TEMPLATES.get(spec.template)
+        if template is None:
+            raise KeyError(
+                f"site {spec.name!r} uses unknown template {spec.template!r}"
+            )
+        return template
+
+    def _chrome_for(self, spec: AdversarySiteSpec, generation: int) -> ChromeConfig:
+        """The site's chrome, mutated per drift generation.
+
+        The mutation changes the number of elements *before* the results
+        region, so the region's dot-notation path shifts between
+        generations even when the layout family alone would not move it.
+        """
+        if spec.category != "drift" or generation == 0:
+            return spec.chrome
+        return replace(
+            spec.chrome,
+            nav_links=spec.chrome.nav_links + 3 * generation,
+            ads=(spec.chrome.ads + generation) % 3,
+            footer_links=spec.chrome.footer_links + generation,
+            section_headers_every=(0, 3)[generation % 2],
+        )
+
+
+def synthesize_sites(
+    count: int = 1000, *, master_seed: int = 7
+) -> tuple[AdversarySiteSpec, ...]:
+    """Deterministically synthesize ``count`` adversary site specs.
+
+    Sites round-robin over :data:`CATEGORIES` (index ``i`` always lands in
+    category ``i % 5``, independent of ``count``), and every per-site knob
+    is drawn from a generator seeded by ``(master_seed, i)`` -- so slicing
+    a 50-site smoke corpus out of the full corpus yields bit-identical
+    sites, and per-category populations differ by at most one.
+    """
+    if count < 1:
+        raise ValueError("count must be >= 1")
+    specs: list[AdversarySiteSpec] = []
+    for index in range(count):
+        category = CATEGORIES[index % len(CATEGORIES)]
+        rng = random.Random(f"adversary:{master_seed}:{index}")
+        chrome = ChromeConfig(
+            nav_links=rng.randint(4, 30),
+            nav_style=rng.choice(("table", "font", "list")),
+            ads=rng.randint(0, 2),
+            search_inputs=rng.randint(0, 3),
+            footer_links=rng.randint(2, 6),
+            sponsored_blocks=rng.choice((0, 0, 2)),
+            inter_record_breaks=rng.choice((0, 0, 1)),
+            section_headers_every=rng.choice((0, 0, 3)),
+        )
+        records_min = rng.randint(4, 8)
+        common = dict(
+            name=f"{category}-{index:04d}.adversary.test",
+            date="August 2026",
+            pages=2,
+            records_min=records_min,
+            records_max=records_min + rng.randint(2, 8),
+            chrome=chrome,
+            size_jitter=round(rng.uniform(0.2, 0.9), 2),
+            malform_intensity=round(rng.uniform(0.05, 0.3), 2),
+            seed=10_000 + index,
+            no_result_rate=0.0,
+            category=category,
+        )
+        if category == "nested":
+            spec = AdversarySiteSpec(
+                template="nested_deep",
+                nesting_depth=rng.randint(3, 6),
+                **common,
+            )
+        elif category == "aliased":
+            spec = AdversarySiteSpec(
+                template="aliased_hr_div",
+                comment_wrapped=rng.random() < 0.6,
+                entity_soup=rng.random() < 0.6,
+                **common,
+            )
+        elif category == "malformed":
+            spec = AdversarySiteSpec(
+                template=rng.choice(_SOUP_TEMPLATES),
+                soup_intensity=round(rng.uniform(0.4, 0.9), 2),
+                **common,
+            )
+        elif category == "drift":
+            generations = rng.randint(3, 4)
+            common["pages"] = generations
+            spec = AdversarySiteSpec(
+                template=DRIFT_TEMPLATE_CYCLE[0],
+                drift_generations=generations,
+                pages_per_generation=1,
+                **common,
+            )
+        else:
+            spec = AdversarySiteSpec(
+                template=rng.choice(_PLAIN_TEMPLATES), **common
+            )
+        specs.append(spec)
+    return tuple(specs)

@@ -156,8 +156,30 @@ class CorpusGenerator:
             records, rng, spec.chrome, site=spec.name, query=query
         )
         html = malform(html, rng, intensity=spec.malform_intensity)
+        return self._labeled(
+            spec,
+            html,
+            region,
+            page_id=page_id,
+            query=query,
+            records=records,
+            layout=template.name,
+        )
 
-        # Label against the tree the extractor will actually see.
+    def _labeled(
+        self,
+        spec,
+        html: str,
+        region,
+        *,
+        page_id: int,
+        query: str,
+        records,
+        layout: str,
+        category: str = "",
+        generation: int = 0,
+    ) -> LabeledPage:
+        """Label the *final* page text against its own parsed tree."""
         root = parse_document(html)
         region_node = _find_marked_region(root, region.marker)
         truth = GroundTruth(
@@ -166,9 +188,11 @@ class CorpusGenerator:
             query=query,
             subtree_path=path_of(region_node),
             separators=region.separators,
-            object_count=record_count,
+            object_count=len(records),
             object_texts=tuple(record.text_key for record in records),
-            layout=template.name,
+            layout=layout,
+            category=category,
+            generation=generation,
         )
         return LabeledPage(html=html, truth=truth)
 
@@ -184,16 +208,12 @@ class CorpusGenerator:
         )
         html = _page(f"{spec.name}: no results for {query}", body)
         html = malform(html, rng, intensity=spec.malform_intensity)
-        root = parse_document(html)
-        region_node = _find_marked_region(root, region.marker)
-        truth = GroundTruth(
-            site=spec.name,
+        return self._labeled(
+            spec,
+            html,
+            region,
             page_id=page_id,
             query=query,
-            subtree_path=path_of(region_node),
-            separators=(),
-            object_count=0,
-            object_texts=(),
+            records=(),
             layout=f"no_results_{kind}",
         )
-        return LabeledPage(html=html, truth=truth)

@@ -39,6 +39,13 @@ class GroundTruth:
         of the extracted objects themselves (not just the separator).
     layout:
         The template family name (for per-family result breakdowns).
+    category:
+        Adversary category of the generating site (``"nested"``,
+        ``"aliased"``, ``"malformed"``, ``"drift"``, ``"plain"``; empty for
+        the classic Table 23 manifest).
+    generation:
+        Template-drift generation this page belongs to (0 for sites whose
+        layout never changes).
     """
 
     site: str
@@ -49,6 +56,8 @@ class GroundTruth:
     object_count: int
     object_texts: tuple[str, ...] = field(default=())
     layout: str = ""
+    category: str = ""
+    generation: int = 0
 
     @property
     def primary_separator(self) -> str:

@@ -133,3 +133,130 @@ def malform(source: str, rng: random.Random, *, intensity: float = 0.3) -> str:
                 out = out.replace(f"</{name}>", f"</{name.upper()}>")
 
     return out
+
+
+# -- adversarial soup (harness2 corpus) ----------------------------------
+
+#: Stray end tags whose start tag never opened; the repair path drops them
+#: without creating a node, so they are safe to inject anywhere.
+_STRAY_END_TAGS = ("</font>", "</center>", "</em>", "</strike>")
+
+_BR_RE = re.compile(r"<br>", re.IGNORECASE)
+_DUP_CLOSE_RE = re.compile(r"</i>|</b>")
+
+
+def malform_soup(source: str, rng: random.Random, *, intensity: float = 0.5) -> str:
+    """Degrade HTML with *repair-requiring* soup (beyond :func:`malform`).
+
+    Where :func:`malform` stays within what HTML 4 permits, this layer
+    produces genuinely broken markup that drives the fused engine's repair
+    machinery (``unmatched_end_tags_dropped``, ``unclosed_tags_closed``,
+    ``structural_tags_synthesized``).  Every injection is chosen so the
+    *object structure* of the results region survives repair:
+
+    * stray end tags (``</font>``, ``</center>``, ...) after ``<br>``
+      occurrences -- dropped without creating nodes;
+    * duplicated inline end tags (``</i></i>``) -- the second is unmatched
+      and dropped;
+    * an unclosed trailer element just before ``</body>`` -- closed by
+      repair *after* the results region;
+    * a truncated document tail (missing ``</body></html>``) -- the
+      unclosed structural elements are closed at end of input.
+    """
+    if not 0.0 <= intensity <= 1.0:
+        raise ValueError("intensity must be in [0, 1]")
+    if intensity == 0.0:
+        return source
+    out = source
+
+    if rng.random() < intensity:
+        def stray(match: re.Match) -> str:
+            if rng.random() < intensity * 0.5:
+                return match.group(0) + rng.choice(_STRAY_END_TAGS)
+            return match.group(0)
+
+        out = _BR_RE.sub(stray, out)
+
+    if rng.random() < intensity:
+        def duplicate(match: re.Match) -> str:
+            if rng.random() < intensity * 0.5:
+                return match.group(0) * 2
+            return match.group(0)
+
+        out = _DUP_CLOSE_RE.sub(duplicate, out)
+
+    if rng.random() < intensity and "</body>" in out:
+        # An unclosed element opened after the region; repair closes it at
+        # the body boundary without touching the region's children.
+        out = out.replace(
+            "</body>", f"<font size=2>{phrase(rng, 3)}</body>", 1
+        )
+
+    if rng.random() < intensity:
+        # Era-typical truncated tail: the connection dropped mid-transfer.
+        out = out.replace("</body></html>", "", 1)
+
+    return out
+
+
+#: Matches double-quoted attribute values (the generator always quotes).
+_ANY_QUOTED_ATTR_RE = re.compile(r'(\w+)="([^"]*)"')
+
+
+def entity_soup_attributes(
+    source: str, rng: random.Random, *, intensity: float = 0.5
+) -> str:
+    """Re-encode characters inside attribute values as entity references.
+
+    Real 2000-era CGI output was full of over-escaped attributes
+    (``href="/item&#47;3"``).  The tokenizer decodes entities inside
+    attribute values, so this is lossless -- even the ``id="results"``
+    region marker survives encoding (a property the noise tests pin).
+    """
+    if not 0.0 <= intensity <= 1.0:
+        raise ValueError("intensity must be in [0, 1]")
+    if intensity == 0.0:
+        return source
+
+    def encode(match: re.Match) -> str:
+        name, value = match.group(1), match.group(2)
+        if not value or rng.random() >= intensity:
+            return match.group(0)
+        encoded = "".join(
+            f"&#{ord(ch)};" if ch.isalnum() and rng.random() < 0.3 else ch
+            for ch in value
+        )
+        return f'{name}="{encoded}"'
+
+    return _ANY_QUOTED_ATTR_RE.sub(encode, source)
+
+
+def comment_wrap_separators(
+    source: str,
+    rng: random.Random,
+    separator: str,
+    *,
+    intensity: float = 1.0,
+) -> str:
+    """Precede separator-tag occurrences with template comments.
+
+    Server-side template engines stamped ``<!-- BEGIN record -->`` markers
+    around every repeated block; the parser drops comments without creating
+    nodes, so the region's child structure -- and therefore the separator's
+    occurrence pattern -- is unchanged.
+    """
+    if not 0.0 <= intensity <= 1.0:
+        raise ValueError("intensity must be in [0, 1]")
+    if intensity == 0.0:
+        return source
+    pattern = re.compile(f"<{re.escape(separator)}(?=[ >])", re.IGNORECASE)
+    counter = 0
+
+    def wrap(match: re.Match) -> str:
+        nonlocal counter
+        counter += 1
+        if rng.random() >= intensity:
+            return match.group(0)
+        return f"<!-- BEGIN record {counter} -->{match.group(0)}"
+
+    return pattern.sub(wrap, source)

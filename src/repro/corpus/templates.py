@@ -520,6 +520,75 @@ class DivBlocksTemplate(PageTemplate):
         return RenderedRegion(html, separators=("div",))
 
 
+class DeepNestedTemplate(PageTemplate):
+    """Records wrapped ``depth`` container levels deep, each with a nested
+    attribute sub-list (the Hiremath & Algur nested-record shape).
+
+    The separator ``div`` also appears *inside* every record (the nesting
+    wrappers) and each record carries its own inner ``ul`` of attribute
+    items -- so a correct extractor must split at the region's direct
+    children, not at the globally most frequent tag.
+    """
+
+    name = "nested_deep"
+
+    def __init__(self, *, depth: int = 4) -> None:
+        if depth < 2:
+            raise ValueError("depth must be >= 2")
+        self.depth = depth
+
+    def region(self, records, rng, chrome) -> RenderedRegion:
+        blocks: list[str] = []
+        for record in records:
+            inner = (
+                f'<b><a href="{record.url}">{record.title}</a></b>'
+                f"<br>{record.description}"
+                f"<ul><li>{record.price}</li>"
+                + (f"<li>{record.byline}</li>" if record.byline else "")
+                + '<li><a href="/details">details</a></li></ul>'
+            )
+            for _ in range(self.depth - 1):
+                inner = f"<div>{inner}</div>"
+            blocks.append(f"<div>{inner}</div>")
+        blocks = interleave_region_noise(blocks, rng, chrome)
+        html = f'<td id="results">{"".join(blocks)}</td>'
+        html = f"<table><tr>{html}</tr></table>"
+        return RenderedRegion(html, separators=("div",))
+
+
+class AliasedSeparatorTemplate(PageTemplate):
+    """Each record is an ``<hr>``-preceded ``<div>`` card: two tags validly
+    split the same records (the "all possible separator tags" case pushed
+    to its limit).
+
+    ``div`` splits as a container (each card is one object) and ``hr`` as a
+    boundary (cards fall between rules); the ground truth accepts both,
+    best first.  Decoy ``div`` wrappers in the page chrome ensure the tag's
+    global count is useless -- only the region-local pattern identifies it.
+    """
+
+    name = "aliased_hr_div"
+
+    def region(self, records, rng, chrome) -> RenderedRegion:
+        parts: list[str] = []
+        for record in records:
+            parts.append(
+                "<hr>"
+                f'<div><b><a href="{record.url}">{record.title}</a></b>'
+                f"<br>{record.description}"
+                + (
+                    f"<br><i>{record.byline}</i> {record.price}"
+                    if record.byline
+                    else f"<br>{record.price}"
+                )
+                + "</div>"
+            )
+        parts = interleave_region_noise(parts, rng, chrome)
+        html = f'<td id="results">{"".join(parts)}</td>'
+        html = f"<table><tr>{html}</tr></table>"
+        return RenderedRegion(html, separators=("div", "hr"))
+
+
 #: Registry used by the site manifest.
 TEMPLATES: dict[str, PageTemplate] = {
     "table_rows": TableRowsTemplate(),
@@ -533,4 +602,6 @@ TEMPLATES: dict[str, PageTemplate] = {
     "paragraphs_plain": ParagraphsTemplate(plain_text_records=True),
     "div_blocks": DivBlocksTemplate(),
     "hr_pre_loose": HrPreTemplate(text_between=True),
+    "nested_deep": DeepNestedTemplate(),
+    "aliased_hr_div": AliasedSeparatorTemplate(),
 }

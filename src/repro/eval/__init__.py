@@ -9,7 +9,10 @@
   (the abstract's 100% / 93-98% claim);
 * :mod:`repro.eval.timing`       -- per-phase execution times (Tables 16/17);
 * :mod:`repro.eval.report`       -- fixed-width table formatting that mimics
-  the paper's layout, shared by all benches.
+  the paper's layout, shared by all benches;
+* :mod:`repro.eval.harness2`     -- the NEXT-EVAL-style *system* comparison:
+  extractor lanes raced over the ~1000-site adversarial corpus, scored per
+  category, emitting the pinned-schema ``BENCH_eval.json`` trend report.
 """
 
 from repro.eval.combinations import combination_sweep, fast_combination_sweep
@@ -20,6 +23,10 @@ from repro.eval.harness import (
     rank_distribution,
     separator_outcomes,
 )
+# NOTE: repro.eval.harness2 is deliberately NOT imported here -- it is the
+# ``python -m repro.eval.harness2`` entry point, and importing it from the
+# package would shadow runpy's execution of the module (double-import
+# warning).  Import it directly: ``from repro.eval import harness2``.
 from repro.eval.metrics import (
     HeuristicScore,
     per_site_average,

@@ -1,0 +1,481 @@
+"""NEXT-EVAL-style evaluation harness over the adversarial corpus.
+
+Where :mod:`repro.eval.harness` reproduces the paper's Section 6 protocol
+(score individual *heuristics* on the 50-site Table 23 manifest), this
+harness compares whole extractor *systems* the way modern surveys
+(NEXT-EVAL, PAPERS.md) do:
+
+* **corpus** -- ~1000 deterministically synthesized adversarial sites
+  (:func:`repro.corpus.adversarial.synthesize_sites`), with per-adversary-
+  category breakdowns (nested / aliased / malformed / drift / plain);
+* **lanes** -- any extractor behind the
+  :class:`~repro.core.stages.lanes.ExtractorLane` protocol; the stock pair
+  is the Omini staged pipeline and the BYU baseline configuration;
+* **scores** -- per-site object precision / recall / F1 (an extracted
+  object is a true positive iff it matches exactly one ground-truth record
+  by its unique title), plus a **structural fidelity** score: the mean of
+  subtree-path prefix overlap and separator correctness, measuring whether
+  the lane found the *right structure* even when object texts disagree;
+* **report** -- a pinned-schema JSON document (``BENCH_eval.json``).  The
+  report carries no timestamps and every float is rounded before
+  serialization, so two runs with the same seed are byte-identical -- CI
+  uploads it as a trend artifact and the slow test suite diffs it against
+  the committed copy.
+
+Run it directly::
+
+    python -m repro.eval.harness2 --sites 50 --output /tmp/eval.json
+
+Site-level aggregation follows the paper (per-site fractions averaged over
+sites, small sites weighted equally with large ones); category and overall
+rows are site-averages over their site populations.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+from repro.core.objects import construct_objects
+from repro.core.stages.config import ExtractorConfig
+from repro.core.stages.lanes import ExtractorLane, LaneResult, PipelineLane
+from repro.corpus.adversarial import (
+    CATEGORIES,
+    AdversarialCorpusGenerator,
+    AdversarySiteSpec,
+    synthesize_sites,
+)
+from repro.corpus.generator import LabeledPage
+from repro.corpus.ground_truth import GroundTruth
+from repro.tree.builder import parse_document
+from repro.tree.node import TagNode
+from repro.tree.paths import node_at_path
+
+__all__ = [
+    "REPORT_SCHEMA",
+    "PageScore",
+    "byu_lane",
+    "default_lanes",
+    "evaluate",
+    "omini_lane",
+    "render_report",
+    "score_page",
+    "structural_fidelity",
+    "verify_ground_truth",
+]
+
+#: Pinned report-format identifier; bump only with a documented migration.
+REPORT_SCHEMA = "repro.eval.harness2/v1"
+
+#: Decimal places every float in the report is rounded to (determinism).
+_FLOAT_PLACES = 6
+
+
+# -- the stock lanes ---------------------------------------------------------
+
+
+def omini_lane() -> PipelineLane:
+    """The full Omini pipeline (RSIPB fusion, combined volume subtree)."""
+    return PipelineLane("omini", ExtractorConfig())
+
+
+def byu_lane() -> PipelineLane:
+    """The BYU baseline: HF-only subtree, HTRS (HC/IT/RP/SD) fusion."""
+    return PipelineLane(
+        "byu",
+        ExtractorConfig(
+            subtree_dimensions=("fanout",),
+            heuristics=("HC", "IT", "RP", "SD"),
+        ),
+    )
+
+
+#: Lane-name -> factory registry for the CLI's ``--lanes`` option.
+LANE_FACTORIES: dict[str, Callable[[], ExtractorLane]] = {
+    "omini": omini_lane,
+    "byu": byu_lane,
+}
+
+
+def default_lanes() -> list[ExtractorLane]:
+    """The stock comparison pair, in report order."""
+    return [omini_lane(), byu_lane()]
+
+
+# -- per-page scoring --------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class PageScore:
+    """Object- and structure-level counts for one (lane, page) pair."""
+
+    site: str
+    category: str
+    records: int
+    extracted: int
+    true_positives: int
+    matched_records: int
+    fidelity: float
+    answered: bool
+
+
+def structural_fidelity(
+    subtree_path: str | None, separator: str | None, truth: GroundTruth
+) -> float:
+    """How much of the page's *structure* the lane recovered, in [0, 1].
+
+    The mean of two components:
+
+    * **path overlap** -- shared dot-notation prefix steps between the
+      lane's subtree path and the labeled minimal subtree, over the longer
+      of the two (1.0 = exact subtree, partial credit for an ancestor or
+      descendant of the right region);
+    * **separator correctness** -- 1.0 iff the lane's separator is one of
+      the ground truth's acceptable tags.
+
+    An abstaining lane (no path or no separator) scores 0 on the missing
+    component.
+    """
+    if subtree_path:
+        predicted = subtree_path.split(".")
+        actual = truth.subtree_path.split(".")
+        common = 0
+        for a, b in zip(predicted, actual, strict=False):
+            if a != b:
+                break
+            common += 1
+        path_score = common / max(len(predicted), len(actual))
+    else:
+        path_score = 0.0
+    separator_score = 1.0 if truth.is_correct_separator(separator) else 0.0
+    return (path_score + separator_score) / 2.0
+
+
+def score_page(result: LaneResult, truth: GroundTruth) -> PageScore:
+    """Score one lane result against one page's ground truth.
+
+    An extracted object is a true positive iff exactly one record's unique
+    title occurs in its text (the :mod:`repro.eval.objects` matching rule);
+    a record is recovered iff some object matched it.
+    """
+    keys = truth.object_texts
+    matched: set[int] = set()
+    true_positives = 0
+    for text in result.objects:
+        hits = [i for i, key in enumerate(keys) if key in text]
+        if len(hits) == 1:
+            true_positives += 1
+            matched.add(hits[0])
+    return PageScore(
+        site=truth.site,
+        category=truth.category,
+        records=truth.object_count,
+        extracted=len(result.objects),
+        true_positives=true_positives,
+        matched_records=len(matched),
+        fidelity=structural_fidelity(result.subtree_path, result.separator, truth),
+        answered=result.separator is not None,
+    )
+
+
+# -- aggregation -------------------------------------------------------------
+
+
+def _site_rows(scores: Sequence[PageScore]) -> dict[str, dict[str, float]]:
+    """Pool page counts per site and derive per-site rates."""
+    by_site: dict[str, list[PageScore]] = {}
+    for score in scores:
+        by_site.setdefault(score.site, []).append(score)
+    rows: dict[str, dict[str, float]] = {}
+    for site, site_scores in by_site.items():
+        extracted = sum(s.extracted for s in site_scores)
+        tp = sum(s.true_positives for s in site_scores)
+        records = sum(s.records for s in site_scores)
+        matched = sum(s.matched_records for s in site_scores)
+        rows[site] = {
+            "pages": float(len(site_scores)),
+            "precision": tp / extracted if extracted else 1.0,
+            "recall": matched / records if records else 1.0,
+            "structural_fidelity": (
+                sum(s.fidelity for s in site_scores) / len(site_scores)
+            ),
+            "abstained": float(sum(1 for s in site_scores if not s.answered)),
+        }
+    return rows
+
+
+def _aggregate(rows: dict[str, dict[str, float]]) -> dict[str, object]:
+    """Site-average a set of per-site rows into one report block."""
+    if not rows:
+        return {
+            "sites": 0,
+            "pages": 0,
+            "precision": 0.0,
+            "recall": 0.0,
+            "f1": 0.0,
+            "structural_fidelity": 0.0,
+            "abstained_pages": 0,
+        }
+    n = len(rows)
+    precision = sum(r["precision"] for r in rows.values()) / n
+    recall = sum(r["recall"] for r in rows.values()) / n
+    f1 = (
+        2 * precision * recall / (precision + recall)
+        if (precision + recall) > 0
+        else 0.0
+    )
+    return {
+        "sites": n,
+        "pages": int(sum(r["pages"] for r in rows.values())),
+        "precision": round(precision, _FLOAT_PLACES),
+        "recall": round(recall, _FLOAT_PLACES),
+        "f1": round(f1, _FLOAT_PLACES),
+        "structural_fidelity": round(
+            sum(r["structural_fidelity"] for r in rows.values()) / n, _FLOAT_PLACES
+        ),
+        "abstained_pages": int(sum(r["abstained"] for r in rows.values())),
+    }
+
+
+# -- corpus plumbing ---------------------------------------------------------
+
+
+def corpus_pages(
+    sites: int,
+    *,
+    seed: int = 7,
+    categories: Sequence[str] | None = None,
+    max_pages_per_site: int | None = None,
+) -> tuple[tuple[AdversarySiteSpec, ...], list[LabeledPage]]:
+    """Synthesize the corpus slice the harness runs over.
+
+    Slicing by ``categories`` filters the synthesized specs *after* index
+    assignment, so a category slice of an N-site corpus contains exactly
+    the same sites it would in the full run.
+    """
+    specs = synthesize_sites(sites, master_seed=seed)
+    if categories is not None:
+        wanted = set(categories)
+        unknown = wanted - set(CATEGORIES)
+        if unknown:
+            raise ValueError(f"unknown categories: {sorted(unknown)}")
+        specs = tuple(s for s in specs if s.category in wanted)
+    generator = AdversarialCorpusGenerator(
+        master_seed=seed, max_pages_per_site=max_pages_per_site
+    )
+    return specs, generator.generate(specs)
+
+
+def verify_ground_truth(pages: Iterable[LabeledPage]) -> list[str]:
+    """Round-trip every page's ground truth through the oracle rule.
+
+    For each page: resolve the labeled subtree, split it at the labeled
+    primary separator, and demand that every record's unique title matches
+    exactly one candidate object (and no candidate matches two records).
+    Returns human-readable failure descriptions -- an empty list means the
+    corpus is self-consistent.  This is the differential check that makes
+    corpus bugs fail loudly instead of silently skewing lane scores.
+    """
+    failures: list[str] = []
+    for page in pages:
+        truth = page.truth
+        root = parse_document(page.html)
+        try:
+            region = node_at_path(root, truth.subtree_path)
+        except (LookupError, ValueError) as error:
+            failures.append(f"{truth.site} p{truth.page_id}: bad path ({error})")
+            continue
+        if not isinstance(region, TagNode):
+            failures.append(f"{truth.site} p{truth.page_id}: path hits a leaf")
+            continue
+        if truth.object_count == 0:
+            continue
+        candidates = construct_objects(region, truth.primary_separator)
+        matched: set[int] = set()
+        overmatched = 0
+        for obj in candidates:
+            text = obj.text()
+            hits = [i for i, key in enumerate(truth.object_texts) if key in text]
+            if len(hits) == 1:
+                matched.add(hits[0])
+            elif len(hits) > 1:
+                overmatched += 1
+        if len(matched) != truth.object_count or overmatched:
+            failures.append(
+                f"{truth.site} p{truth.page_id} ({truth.layout}): "
+                f"{len(matched)}/{truth.object_count} records recovered, "
+                f"{overmatched} merged candidates"
+            )
+    return failures
+
+
+# -- the harness -------------------------------------------------------------
+
+
+def evaluate(
+    pages: Sequence[LabeledPage],
+    lanes: Sequence[ExtractorLane],
+    *,
+    workers: int = 1,
+) -> dict[str, dict]:
+    """Run every lane over every scorable page; per-lane report blocks.
+
+    Pages without records are excluded (the paper "discarded those pages
+    which returned no results"; the adversarial corpus emits none anyway).
+    ``workers > 1`` fans page extraction out over the shared thread-pool
+    helper; results stay in page order, so reports are identical at any
+    worker count.
+    """
+    from repro.core.batch import parallel_map
+
+    scorable = [page for page in pages if page.truth.object_count > 0]
+    report: dict[str, dict] = {}
+    for lane in lanes:
+        def run(page: LabeledPage, lane: ExtractorLane = lane) -> PageScore:
+            result = lane.extract(page.html, site=page.site)
+            return score_page(result, page.truth)
+
+        scores = parallel_map(run, scorable, workers=workers)
+        rows = _site_rows(scores)
+        by_category: dict[str, dict[str, object]] = {}
+        for category in CATEGORIES:
+            category_rows = {
+                site: row
+                for site, row in rows.items()
+                if any(
+                    s.site == site and s.category == category for s in scores
+                )
+            }
+            if category_rows:
+                by_category[category] = _aggregate(category_rows)
+        report[lane.name] = {
+            "overall": _aggregate(rows),
+            "by_category": by_category,
+        }
+    return report
+
+
+def render_report(
+    lanes_block: dict[str, dict],
+    *,
+    specs: Sequence[AdversarySiteSpec],
+    pages: Sequence[LabeledPage],
+    seed: int,
+) -> str:
+    """Serialize the pinned-schema report, byte-stable for a given seed."""
+    category_counts: dict[str, dict[str, int]] = {}
+    for spec in specs:
+        block = category_counts.setdefault(spec.category, {"sites": 0, "pages": 0})
+        block["sites"] += 1
+    for page in pages:
+        category_counts[page.truth.category]["pages"] += 1
+    document = {
+        "schema": REPORT_SCHEMA,
+        "corpus": {
+            "generator": "repro.corpus.adversarial",
+            "master_seed": seed,
+            "sites": len(specs),
+            "pages": len(pages),
+            "scored_pages": sum(
+                1 for page in pages if page.truth.object_count > 0
+            ),
+            "categories": category_counts,
+        },
+        "lanes": lanes_block,
+    }
+    return json.dumps(document, indent=2, sort_keys=True) + "\n"
+
+
+# -- CLI ---------------------------------------------------------------------
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.eval.harness2",
+        description="NEXT-EVAL-style lane comparison over the adversarial corpus",
+    )
+    parser.add_argument(
+        "--sites", type=int, default=1000,
+        help="number of adversarial sites to synthesize (default: 1000)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=7,
+        help="corpus master seed (default: 7; the committed report's seed)",
+    )
+    parser.add_argument(
+        "--lanes", default="omini,byu",
+        help=f"comma-separated lanes to run (known: {sorted(LANE_FACTORIES)})",
+    )
+    parser.add_argument(
+        "--categories", default=None,
+        help=f"restrict to a comma-separated category slice of {CATEGORIES}",
+    )
+    parser.add_argument(
+        "--max-pages-per-site", type=int, default=None,
+        help="cap pages per site (default: each spec's own count)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=1,
+        help="extraction worker threads (report is identical at any count)",
+    )
+    parser.add_argument(
+        "--verify-truth", action="store_true",
+        help="differentially round-trip every page's ground truth first "
+        "(exit 1 on any corpus self-consistency failure)",
+    )
+    parser.add_argument(
+        "-o", "--output", default="BENCH_eval.json",
+        help="report path (default: BENCH_eval.json)",
+    )
+    args = parser.parse_args(argv)
+
+    lane_names = [name.strip() for name in args.lanes.split(",") if name.strip()]
+    unknown = [name for name in lane_names if name not in LANE_FACTORIES]
+    if unknown:
+        parser.error(f"unknown lanes {unknown}; known: {sorted(LANE_FACTORIES)}")
+    categories = (
+        [c.strip() for c in args.categories.split(",") if c.strip()]
+        if args.categories
+        else None
+    )
+
+    specs, pages = corpus_pages(
+        args.sites,
+        seed=args.seed,
+        categories=categories,
+        max_pages_per_site=args.max_pages_per_site,
+    )
+    print(
+        f"corpus: {len(specs)} sites, {len(pages)} pages "
+        f"(seed {args.seed})"
+    )
+    if args.verify_truth:
+        failures = verify_ground_truth(pages)
+        if failures:
+            for failure in failures[:20]:
+                print(f"ground-truth round-trip FAILED: {failure}")
+            print(f"{len(failures)} corpus self-consistency failures")
+            return 1
+        print("ground truth round-trips on every page")
+
+    lanes = [LANE_FACTORIES[name]() for name in lane_names]
+    lanes_block = evaluate(pages, lanes, workers=args.workers)
+    rendered = render_report(lanes_block, specs=specs, pages=pages, seed=args.seed)
+    with open(args.output, "w", encoding="utf-8") as handle:
+        handle.write(rendered)
+    for name in lane_names:
+        overall = lanes_block[name]["overall"]
+        print(
+            f"{name}: P={overall['precision']:.3f} R={overall['recall']:.3f} "
+            f"F1={overall['f1']:.3f} fidelity={overall['structural_fidelity']:.3f} "
+            f"({overall['pages']} pages)"
+        )
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

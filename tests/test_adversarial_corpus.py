@@ -1,0 +1,142 @@
+"""Adversarial corpus engine: determinism, taxonomy, oracle round-trip.
+
+The load-bearing test here is the seeded differential check: every page's
+ground truth must survive a round trip through the oracle extraction rule
+(resolve the labeled subtree path, split at the labeled separator, match
+every record's unique title exactly once).  A corpus bug that produced
+unextractable truth would otherwise read as a lane quality regression in
+``BENCH_eval.json`` instead of failing loudly here.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.corpus import (
+    CATEGORIES,
+    AdversarialCorpusGenerator,
+    synthesize_sites,
+)
+from repro.eval.harness2 import verify_ground_truth
+
+SAMPLE_SITES = 50
+
+
+@pytest.fixture(scope="module")
+def sample_pages():
+    specs = synthesize_sites(SAMPLE_SITES)
+    return AdversarialCorpusGenerator(master_seed=7).generate(specs)
+
+
+# -- spec synthesis ----------------------------------------------------------
+
+
+def test_synthesis_is_deterministic():
+    assert synthesize_sites(30) == synthesize_sites(30)
+
+
+def test_smoke_corpus_is_a_prefix_of_the_full_corpus():
+    # The committed 50-site CI smoke slice must exercise the *same* sites
+    # as the first 50 of the full 1000-site run.
+    assert synthesize_sites(200)[:50] == synthesize_sites(50)
+
+
+def test_master_seed_changes_the_specs():
+    assert synthesize_sites(10) != synthesize_sites(10, master_seed=8)
+
+
+def test_categories_round_robin_over_the_taxonomy():
+    specs = synthesize_sites(25)
+    for index, spec in enumerate(specs):
+        assert spec.category == CATEGORIES[index % len(CATEGORIES)]
+        assert spec.name.startswith(f"{spec.category}-")
+        assert spec.no_result_rate == 0.0  # every page is scorable
+
+
+def test_category_knobs_are_set():
+    specs = synthesize_sites(50)
+    nested = [s for s in specs if s.category == "nested"]
+    assert all(3 <= s.nesting_depth <= 6 for s in nested)
+    malformed = [s for s in specs if s.category == "malformed"]
+    assert all(s.soup_intensity >= 0.4 for s in malformed)
+    drift = [s for s in specs if s.category == "drift"]
+    assert all(s.drift_generations >= 3 for s in drift)
+    assert all(s.pages == s.drift_generations for s in drift)
+    aliased = [s for s in specs if s.category == "aliased"]
+    assert any(s.comment_wrapped for s in aliased)
+    assert any(s.entity_soup for s in aliased)
+
+
+def test_count_must_be_positive():
+    with pytest.raises(ValueError):
+        synthesize_sites(0)
+
+
+# -- page generation ---------------------------------------------------------
+
+
+def test_page_generation_is_deterministic(sample_pages):
+    again = AdversarialCorpusGenerator(master_seed=7).generate(synthesize_sites(SAMPLE_SITES))
+    assert [p.html for p in again] == [p.html for p in sample_pages]
+    assert [p.truth for p in again] == [p.truth for p in sample_pages]
+
+
+def test_truth_carries_category_and_generation(sample_pages):
+    categories = {p.truth.category for p in sample_pages}
+    assert categories == set(CATEGORIES)
+    drift_generations = {
+        p.truth.generation for p in sample_pages if p.truth.category == "drift"
+    }
+    assert drift_generations >= {0, 1, 2}
+    assert all(
+        p.truth.generation == 0
+        for p in sample_pages
+        if p.truth.category != "drift"
+    )
+
+
+def test_drift_sites_change_layout_between_generations(sample_pages):
+    drift = [p for p in sample_pages if p.truth.category == "drift"]
+    by_site: dict[str, list] = {}
+    for page in drift:
+        by_site.setdefault(page.truth.site, []).append(page)
+    for pages in by_site.values():
+        layouts = [p.truth.layout for p in sorted(pages, key=lambda p: p.truth.generation)]
+        assert len(set(layouts)) == len(layouts), "generations must not repeat layout"
+
+
+def test_classic_specs_fall_through_to_the_base_generator(sample_pages):
+    from repro.corpus import CorpusGenerator, TEST_SITES
+
+    spec = TEST_SITES[0]
+    classic = CorpusGenerator(master_seed=7, max_pages_per_site=2).pages_for_site(spec)
+    mixed = AdversarialCorpusGenerator(master_seed=7, max_pages_per_site=2).pages_for_site(spec)
+    assert [p.html for p in mixed] == [p.html for p in classic]
+
+
+def test_generation_page_is_deterministic():
+    spec = next(
+        s for s in synthesize_sites(SAMPLE_SITES) if s.category == "drift"
+    )
+    generator = AdversarialCorpusGenerator(master_seed=7)
+    one = generator.generation_page(spec, 2)
+    two = generator.generation_page(spec, 2)
+    assert one.html == two.html
+    assert one.truth.generation == 2
+
+
+# -- the differential round-trip (satellite #1) ------------------------------
+
+
+def test_ground_truth_round_trips_on_the_smoke_sample(sample_pages):
+    failures = verify_ground_truth(sample_pages)
+    assert not failures, "\n".join(failures)
+
+
+@pytest.mark.slow
+def test_ground_truth_round_trips_on_the_full_corpus():
+    specs = synthesize_sites(1000)
+    pages = AdversarialCorpusGenerator(master_seed=7).generate(specs)
+    assert len(pages) >= 2000
+    failures = verify_ground_truth(pages)
+    assert not failures, "\n".join(failures[:10])

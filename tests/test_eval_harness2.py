@@ -1,0 +1,264 @@
+"""Unit tests for the NEXT-EVAL-style harness (repro.eval.harness2).
+
+Covers the lane protocol, the scoring math on hand-built fixtures, report
+aggregation, the pinned schema, byte-for-byte determinism of the rendered
+report, and (marked ``slow``) full regeneration of the committed
+``BENCH_eval.json``.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.stages import ExtractorLane, LaneResult, PipelineLane
+from repro.corpus.ground_truth import GroundTruth
+from repro.eval import harness2
+from repro.eval.harness2 import (
+    REPORT_SCHEMA,
+    byu_lane,
+    corpus_pages,
+    default_lanes,
+    evaluate,
+    omini_lane,
+    render_report,
+    score_page,
+    structural_fidelity,
+    verify_ground_truth,
+)
+
+
+def _truth(**overrides) -> GroundTruth:
+    base = dict(
+        site="s.test",
+        page_id=0,
+        query="q",
+        subtree_path="html[1].body[2].table[1].td[1]",
+        separators=("tr", "table"),
+        object_count=3,
+        object_texts=("alpha one", "beta two", "gamma three"),
+        layout="table_rows",
+        category="plain",
+    )
+    base.update(overrides)
+    return GroundTruth(**base)
+
+
+# -- the lane protocol -------------------------------------------------------
+
+
+class OracleLane:
+    """A hand-rolled lane: returns the truth verbatim (no base class)."""
+
+    name = "oracle"
+
+    def __init__(self, truths: dict[str, GroundTruth] | None = None) -> None:
+        #: keyed by page source -- a site serves several distinct pages.
+        self.truths = truths or {}
+
+    def extract(self, source: str, *, site: str | None = None) -> LaneResult:
+        truth = self.truths[source]
+        return LaneResult(
+            objects=tuple(f"{t} padding" for t in truth.object_texts),
+            separator=truth.primary_separator,
+            subtree_path=truth.subtree_path,
+        )
+
+
+def test_pipeline_lane_satisfies_the_protocol():
+    assert isinstance(omini_lane(), ExtractorLane)
+    assert isinstance(byu_lane(), ExtractorLane)
+
+
+def test_any_object_with_name_and_extract_satisfies_the_protocol():
+    assert isinstance(OracleLane(), ExtractorLane)
+
+
+def test_stock_lanes_have_stable_names():
+    assert [lane.name for lane in default_lanes()] == ["omini", "byu"]
+
+
+def test_pipeline_lane_extracts_simple_page():
+    html = (
+        "<html><body><ul>"
+        + "".join(f"<li>item {i} alpha beta gamma</li>" for i in range(6))
+        + "</ul></body></html>"
+    )
+    result = PipelineLane("x").extract(html)
+    assert result.separator == "li"
+    assert len(result.objects) == 6
+    assert result.subtree_path is not None
+
+
+# -- scoring math ------------------------------------------------------------
+
+
+def test_score_page_perfect_extraction():
+    truth = _truth()
+    result = LaneResult(
+        objects=("alpha one x", "beta two y", "gamma three z"),
+        separator="tr",
+        subtree_path=truth.subtree_path,
+    )
+    score = score_page(result, truth)
+    assert score.true_positives == 3
+    assert score.matched_records == 3
+    assert score.extracted == 3
+    assert score.fidelity == 1.0
+    assert score.answered
+
+
+def test_score_page_counts_merged_objects_as_false_positives():
+    # One object containing two record keys matches *none* exactly-once.
+    truth = _truth()
+    result = LaneResult(
+        objects=("alpha one beta two", "gamma three"),
+        separator="tr",
+        subtree_path=truth.subtree_path,
+    )
+    score = score_page(result, truth)
+    assert score.true_positives == 1
+    assert score.matched_records == 1
+    assert score.extracted == 2
+
+
+def test_score_page_abstention():
+    truth = _truth()
+    score = score_page(
+        LaneResult(objects=(), separator=None, subtree_path=None), truth
+    )
+    assert score.true_positives == 0
+    assert not score.answered
+    assert score.fidelity == 0.0
+
+
+def test_structural_fidelity_partial_path():
+    truth = _truth(subtree_path="html[1].body[2].table[1].td[1]")
+    # Ancestor path (2 of 4 steps shared), wrong separator -> 0.5 * 0.5.
+    assert structural_fidelity("html[1].body[2]", "div", truth) == 0.25
+    # Exact path, acceptable non-primary separator -> 1.0.
+    assert structural_fidelity(truth.subtree_path, "table", truth) == 1.0
+    # Sibling subtree: shares 2 of 4 steps -> (0.5 + 1.0) / 2.
+    assert (
+        structural_fidelity("html[1].body[2].div[3].p[1]", "tr", truth) == 0.75
+    )
+
+
+# -- aggregation and the report ---------------------------------------------
+
+
+def _tiny_corpus():
+    return corpus_pages(5, seed=7)
+
+
+def test_oracle_lane_scores_perfectly_end_to_end():
+    specs, pages = _tiny_corpus()
+    truths = {p.html: p.truth for p in pages}
+    lanes_block = evaluate(pages, [OracleLane(truths)])
+    overall = lanes_block["oracle"]["overall"]
+    assert overall["precision"] == 1.0
+    assert overall["recall"] == 1.0
+    assert overall["f1"] == 1.0
+    assert overall["structural_fidelity"] == 1.0
+    assert overall["abstained_pages"] == 0
+    assert overall["sites"] == len(specs)
+    # One category block per taxonomy entry present in a 5-site corpus.
+    assert set(lanes_block["oracle"]["by_category"]) == {
+        "nested", "aliased", "malformed", "drift", "plain",
+    }
+
+
+def test_report_schema_is_pinned():
+    assert REPORT_SCHEMA == "repro.eval.harness2/v1"
+    specs, pages = _tiny_corpus()
+    truths = {p.html: p.truth for p in pages}
+    rendered = render_report(
+        evaluate(pages, [OracleLane(truths)]), specs=specs, pages=pages, seed=7
+    )
+    document = json.loads(rendered)
+    assert document["schema"] == REPORT_SCHEMA
+    assert document["corpus"]["master_seed"] == 7
+    assert document["corpus"]["sites"] == len(specs)
+    assert document["corpus"]["pages"] == len(pages)
+    assert set(document["lanes"]) == {"oracle"}
+    for block in document["lanes"]["oracle"]["by_category"].values():
+        assert set(block) == {
+            "sites", "pages", "precision", "recall", "f1",
+            "structural_fidelity", "abstained_pages",
+        }
+
+
+def test_report_is_byte_identical_across_runs_and_worker_counts():
+    def render(workers: int) -> str:
+        specs, pages = corpus_pages(10, seed=7)
+        block = evaluate(pages, [omini_lane()], workers=workers)
+        return render_report(block, specs=specs, pages=pages, seed=7)
+
+    assert render(1) == render(1)
+    assert render(4) == render(1)
+
+
+def test_category_slice_selects_matching_sites_only():
+    specs, pages = corpus_pages(20, seed=7, categories=["drift"])
+    assert specs and all(s.category == "drift" for s in specs)
+    assert all(p.truth.category == "drift" for p in pages)
+    with pytest.raises(ValueError):
+        corpus_pages(20, seed=7, categories=["bogus"])
+
+
+def test_verify_ground_truth_flags_corrupted_truth():
+    _, pages = _tiny_corpus()
+    page = pages[0]
+    bad = GroundTruth(
+        **{
+            **{f: getattr(page.truth, f) for f in (
+                "site", "page_id", "query", "subtree_path", "separators",
+                "object_count", "object_texts", "layout", "category",
+                "generation",
+            )},
+            "object_texts": ("no such record title",) + page.truth.object_texts[1:],
+        }
+    )
+    failures = verify_ground_truth([type(page)(html=page.html, truth=bad)])
+    assert len(failures) == 1
+    assert bad.site in failures[0]
+
+
+# -- the CLI -----------------------------------------------------------------
+
+
+def test_cli_writes_report_and_verifies(tmp_path, capsys):
+    out = tmp_path / "eval.json"
+    code = harness2.main(
+        ["--sites", "5", "--lanes", "omini", "--verify-truth", "-o", str(out)]
+    )
+    assert code == 0
+    document = json.loads(out.read_text())
+    assert document["schema"] == REPORT_SCHEMA
+    stdout = capsys.readouterr().out
+    assert "round-trips" in stdout
+    assert "omini:" in stdout
+
+
+def test_cli_rejects_unknown_lane(tmp_path):
+    with pytest.raises(SystemExit):
+        harness2.main(["--sites", "2", "--lanes", "nope"])
+
+
+# -- the committed report ----------------------------------------------------
+
+
+@pytest.mark.slow
+def test_committed_bench_eval_report_reproduces_exactly():
+    from pathlib import Path
+
+    committed = Path(__file__).parent.parent / "BENCH_eval.json"
+    assert committed.exists(), "BENCH_eval.json must be committed at repo root"
+    specs, pages = corpus_pages(1000, seed=7)
+    block = evaluate(pages, default_lanes(), workers=4)
+    rendered = render_report(block, specs=specs, pages=pages, seed=7)
+    assert rendered == committed.read_text(), (
+        "BENCH_eval.json is stale; regenerate with "
+        "python -m repro.eval.harness2 --sites 1000 -o BENCH_eval.json"
+    )

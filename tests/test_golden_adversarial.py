@@ -1,0 +1,83 @@
+"""Golden snapshots for three representative adversarial sites.
+
+Same contract as ``test_golden_corpus`` but over the adversarial corpus
+engine: one site from each hostile category (deep-nested, aliased
+separators, malformed soup) has its full extractor output frozen.  Any
+change to the repair path, separator ranking, or nested-structure
+handling that shifts behavior on hostile input fails here with the first
+divergent record, before it can silently move ``BENCH_eval.json``.
+
+Refresh after an intentional change::
+
+    PYTHONPATH=src python -m pytest tests/test_golden_adversarial.py --update-golden
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.core.pipeline import OminiExtractor
+from repro.corpus import AdversarialCorpusGenerator, synthesize_sites
+from tests.test_golden_corpus import first_divergence
+
+GOLDEN_DIR = Path(__file__).parent / "golden" / "adversarial"
+
+#: One representative per hostile category, by deterministic site name
+#: (index 0/1/2 of the synthesized corpus -- also part of the CI smoke
+#: slice, so golden drift and smoke-score drift always move together).
+GOLDEN_SITES = (
+    "nested-0000.adversary.test",
+    "aliased-0001.adversary.test",
+    "malformed-0002.adversary.test",
+)
+
+
+def golden_path(site: str) -> Path:
+    return GOLDEN_DIR / (site.replace(".adversary.test", "") + ".json")
+
+
+def snapshot_site(site: str) -> dict:
+    specs = [s for s in synthesize_sites(5) if s.name == site]
+    (spec,) = specs
+    pages = AdversarialCorpusGenerator(master_seed=7).pages_for_site(spec)
+    extractor = OminiExtractor()
+    records = []
+    for index, page in enumerate(pages):
+        result = extractor.extract(page.html, site=page.site)
+        records.append(
+            {
+                "page": index,
+                "separator": result.separator,
+                "subtree_path": result.subtree_path,
+                "objects": [obj.text() for obj in result.objects],
+            }
+        )
+    return {"site": site, "category": spec.category, "pages": len(pages),
+            "records": records}
+
+
+@pytest.mark.parametrize("site", GOLDEN_SITES)
+def test_adversarial_golden_output_is_stable(site, update_golden):
+    path = golden_path(site)
+    actual = snapshot_site(site)
+    if update_golden:
+        GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(actual, indent=2, sort_keys=True) + "\n")
+        return
+    assert path.exists(), (
+        f"no golden snapshot for {site!r}; generate with "
+        f"pytest tests/test_golden_adversarial.py --update-golden"
+    )
+    expected = json.loads(path.read_text())
+    if expected != actual:
+        pytest.fail(f"{site}: output diverged from {path.name}\n"
+                    + first_divergence(expected, actual))
+
+
+def test_adversarial_golden_files_cover_every_snapshot_site():
+    expected = {golden_path(site).name for site in GOLDEN_SITES}
+    present = {p.name for p in GOLDEN_DIR.glob("*.json")}
+    assert present == expected
