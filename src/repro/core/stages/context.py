@@ -134,6 +134,33 @@ class ExtractionContext:
     # -- bookkeeping -----------------------------------------------------
     timings: PhaseTimings = field(default_factory=PhaseTimings)
 
+    def __getstate__(self) -> dict[str, object]:
+        """Pickle the inputs cheaply; drop what cannot (or should not) cross.
+
+        Process-pool hand-off only ever needs the *inputs* (source, path,
+        site) and the strategy components a worker can rebuild results
+        from.  ``parser`` (a closure over another process's tree cache),
+        ``rule_store`` (holds an RLock), and the heavyweight artifact
+        fields are process-local by nature, so they reset to their
+        defaults on the far side instead of traveling.
+        """
+        state = dict(self.__dict__)
+        state["parser"] = None
+        state["rule_store"] = None
+        for tree_artifact in ("root", "subtree", "candidate_context"):
+            state[tree_artifact] = None
+        for list_artifact in (
+            "per_heuristic",
+            "separator_ranking",
+            "candidates",
+            "objects",
+        ):
+            state[list_artifact] = []
+        return state
+
+    def __setstate__(self, state: dict[str, object]) -> None:
+        self.__dict__.update(state)
+
     def reset_for_discovery(self) -> None:
         """Drop everything a failed cached-rule plan produced.
 

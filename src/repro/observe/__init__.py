@@ -38,6 +38,7 @@ from repro.observe.metrics import (
     Counter,
     Histogram,
     MetricsRegistry,
+    snapshot_delta,
 )
 from repro.observe.span import Span, Tracer, write_trace
 
@@ -50,5 +51,6 @@ __all__ = [
     "Tracer",
     "TracingInstrumentation",
     "phase_timings_from_spans",
+    "snapshot_delta",
     "write_trace",
 ]

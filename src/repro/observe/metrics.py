@@ -34,12 +34,14 @@ from __future__ import annotations
 import json
 import threading
 from bisect import bisect_left
+from typing import Any
 
 __all__ = [
     "Counter",
     "DEFAULT_LATENCY_BUCKETS",
     "Histogram",
     "MetricsRegistry",
+    "snapshot_delta",
 ]
 
 #: Upper bounds in seconds, 0.1 ms .. 10 s: wide enough for a parse-heavy
@@ -180,6 +182,28 @@ class Histogram:
             },
         }
 
+    def absorb(self, facets: "dict[str, Any]") -> None:
+        """Merge a snapshot (or snapshot delta) produced elsewhere.
+
+        The cross-process counterpart of :meth:`observe`: a procpool
+        worker ships its histogram facets home by value and the parent
+        folds them in -- bucket counts, count and sum add; min/max
+        combine.  Requires matching bucket bounds (every worker builds
+        its histograms from the same code, so labels line up).
+        """
+        buckets: dict[str, Any] = facets.get("buckets", {})
+        count = int(facets.get("count", 0))
+        if count <= 0:
+            return
+        with self._lock:
+            for index, bound in enumerate(self.bounds):
+                self._counts[index] += int(buckets.get(f"le_{bound:g}", 0))
+            self._counts[-1] += int(buckets.get("overflow", 0))
+            self._count += count
+            self._sum += float(facets.get("sum", 0.0))
+            self._min = min(self._min, float(facets.get("min", self._min)))
+            self._max = max(self._max, float(facets.get("max", self._max)))
+
 
 class MetricsRegistry:
     """Name-keyed, get-or-create home for every counter and histogram."""
@@ -217,6 +241,43 @@ class MetricsRegistry:
             },
         }
 
+    # -- cross-process merge -----------------------------------------------
+
+    def absorb(self, snapshot: dict[str, Any]) -> None:
+        """Fold a snapshot (typically a :func:`snapshot_delta`) into this
+        registry.
+
+        The metrics counterpart of :meth:`~repro.observe.span.Tracer.
+        absorb`: procpool workers ship counter deltas and histogram
+        deltas home by value after every task, and the parent merges them
+        here so ``/metrics`` in process mode exports the same names with
+        the same totals a thread-mode runtime would.  Histograms created
+        on demand take their bounds from the shipped bucket labels, so a
+        custom-bucket histogram (``fetch.attempts``) merges exactly.
+        """
+        counters: dict[str, Any] = snapshot.get("counters", {})
+        for name, value in counters.items():
+            amount = int(value)
+            if amount > 0:
+                self.counter(name).inc(amount)
+        histograms: dict[str, Any] = snapshot.get("histograms", {})
+        for name, facets in histograms.items():
+            with self._lock:
+                existing = self._histograms.get(name)
+            if existing is None:
+                buckets: dict[str, Any] = facets.get("buckets", {})
+                bounds = tuple(
+                    sorted(
+                        float(label[3:])
+                        for label in buckets
+                        if label.startswith("le_")
+                    )
+                )
+                existing = self.histogram(
+                    name, bounds=bounds if bounds else DEFAULT_LATENCY_BUCKETS
+                )
+            existing.absorb(facets)
+
     # -- exporters ---------------------------------------------------------
 
     def to_json(self, *, indent: int = 2) -> str:
@@ -236,3 +297,49 @@ class MetricsRegistry:
                 else:
                     lines.append(f"{name}.{facet} {value:.9g}")
         return "\n".join(sorted(lines)) + "\n"
+
+
+def snapshot_delta(
+    before: dict[str, Any], after: dict[str, Any]
+) -> dict[str, Any]:
+    """What changed between two :meth:`MetricsRegistry.snapshot` calls.
+
+    A procpool worker snapshots its registry before and after each task
+    and ships only the difference home, so the parent can
+    :meth:`~MetricsRegistry.absorb` per-task increments without ever
+    re-counting earlier work.  Counters subtract; histogram bucket
+    counts, ``count`` and ``sum`` subtract; ``min``/``max`` carry the
+    worker's *lifetime* values, which merge correctly on the parent side
+    because min/min and max/max are idempotent under repeated absorbs.
+    Unchanged counters and zero-count histograms are omitted.
+    """
+    delta_counters: dict[str, int] = {}
+    before_counters: dict[str, Any] = before.get("counters", {})  # type: ignore[assignment]
+    after_counters: dict[str, Any] = after.get("counters", {})  # type: ignore[assignment]
+    for name, value in after_counters.items():
+        changed = int(value) - int(before_counters.get(name, 0))
+        if changed:
+            delta_counters[name] = changed
+
+    delta_histograms: dict[str, Any] = {}
+    before_histograms: dict[str, Any] = before.get("histograms", {})  # type: ignore[assignment]
+    after_histograms: dict[str, Any] = after.get("histograms", {})  # type: ignore[assignment]
+    for name, facets in after_histograms.items():
+        prior: dict[str, Any] = before_histograms.get(name, {})
+        count = int(facets.get("count", 0)) - int(prior.get("count", 0))
+        if count <= 0:
+            continue
+        prior_buckets: dict[str, Any] = prior.get("buckets", {})
+        buckets = {
+            label: int(observed) - int(prior_buckets.get(label, 0))
+            for label, observed in facets.get("buckets", {}).items()
+        }
+        delta_histograms[name] = {
+            "count": count,
+            "sum": float(facets.get("sum", 0.0)) - float(prior.get("sum", 0.0)),
+            "min": facets.get("min", 0.0),
+            "max": facets.get("max", 0.0),
+            "buckets": buckets,
+        }
+
+    return {"counters": delta_counters, "histograms": delta_histograms}

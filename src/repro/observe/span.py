@@ -277,6 +277,20 @@ class Tracer:
         with self._lock:
             self._spans.extend(spans)
 
+    def trim(self, capacity: int) -> int:
+        """Drop the oldest finished spans beyond ``capacity``.
+
+        Retention is newest-first: a long-running server keeps the most
+        recent ``capacity`` spans and forgets history, instead of
+        discarding everything the moment the buffer fills.  Returns the
+        number of spans dropped.
+        """
+        with self._lock:
+            excess = len(self._spans) - max(0, capacity)
+            if excess > 0:
+                del self._spans[:excess]
+        return max(0, excess)
+
 
 def write_trace(spans: list[Span], path: str | Path) -> Path:
     """Dump spans as a JSON array (the ``--trace FILE`` format)."""

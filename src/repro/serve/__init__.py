@@ -11,13 +11,19 @@ inside a *process that stays up*.  This package is that process:
   across worker threads, write-behind persistence;
 * :mod:`repro.serve.treecache` -- parsed-tree reuse (the Table 17
   "read+parse dominates" fix);
-* :mod:`repro.serve.runtime` -- bounded admission, worker pool,
-  per-request deadlines, graceful drain;
+* :mod:`repro.serve.runtime` -- bounded admission, thread worker pool,
+  per-request deadlines, graceful drain (and :class:`ExtractionCore`,
+  the per-process extraction machine both runtimes share);
+* :mod:`repro.serve.procpool` -- the pre-forked multiprocess runtime:
+  site-hash shard routing, shared-memory body hand-off, per-task
+  metrics/span/rule merge, worker crash recovery;
 * :mod:`repro.serve.server` -- the stdlib HTTP layer;
-* ``python -m repro.serve`` -- the bootable entry point.
+* ``python -m repro.serve`` -- the bootable entry point
+  (``--workers-mode {thread,process}``).
 """
 
 from repro.serve.lifecycle import DRAINING, READY, STARTING, STOPPED, Lifecycle
+from repro.serve.procpool import ProcessServeRuntime, shard_index
 from repro.serve.protocol import (
     METRICS_SCHEMA,
     ExtractRequest,
@@ -27,17 +33,24 @@ from repro.serve.protocol import (
     validate_metrics,
 )
 from repro.serve.rulecache import RuleLease, SharedRuleCache
-from repro.serve.runtime import PendingRequest, ServeConfig, ServeRuntime
-from repro.serve.server import ExtractionHTTPServer
+from repro.serve.runtime import (
+    ExtractionCore,
+    PendingRequest,
+    ServeConfig,
+    ServeRuntime,
+)
+from repro.serve.server import ExtractionHTTPServer, ServeRuntimeLike
 from repro.serve.treecache import TreeCache
 
 __all__ = [
     "DRAINING",
     "ExtractRequest",
+    "ExtractionCore",
     "ExtractionHTTPServer",
     "Lifecycle",
     "METRICS_SCHEMA",
     "PendingRequest",
+    "ProcessServeRuntime",
     "ProtocolError",
     "READY",
     "RuleLease",
@@ -46,8 +59,10 @@ __all__ = [
     "ServeConfig",
     "ServeResponse",
     "ServeRuntime",
+    "ServeRuntimeLike",
     "SharedRuleCache",
     "TreeCache",
     "parse_extract_request",
+    "shard_index",
     "validate_metrics",
 ]

@@ -29,8 +29,9 @@ from urllib.parse import urlsplit
 
 from repro.core.rules import RuleStore
 from repro.fetch.base import FetchHttpError, FetchResult, Fetcher
+from repro.serve.procpool import ProcessServeRuntime
 from repro.serve.runtime import ServeConfig, ServeRuntime
-from repro.serve.server import ExtractionHTTPServer
+from repro.serve.server import ExtractionHTTPServer, ServeRuntimeLike
 
 __all__ = ["CorpusFetcher", "add_serve_arguments", "main", "run"]
 
@@ -66,6 +67,11 @@ def add_serve_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--host", default="127.0.0.1", help="bind address")
     parser.add_argument("--port", type=int, default=8080, help="bind port")
     parser.add_argument("--workers", type=int, default=4, help="worker pool size")
+    parser.add_argument(
+        "--workers-mode", choices=("thread", "process"), default="thread",
+        help="thread: one process, deterministic, GIL-bound; process: "
+        "pre-forked extraction shards routed by site hash (Linux)",
+    )
     parser.add_argument(
         "--queue-limit", type=int, default=64,
         help="admission queue bound (full queue answers 429)",
@@ -121,11 +127,19 @@ def run(args: argparse.Namespace) -> int:
         retry_after=args.retry_after,
         tracing=not args.no_tracing,
     )
-    runtime = ServeRuntime(
-        config,
-        fetcher=_build_fetcher(args),
-        rule_store=RuleStore(args.rules) if args.rules else None,
-    )
+    runtime: ServeRuntimeLike
+    if getattr(args, "workers_mode", "thread") == "process":
+        runtime = ProcessServeRuntime(
+            config,
+            fetcher=_build_fetcher(args),
+            rule_store=RuleStore(args.rules) if args.rules else None,
+        )
+    else:
+        runtime = ServeRuntime(
+            config,
+            fetcher=_build_fetcher(args),
+            rule_store=RuleStore(args.rules) if args.rules else None,
+        )
     server = ExtractionHTTPServer((args.host, args.port), runtime)
     runtime.start()
 

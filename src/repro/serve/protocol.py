@@ -27,6 +27,7 @@ facets from the first scrape onward.
 from __future__ import annotations
 
 import json
+import math
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -115,7 +116,9 @@ def parse_extract_request(raw: bytes | str) -> ExtractRequest:
         if isinstance(deadline_ms, bool) or not isinstance(deadline_ms, (int, float)):
             raise ProtocolError("'deadline_ms' must be a number")
         deadline = float(deadline_ms) / 1e3
-        if not 0.0 < deadline <= MAX_DEADLINE_SECONDS:
+        # NaN fails the chained comparison too, but test finiteness
+        # explicitly so the rejection does not hinge on that subtlety.
+        if not math.isfinite(deadline) or not 0.0 < deadline <= MAX_DEADLINE_SECONDS:
             raise ProtocolError(
                 "'deadline_ms' must be in (0, "
                 f"{int(MAX_DEADLINE_SECONDS * 1e3)}]"
@@ -260,6 +263,7 @@ METRICS_SCHEMA: dict[str, tuple[str, ...]] = {
         "serve.errors",
         "serve.fetch_failures",
         "serve.rejected.draining",
+        "serve.rejected.invalid",
         "serve.rejected.saturated",
         "rules.hits",
         "rules.misses",

@@ -200,6 +200,23 @@ class SharedRuleCache:
         self.metrics.counter("rules.flushes").inc()
         return len(dirty)
 
+    def drain_dirty(self) -> list[ExtractionRule]:
+        """Atomically take the dirty set and return its current rules.
+
+        The cross-process counterpart of :meth:`flush`: a procpool
+        worker's store has no JSON path of its own (N workers writing
+        one file would clobber each other), so instead of saving, the
+        worker ships its freshly learned rules home and the *parent*
+        folds them into the authoritative store and persists them.
+        """
+        with self._cond:
+            dirty, self._dirty = self._dirty, set()
+            return [
+                rule
+                for site in sorted(dirty)
+                if (rule := self.store.get(site)) is not None
+            ]
+
     @property
     def dirty_count(self) -> int:
         with self._cond:

@@ -23,29 +23,53 @@ the runtime's bounded queue and fixed worker pool -- not by socket count.
 from __future__ import annotations
 
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Protocol
 from urllib.parse import parse_qs, urlsplit
 
+from repro.observe.metrics import MetricsRegistry
+from repro.serve.lifecycle import Lifecycle
 from repro.serve.protocol import (
+    ExtractRequest,
     ProtocolError,
     ServeResponse,
     error_response,
     malformed_response,
     parse_extract_request,
 )
-from repro.serve.runtime import ServeRuntime
 
-__all__ = ["ExtractionHTTPServer", "MAX_BODY_BYTES"]
+__all__ = ["ExtractionHTTPServer", "MAX_BODY_BYTES", "ServeRuntimeLike"]
 
 #: Request bodies beyond this are refused with 413 before being read.
 MAX_BODY_BYTES = 8 * 1024 * 1024
 
 
+class ServeRuntimeLike(Protocol):
+    """What the HTTP layer needs from a runtime.
+
+    Both :class:`~repro.serve.runtime.ServeRuntime` (threads) and
+    :class:`~repro.serve.procpool.ProcessServeRuntime` (forked shards)
+    satisfy this; the HTTP front neither knows nor cares which is behind
+    it.
+    """
+
+    lifecycle: Lifecycle
+    metrics: MetricsRegistry
+
+    def start(self) -> "ServeRuntimeLike": ...
+
+    def drain(self, join_timeout: float | None = None) -> None: ...
+
+    def handle(self, request: ExtractRequest) -> ServeResponse: ...
+
+
 class ExtractionHTTPServer(ThreadingHTTPServer):
-    """A ThreadingHTTPServer bound to one :class:`ServeRuntime`."""
+    """A ThreadingHTTPServer bound to one serving runtime."""
 
     daemon_threads = True
 
-    def __init__(self, address: tuple[str, int], runtime: ServeRuntime) -> None:
+    def __init__(
+        self, address: tuple[str, int], runtime: ServeRuntimeLike
+    ) -> None:
         self.runtime = runtime
         super().__init__(address, _ExtractionHandler)
 
@@ -54,7 +78,7 @@ class _ExtractionHandler(BaseHTTPRequestHandler):
     protocol_version = "HTTP/1.1"
 
     @property
-    def runtime(self) -> ServeRuntime:
+    def runtime(self) -> ServeRuntimeLike:
         assert isinstance(self.server, ExtractionHTTPServer)
         return self.server.runtime
 

@@ -37,6 +37,7 @@ from repro.observe import (
     Tracer,
     TracingInstrumentation,
     phase_timings_from_spans,
+    snapshot_delta,
     write_trace,
 )
 
@@ -371,3 +372,92 @@ class TestFallbackWipesEveryColumn:
                 assert value == 0.0, "no file read: extract() from a string"
             else:
                 assert value > 0.0, f"{column} should carry discovery time"
+
+
+class TestSnapshotDeltaAndAbsorb:
+    """The cross-process merge path: worker deltas folded into a parent."""
+
+    def test_absorbing_deltas_equals_direct_observation(self):
+        worker = MetricsRegistry()
+        parent = MetricsRegistry()
+        direct = MetricsRegistry()
+        values = [0.0002, 0.004, 0.004, 0.08, 1.7, 0.00005]
+
+        previous = worker.snapshot()
+        for index, value in enumerate(values):
+            worker.counter("serve.completed").inc()
+            worker.histogram("serve.request.seconds").observe(value)
+            direct.counter("serve.completed").inc()
+            direct.histogram("serve.request.seconds").observe(value)
+            if index % 2 == 1:  # ship home every other task
+                current = worker.snapshot()
+                parent.absorb(snapshot_delta(previous, current))
+                previous = current
+        parent.absorb(snapshot_delta(previous, worker.snapshot()))
+
+        merged = parent.snapshot()
+        expected = direct.snapshot()
+        assert merged["counters"] == expected["counters"]
+        got = merged["histograms"]["serve.request.seconds"]
+        want = expected["histograms"]["serve.request.seconds"]
+        for facet in ("count", "min", "max", "buckets"):
+            assert got[facet] == want[facet]
+        assert got["sum"] == pytest.approx(want["sum"])
+
+    def test_delta_omits_unchanged_metrics(self):
+        registry = MetricsRegistry()
+        registry.counter("stable").inc(5)
+        registry.histogram("quiet")
+        before = registry.snapshot()
+        registry.counter("moving").inc(2)
+        delta = snapshot_delta(before, registry.snapshot())
+        assert delta["counters"] == {"moving": 2}
+        assert delta["histograms"] == {}
+
+    def test_absorb_creates_histogram_with_matching_bounds(self):
+        worker = MetricsRegistry()
+        worker.histogram("fetch.attempts", bounds=(1.0, 2.0, 4.0)).observe(3.0)
+        parent = MetricsRegistry()
+        parent.absorb(snapshot_delta({}, worker.snapshot()))
+        merged = parent.histogram("fetch.attempts")
+        assert merged.bounds == (1.0, 2.0, 4.0)
+        assert merged.count == 1
+        assert merged.quantile(0.5) > 2.0
+
+    def test_absorb_ignores_zero_and_negative_counter_noise(self):
+        parent = MetricsRegistry()
+        parent.absorb({"counters": {"a": 0, "b": -3, "c": 2}, "histograms": {}})
+        snapshot = parent.snapshot()["counters"]
+        assert snapshot["c"] == 2
+        assert snapshot.get("b", 0) == 0
+
+
+class TestTracerTrim:
+    def test_trim_drops_oldest_first(self):
+        clock = FakeClock()
+        tracer = Tracer(clock=clock)
+        for index in range(10):
+            handle = tracer.start(f"op{index}")
+            tracer.end(handle)
+        dropped = tracer.trim(4)
+        assert dropped == 6
+        assert [span.name for span in tracer.spans] == [
+            "op6",
+            "op7",
+            "op8",
+            "op9",
+        ]
+
+    def test_trim_under_capacity_is_a_no_op(self):
+        tracer = Tracer(clock=FakeClock())
+        handle = tracer.start("only")
+        tracer.end(handle)
+        assert tracer.trim(4) == 0
+        assert len(tracer.spans) == 1
+
+    def test_trim_zero_capacity_empties(self):
+        tracer = Tracer(clock=FakeClock())
+        for index in range(3):
+            tracer.end(tracer.start(f"s{index}"))
+        assert tracer.trim(0) == 3
+        assert tracer.spans == []
