@@ -58,6 +58,7 @@ __all__ = [
     "Rep007PrintInLibrary",
     "Rep008UnnamedThread",
     "Rep009LegacyTokenize",
+    "Rep010FleetNetworkSeam",
     "default_rules",
     "instrumentation_base_names",
     "instrumentation_hook_names",
@@ -571,6 +572,77 @@ class Rep009LegacyTokenize(Rule):
     visitor_class = _Rep009Visitor
 
 
+# -- REP010: network I/O in repro.fleet outside the transport seam -------------
+
+#: Modules that open real connections.  ``urllib.parse`` (pure string
+#: work) and ``http.server`` (listening, not dialing) stay allowed.
+_BANNED_NETWORK_MODULES = frozenset({"socket", "urllib.request", "urllib.error"})
+
+_BANNED_NETWORK_PREFIXES = ("socket.", "urllib.request.", "urllib.error.")
+
+
+class _Rep010Visitor(RuleVisitor):
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            if alias.name in _BANNED_NETWORK_MODULES or alias.name.startswith(
+                _BANNED_NETWORK_PREFIXES
+            ):
+                self.report(
+                    node,
+                    f"'import {alias.name}' opens the network seam; fleet "
+                    "modules talk to nodes through repro/fleet/transport.py "
+                    "(HttpNodeClient) so the in-process harness stays "
+                    "socket-free and deterministic",
+                )
+        self.generic_visit(node)
+
+    def handle_import_from(self, node: ast.ImportFrom) -> None:
+        module = node.module or ""
+        if module in _BANNED_NETWORK_MODULES or module.startswith(
+            _BANNED_NETWORK_PREFIXES
+        ):
+            self.report(
+                node,
+                f"'from {module} import ...' opens the network seam; route "
+                "node I/O through repro/fleet/transport.py",
+            )
+            return
+        if module == "urllib":
+            for alias in node.names:
+                if alias.name in ("request", "error"):
+                    self.report(
+                        node,
+                        f"'from urllib import {alias.name}' opens the "
+                        "network seam; route node I/O through "
+                        "repro/fleet/transport.py",
+                    )
+
+    def handle_call(self, node: ast.Call) -> None:
+        name = dotted_name(node.func)
+        if name is not None and name.startswith(_BANNED_NETWORK_PREFIXES):
+            self.report(
+                node,
+                f"{name}() dials the network directly; fleet modules go "
+                "through the repro/fleet/transport.py NodeClient seam",
+            )
+
+
+class Rep010FleetNetworkSeam(Rule):
+    rule_id = "REP010"
+    title = "fleet network I/O only inside repro/fleet/transport.py"
+    invariant = (
+        "repro.fleet is testable without sockets because exactly one "
+        "module (transport.py) touches socket/urllib.request; every other "
+        "fleet module speaks the NodeClient protocol, which the "
+        "in-process harness satisfies with plain objects -- that is what "
+        "makes the chaos suite deterministic (urllib.parse and "
+        "http.server remain fine: they never dial out)"
+    )
+    scoped_paths = ("repro/fleet/*",)
+    allowed_paths = ("repro/fleet/transport.py",)
+    visitor_class = _Rep010Visitor
+
+
 #: Rule classes in id order -- the registry the CLI and tests build from.
 ALL_RULES: tuple[type[Rule], ...] = (
     Rep001RawClock,
@@ -582,6 +654,7 @@ ALL_RULES: tuple[type[Rule], ...] = (
     Rep007PrintInLibrary,
     Rep008UnnamedThread,
     Rep009LegacyTokenize,
+    Rep010FleetNetworkSeam,
 )
 
 

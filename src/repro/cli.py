@@ -13,6 +13,7 @@ Usage::
     omini wrap-apply WRAPPER.json PAGE.html [--json]
     omini diff OLD.html NEW.html
     omini serve [--port 8080 --workers N --rules RULES.json --corpus DIR]
+    omini fleet [--port 8090 --nodes 3 | --member URL ...]
     omini --version
 
 ``extract`` runs the full three-phase pipeline and prints one object per
@@ -415,6 +416,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     add_serve_arguments(p)
     p.set_defaults(func=_run_serve)
+
+    p = sub.add_parser(
+        "fleet", help="route extraction across a multi-node serve fleet"
+    )
+    from repro.fleet.__main__ import add_fleet_arguments, run as _run_fleet
+
+    add_fleet_arguments(p)
+    p.set_defaults(func=_run_fleet)
 
     return parser
 

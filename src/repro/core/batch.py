@@ -41,6 +41,7 @@ from typing import Callable, Iterable, Sequence
 
 from repro.core.pipeline import OminiExtractor
 from repro.core.rules import RuleStore
+from repro.core.shard import shard_index
 from repro.core.stages.config import ExtractorConfig
 from repro.core.stages.context import ExtractionResult, PhaseTimings
 from repro.core.stages.instrumentation import (
@@ -58,7 +59,28 @@ __all__ = [
     "FailedExtraction",
     "PageTask",
     "parallel_map",
+    "shard_tasks",
 ]
+
+
+def shard_tasks(
+    tasks: Sequence["PageTask"], shards: int
+) -> list[list[tuple[int, "PageTask"]]]:
+    """Group ``(index, task)`` pairs by site shard; a site is never split.
+
+    The same crc32 routing the procpool serve runtime uses
+    (:func:`repro.core.shard.shard_index`): every page of a site lands in
+    the same shard, so one worker process owns the site's rule -- the
+    first page learns it, every later page hits the worker-local cached
+    fast path.  Site-less tasks key on their label, spreading them
+    without disturbing the keyed sites.  Input order is preserved within
+    each shard (rule learning stays first-page).
+    """
+    chunks: list[list[tuple[int, PageTask]]] = [[] for _ in range(shards)]
+    for index, task in enumerate(tasks):
+        key = task.site if task.site is not None else task.label(index)
+        chunks[shard_index(key, shards)].append((index, task))
+    return chunks
 
 
 def parallel_map(fn: Callable, items: Sequence, *, workers: int = 1) -> list:
@@ -366,17 +388,29 @@ class BatchExtractor:
         thread-pool batch would.  Live per-hook delivery to an arbitrary
         user observer is a thread-mode feature: here a counting observer
         gets merged totals and a tracing observer gets absorbed spans.
+
+        Tasks are routed by site shard (:func:`shard_tasks`), one chunk
+        per shard, so all pages of a site run in one worker process and
+        its per-process rule store serves them the cached fast path --
+        the procpool locality trick applied to batch mode.
         """
         counters = StageCounters()
         tracing = self.instrumentation if _is_tracing(self.instrumentation) else None
         trace_enabled = tracing is not None and tracing.enabled
+        shards = shard_tasks(tasks, workers)
         start = time.perf_counter()
         with ProcessPoolExecutor(
             max_workers=workers,
             initializer=_init_process_worker,
             initargs=(self.config, self.rule_store is not None, trace_enabled),
         ) as pool:
-            outcomes = list(pool.map(_run_process_task, list(enumerate(tasks))))
+            futures = [
+                pool.submit(_run_process_shard, chunk) for chunk in shards if chunk
+            ]
+            slotted: dict[int, _ProcessOutcome] = {}
+            for future in futures:
+                slotted.update(future.result())
+        outcomes = [slotted[index] for index in range(len(tasks))]
         elapsed = time.perf_counter() - start
         results = []
         for outcome in outcomes:
@@ -451,6 +485,18 @@ def _init_process_worker(
         _WORKER_TRACER = Tracer(id_prefix=f"w{os.getpid()}-")
     else:
         _WORKER_TRACER = None
+
+
+def _run_process_shard(
+    chunk: list[tuple[int, PageTask]]
+) -> dict[int, _ProcessOutcome]:
+    """Run one shard's tasks in order inside the current worker process.
+
+    Sequential execution within the shard keeps rule learning first-page
+    (and single-flight trivially, as in the procpool shards); the caller
+    reassembles results into input order by the returned indices.
+    """
+    return {index: _run_process_task((index, task)) for index, task in chunk}
 
 
 def _run_process_task(indexed: tuple[int, PageTask]) -> _ProcessOutcome:

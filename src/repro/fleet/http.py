@@ -1,0 +1,166 @@
+"""The HTTP face of the fleet coordinator.
+
+The fleet counterpart of :mod:`repro.serve.server`, and deliberately
+just as thin: every route is one call on the
+:class:`~repro.fleet.coordinator.FleetCoordinator`.  Routing policy,
+failover, membership, and aggregation all live in the coordinator,
+which the deterministic tests exercise directly; this module owns only
+sockets and JSON framing.
+
+Routes::
+
+    GET  /healthz   -> 200; body aggregates per-node health
+    GET  /readyz    -> 200 while routing, 503 otherwise
+    GET  /metrics   -> the fleet-merged snapshot (text; ?format=json)
+    POST /extract   -> routed to the owner node (see repro.fleet)
+
+Built on :class:`http.server.ThreadingHTTPServer` like the serve face;
+``http.server`` is not a REP010 concern -- the rule fences off raw
+client-side sockets (``socket``/``urllib``), which belong to
+:mod:`repro.fleet.transport` alone.
+"""
+
+from __future__ import annotations
+
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlsplit
+
+from repro.fleet.coordinator import FleetCoordinator
+from repro.serve.protocol import (
+    ProtocolError,
+    ServeResponse,
+    error_response,
+    malformed_response,
+    parse_extract_request,
+)
+from repro.serve.server import MAX_BODY_BYTES
+
+__all__ = ["FleetHTTPServer"]
+
+
+class FleetHTTPServer(ThreadingHTTPServer):
+    """A ThreadingHTTPServer bound to one fleet coordinator."""
+
+    daemon_threads = True
+
+    def __init__(
+        self, address: tuple[str, int], coordinator: FleetCoordinator
+    ) -> None:
+        self.coordinator = coordinator
+        super().__init__(address, _FleetHandler)
+
+
+class _FleetHandler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+
+    @property
+    def coordinator(self) -> FleetCoordinator:
+        assert isinstance(self.server, FleetHTTPServer)
+        return self.server.coordinator
+
+    # -- routes -------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server's naming
+        parts = urlsplit(self.path)
+        coordinator = self.coordinator
+        if parts.path == "/healthz":
+            self._send_response(
+                ServeResponse(status=200, payload=coordinator.fleet_healthz())
+            )
+        elif parts.path == "/readyz":
+            accepting = coordinator.lifecycle.accepting
+            self._send_response(
+                ServeResponse(
+                    status=200 if accepting else 503,
+                    payload={
+                        "status": "ready" if accepting else "unready",
+                        "state": coordinator.lifecycle.state,
+                        "members": coordinator.membership.members(),
+                    },
+                )
+            )
+        elif parts.path == "/metrics":
+            merged = coordinator.fleet_metrics()
+            query = parse_qs(parts.query)
+            if query.get("format", ["text"])[-1] == "json":
+                self._send_bytes(
+                    200,
+                    merged.to_json().encode("utf-8"),
+                    "application/json; charset=utf-8",
+                )
+            else:
+                self._send_bytes(
+                    200,
+                    merged.to_text().encode("utf-8"),
+                    "text/plain; charset=utf-8",
+                )
+        elif parts.path == "/extract":
+            self._send_response(
+                error_response(405, "method_not_allowed", "POST to /extract")
+            )
+        else:
+            self._send_response(
+                error_response(404, "not_found", f"no such path: {parts.path}")
+            )
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server's naming
+        parts = urlsplit(self.path)
+        if parts.path != "/extract":
+            self._send_response(
+                error_response(
+                    405 if parts.path in ("/healthz", "/readyz", "/metrics") else 404,
+                    "method_not_allowed"
+                    if parts.path in ("/healthz", "/readyz", "/metrics")
+                    else "not_found",
+                    f"cannot POST {parts.path}",
+                )
+            )
+            return
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+        except ValueError:
+            length = -1
+        if length < 0:
+            self._send_response(
+                malformed_response("Content-Length header is required")
+            )
+            return
+        if length > MAX_BODY_BYTES:
+            self._send_response(
+                error_response(
+                    413,
+                    "too_large",
+                    f"request body exceeds {MAX_BODY_BYTES} bytes",
+                )
+            )
+            return
+        raw = self.rfile.read(length)
+        try:
+            request = parse_extract_request(raw)
+        except ProtocolError as error:
+            self._send_response(malformed_response(str(error)))
+            return
+        self._send_response(self.coordinator.handle(request))
+
+    # -- plumbing -----------------------------------------------------------
+
+    def _send_response(self, response: ServeResponse) -> None:
+        body = response.body()
+        self.send_response(response.status)
+        for name, value in response.headers.items():
+            self.send_header(name, value)
+        self._finish_body(body, "application/json; charset=utf-8")
+
+    def _send_bytes(self, status: int, body: bytes, content_type: str) -> None:
+        self.send_response(status)
+        self._finish_body(body, content_type)
+
+    def _finish_body(self, body: bytes, content_type: str) -> None:
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format: str, *args: object) -> None:
+        """Silence the default stderr access log (observability goes
+        through the aggregated /metrics, not per-request prints)."""

@@ -1,0 +1,110 @@
+"""Fleet membership: heartbeats, failure detection, eviction, readmission.
+
+The membership table is the single writer of the
+:class:`~repro.fleet.ring.HashRing`: nodes join through it, heartbeats
+keep them on the ring, and two detection paths take them off --
+
+* **passive**: :meth:`sweep` evicts any member whose last heartbeat is
+  older than ``heartbeat_timeout`` seconds on the injected Clock (the
+  deterministic path: a FakeClock test advances time and sweeps);
+* **active**: :meth:`report_failure` evicts immediately when the
+  coordinator's transport finds the node unreachable mid-request, so a
+  SIGKILLed node stops receiving traffic on the very next request
+  rather than a timeout later.
+
+Eviction removes the node's vnodes, which (by the ring's minimal-remap
+property) re-routes *only that node's sites* to their next replicas --
+whose caches are warm if replication already pushed the rules there.  A
+later heartbeat from an evicted node readmits it.
+
+Each eviction counts ``fleet.node.evicted``.  Readmission is not a
+counter: the heartbeat path is periodic and its rate is a property of
+the prober, not of fleet health.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.fetch.base import Clock, SystemClock
+from repro.fleet.ring import HashRing
+from repro.observe.metrics import MetricsRegistry
+
+__all__ = ["Membership"]
+
+#: Default seconds without a heartbeat before a member is evicted.
+DEFAULT_HEARTBEAT_TIMEOUT = 5.0
+
+
+class Membership:
+    """Thread-safe member table driving ring composition."""
+
+    def __init__(
+        self,
+        ring: HashRing,
+        *,
+        clock: Clock | None = None,
+        metrics: MetricsRegistry | None = None,
+        heartbeat_timeout: float = DEFAULT_HEARTBEAT_TIMEOUT,
+    ) -> None:
+        if heartbeat_timeout <= 0.0:
+            raise ValueError("heartbeat_timeout must be positive")
+        self.ring = ring
+        self.clock = clock if clock is not None else SystemClock()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.heartbeat_timeout = heartbeat_timeout
+        self._lock = threading.Lock()
+        #: node_id -> monotonic time of the last heartbeat.
+        self._beats: dict[str, float] = {}
+
+    # -- joining and staying -------------------------------------------------
+
+    def join(self, node_id: str) -> None:
+        """Admit ``node_id`` to the fleet (idempotent)."""
+        with self._lock:
+            self._beats[node_id] = self.clock.monotonic()
+            self.ring.add(node_id)
+
+    def heartbeat(self, node_id: str) -> None:
+        """Record life; an evicted member heartbeating is readmitted."""
+        self.join(node_id)
+
+    # -- failure detection ---------------------------------------------------
+
+    def sweep(self) -> list[str]:
+        """Evict every member whose heartbeat has lapsed; returns them."""
+        now = self.clock.monotonic()
+        with self._lock:
+            lapsed = sorted(
+                node
+                for node, beat in self._beats.items()
+                if now - beat > self.heartbeat_timeout
+            )
+            for node in lapsed:
+                self._evict(node)
+        return lapsed
+
+    def report_failure(self, node_id: str) -> bool:
+        """Evict ``node_id`` now (transport found it unreachable)."""
+        with self._lock:
+            if node_id not in self._beats:
+                return False
+            self._evict(node_id)
+            return True
+
+    def _evict(self, node_id: str) -> None:
+        """Remove a member (lock held)."""
+        del self._beats[node_id]
+        self.ring.remove(node_id)
+        self.metrics.counter("fleet.node.evicted").inc()
+
+    # -- inspection ----------------------------------------------------------
+
+    def alive(self, node_id: str) -> bool:
+        with self._lock:
+            return node_id in self._beats
+
+    def members(self) -> list[str]:
+        """Current members, sorted."""
+        with self._lock:
+            return sorted(self._beats)

@@ -1,0 +1,48 @@
+"""The fleet metrics contract: the serve schema plus the fleet family.
+
+The coordinator's aggregated ``/metrics`` carries everything a single
+node exports (the counters and histograms of
+:data:`repro.serve.protocol.METRICS_SCHEMA`, summed across members) plus
+the fleet tier's own family:
+
+=================================  =========================================
+``fleet.routed``                   requests answered by a member node
+``fleet.failover``                 replica hops after a saturated/dead node
+``fleet.lease.elections``          fleet-wide learn leases granted
+``fleet.lease.stolen``             expired leases taken from a dead learner
+``fleet.replication.pushed``       rule copies pushed to ring replicas
+``fleet.replication.invalidated``  replica rule versions superseded
+``fleet.node.evicted``             members removed by failure detection
+=================================  =========================================
+
+The same pinned-schema pattern as the serve tier: the coordinator
+pre-registers every name at startup so the first scrape already carries
+the full surface, and ``validate_metrics(snapshot, FLEET_METRICS_SCHEMA)``
+holds from that first scrape onward.
+"""
+
+from __future__ import annotations
+
+from repro.serve.protocol import METRICS_SCHEMA
+
+__all__ = ["FLEET_COUNTERS", "FLEET_HISTOGRAMS", "FLEET_METRICS_SCHEMA"]
+
+#: The fleet tier's own counters (see the table above).
+FLEET_COUNTERS: tuple[str, ...] = (
+    "fleet.routed",
+    "fleet.failover",
+    "fleet.lease.elections",
+    "fleet.lease.stolen",
+    "fleet.replication.pushed",
+    "fleet.replication.invalidated",
+    "fleet.node.evicted",
+)
+
+#: Coordinator-side request latency (admission to routed answer).
+FLEET_HISTOGRAMS: tuple[str, ...] = ("fleet.request.seconds",)
+
+#: The aggregated ``/metrics`` floor: serve schema + fleet family.
+FLEET_METRICS_SCHEMA: dict[str, tuple[str, ...]] = {
+    "counters": METRICS_SCHEMA["counters"] + FLEET_COUNTERS,
+    "histograms": METRICS_SCHEMA["histograms"] + FLEET_HISTOGRAMS,
+}

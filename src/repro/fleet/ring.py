@@ -1,0 +1,109 @@
+"""A deterministic consistent-hash ring with virtual nodes.
+
+Classic Karger-style consistent hashing: every node projects ``vnodes``
+points onto a 32-bit ring, a key is owned by the first node point at or
+after the key's hash (wrapping), and replicas are the next *distinct*
+nodes clockwise.  Two properties the fleet leans on, both pinned by
+``tests/test_fleet_ring.py``:
+
+* **Determinism** -- points come from :func:`repro.core.shard.stable_hash`
+  (crc32), the same primitive the procpool shards use, so every
+  coordinator, node, and test computes the identical ring from the same
+  membership list, with no per-process hash salt.
+
+* **Minimal remap** -- a join moves onto the new node only the keys that
+  land on its arcs; a leave moves only the departed node's keys.  The
+  rest of the fleet keeps its sites, so rule caches stay warm through
+  membership churn.
+
+Not thread-safe by itself: :class:`~repro.fleet.membership.Membership`
+owns all mutation and serializes it.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, insort
+
+from repro.core.shard import stable_hash
+
+__all__ = ["HashRing"]
+
+#: Virtual nodes per member.  64 keeps the max/min site-load ratio of a
+#: small fleet within ~2x (pinned by the balance property test) while a
+#: full ring rebuild stays trivially cheap.
+DEFAULT_VNODES = 64
+
+
+class HashRing:
+    """Site-keyed consistent hashing over the fleet's member nodes."""
+
+    def __init__(self, *, vnodes: int = DEFAULT_VNODES) -> None:
+        if vnodes < 1:
+            raise ValueError("vnodes must be >= 1")
+        self.vnodes = vnodes
+        #: Sorted ``(point, node_id)`` pairs; ties break by node id, so
+        #: even a crc32 collision between two nodes' vnodes is ordered
+        #: deterministically.
+        self._points: list[tuple[int, str]] = []
+        self._nodes: set[str] = set()
+
+    # -- membership ---------------------------------------------------------
+
+    def add(self, node_id: str) -> None:
+        """Project ``node_id``'s vnodes onto the ring (idempotent)."""
+        if node_id in self._nodes:
+            return
+        self._nodes.add(node_id)
+        for point in self._node_points(node_id):
+            insort(self._points, (point, node_id))
+
+    def remove(self, node_id: str) -> None:
+        """Withdraw ``node_id``'s vnodes (idempotent)."""
+        if node_id not in self._nodes:
+            return
+        self._nodes.discard(node_id)
+        self._points = [entry for entry in self._points if entry[1] != node_id]
+
+    def __contains__(self, node_id: str) -> bool:
+        return node_id in self._nodes
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def nodes(self) -> list[str]:
+        """Current members, sorted."""
+        return sorted(self._nodes)
+
+    # -- routing ------------------------------------------------------------
+
+    def owner(self, key: str) -> str | None:
+        """The node owning ``key`` (None on an empty ring)."""
+        replicas = self.replicas(key, 1)
+        return replicas[0] if replicas else None
+
+    def replicas(self, key: str, count: int) -> list[str]:
+        """Up to ``count`` distinct nodes clockwise from ``key``'s point.
+
+        The first entry is the owner; the rest are the failover/replica
+        chain in deterministic ring order.  Fewer than ``count`` members
+        returns them all.
+        """
+        if not self._points or count < 1:
+            return []
+        # First node point at or after the key's hash, wrapping.
+        start = bisect_left(self._points, (stable_hash(key), ""))
+        chain: list[str] = []
+        for offset in range(len(self._points)):
+            node = self._points[(start + offset) % len(self._points)][1]
+            if node not in chain:
+                chain.append(node)
+                if len(chain) == count or len(chain) == len(self._nodes):
+                    break
+        return chain
+
+    # -- internals ----------------------------------------------------------
+
+    def _node_points(self, node_id: str) -> list[int]:
+        return [
+            stable_hash(f"{node_id}#vnode{index}") for index in range(self.vnodes)
+        ]

@@ -1,0 +1,144 @@
+"""The fleet's only socket-touching module (lint rule REP010).
+
+Everything that talks to a real network lives here, behind the
+:class:`~repro.fleet.coordinator.NodeClient` protocol, so every other
+fleet module stays import-clean of ``socket``/``urllib`` and therefore
+fully deterministic under test -- the same seam discipline as the fetch
+tier's Fetcher.
+
+:class:`HttpNodeClient` converts transport failures (connection refused,
+reset, timeout) into :class:`~repro.fleet.coordinator.NodeUnavailable`
+and HTTP error *statuses* into ordinary
+:class:`~repro.serve.protocol.ServeResponse` envelopes: a node answering
+429 is alive and saying so; a node not answering at all is a membership
+event.  Every call carries a timeout, so the coordinator can never hang
+on a dead node.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import urllib.error
+import urllib.request
+from typing import Any
+
+from repro.fleet.coordinator import NodeUnavailable
+from repro.serve.protocol import ExtractRequest, ServeResponse
+
+__all__ = ["HttpNodeClient", "free_port", "probe_ready"]
+
+#: Default per-call transport timeout in seconds.
+DEFAULT_TIMEOUT = 10.0
+
+
+def free_port(host: str = "127.0.0.1") -> int:
+    """An OS-assigned free TCP port (bind to 0, read it back, close)."""
+    with socket.socket(socket.AF_INET, socket.SOCK_STREAM) as sock:
+        sock.bind((host, 0))
+        port: int = sock.getsockname()[1]
+        return port
+
+
+def probe_ready(base_url: str, *, timeout: float = 0.5) -> bool:
+    """One non-raising readiness probe against a node's ``/readyz``."""
+    try:
+        with urllib.request.urlopen(
+            f"{base_url}/readyz", timeout=timeout
+        ) as response:
+            return bool(response.status == 200)
+    except (urllib.error.URLError, OSError, TimeoutError):
+        return False
+
+
+class HttpNodeClient:
+    """A :class:`NodeClient` speaking HTTP to one serve process."""
+
+    def __init__(
+        self,
+        node_id: str,
+        base_url: str,
+        *,
+        timeout: float = DEFAULT_TIMEOUT,
+    ) -> None:
+        self.node_id = node_id
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- NodeClient ----------------------------------------------------------
+
+    def handle(self, request: ExtractRequest) -> ServeResponse:
+        """POST the request to the node's ``/extract``.
+
+        The transport timeout stretches to cover the request's own
+        deadline budget (plus slack), so a legitimate slow extraction
+        is not misread as a dead node -- the node's 504 arrives first.
+        """
+        body: dict[str, Any] = {}
+        if request.html is not None:
+            body["html"] = request.html
+        if request.url is not None:
+            body["url"] = request.url
+        if request.site is not None:
+            body["site"] = request.site
+        if request.deadline is not None:
+            body["deadline_ms"] = request.deadline * 1e3
+        timeout = self.timeout
+        if request.deadline is not None:
+            timeout = max(timeout, request.deadline + 1.0)
+        return self._call("POST", "/extract", payload=body, timeout=timeout)
+
+    def healthz(self) -> dict[str, Any]:
+        return self._call("GET", "/healthz").payload
+
+    def metrics_snapshot(self) -> dict[str, Any]:
+        return self._call("GET", "/metrics?format=json").payload
+
+    # -- plumbing ------------------------------------------------------------
+
+    def _call(
+        self,
+        method: str,
+        path: str,
+        *,
+        payload: dict[str, Any] | None = None,
+        timeout: float | None = None,
+    ) -> ServeResponse:
+        data = (
+            json.dumps(payload).encode("utf-8") if payload is not None else None
+        )
+        http_request = urllib.request.Request(
+            f"{self.base_url}{path}",
+            data=data,
+            method=method,
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(
+                http_request, timeout=timeout if timeout is not None else self.timeout
+            ) as response:
+                return self._envelope(
+                    response.status, response.read(), dict(response.headers)
+                )
+        except urllib.error.HTTPError as error:
+            # An HTTP status >= 400 is an *answer* (429, 503, ...), not
+            # a transport failure; keep the envelope.
+            return self._envelope(
+                error.code, error.read(), dict(error.headers or {})
+            )
+        except (urllib.error.URLError, OSError, TimeoutError) as error:
+            raise NodeUnavailable(self.node_id, str(error)) from error
+
+    def _envelope(
+        self, status: int, raw: bytes, headers: dict[str, str]
+    ) -> ServeResponse:
+        try:
+            payload = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            payload = {"status": "error", "raw": raw.decode("utf-8", "replace")}
+        kept = {
+            name: value
+            for name, value in headers.items()
+            if name.lower() == "retry-after"
+        }
+        return ServeResponse(status=status, payload=payload, headers=kept)

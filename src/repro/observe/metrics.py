@@ -41,6 +41,7 @@ __all__ = [
     "DEFAULT_LATENCY_BUCKETS",
     "Histogram",
     "MetricsRegistry",
+    "merge_snapshots",
     "snapshot_delta",
 ]
 
@@ -297,6 +298,30 @@ class MetricsRegistry:
                 else:
                     lines.append(f"{name}.{facet} {value:.9g}")
         return "\n".join(sorted(lines)) + "\n"
+
+
+def merge_snapshots(
+    snapshots: "list[dict[str, Any]]",
+    *,
+    registry: MetricsRegistry | None = None,
+) -> MetricsRegistry:
+    """Fold several full registry snapshots into one registry.
+
+    The fleet-level counterpart of per-task :func:`snapshot_delta`
+    absorption: the coordinator scrapes each member node's *entire*
+    snapshot and sums them, so the aggregated ``/metrics`` reads like
+    one big node.  Counters add; histogram buckets, counts and sums
+    add; min/min and max/max combine.
+
+    Note :meth:`MetricsRegistry.absorb` skips zero-valued counters, so
+    a caller that wants pinned schema names present in the merged
+    output must pass a ``registry`` with those names pre-registered
+    (see :meth:`repro.fleet.coordinator.FleetCoordinator.fleet_metrics`).
+    """
+    merged = registry if registry is not None else MetricsRegistry()
+    for snapshot in snapshots:
+        merged.absorb(snapshot)
+    return merged
 
 
 def snapshot_delta(

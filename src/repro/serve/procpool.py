@@ -57,13 +57,13 @@ import multiprocessing
 import os
 import signal
 import threading
-import zlib
 from dataclasses import dataclass, replace
 from multiprocessing import shared_memory
 from multiprocessing.connection import Connection
 from typing import Any
 
 from repro.core.rules import ExtractionRule, RuleStore
+from repro.core.shard import shard_index
 from repro.core.stages.config import ExtractorConfig
 from repro.fetch.base import Clock, Fetcher, SystemClock, body_digest
 from repro.fetch.retry import site_key
@@ -81,16 +81,16 @@ from repro.serve.protocol import (
 )
 from repro.serve.runtime import ExtractionCore, PendingRequest, ServeConfig
 
-__all__ = ["ProcessServeRuntime", "shard_index"]
+__all__ = ["ProcessServeRuntime", "routing_key", "shard_index"]
 
 
-def shard_index(key: str, workers: int) -> int:
-    """The worker index a routing key maps to (stable across restarts)."""
-    return zlib.crc32(key.encode("utf-8")) % workers
+def routing_key(request: ExtractRequest) -> str:
+    """Site when known, else URL host, else body digest (site-less inline).
 
-
-def _routing_key(request: ExtractRequest) -> str:
-    """Site when known, else URL host, else body digest (site-less inline)."""
+    The one request-to-key derivation shared by the procpool shards and
+    the :mod:`repro.fleet` consistent-hash ring -- both layers must agree
+    on the key, or a site local to one scatters in the other.
+    """
     if request.site is not None:
         return request.site
     if request.url is not None:
@@ -393,7 +393,7 @@ class ProcessServeRuntime:
         pending = PendingRequest(
             request=request, enqueued=now, deadline=now + budget, budget=budget
         )
-        shard = shard_index(_routing_key(request), len(self._workers))
+        shard = shard_index(routing_key(request), len(self._workers))
         if not self._dispatch(shard, pending):
             self.metrics.counter("serve.rejected.saturated").inc()
             return saturated_response(self.config.retry_after)

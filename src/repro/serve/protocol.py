@@ -286,12 +286,17 @@ METRICS_SCHEMA: dict[str, tuple[str, ...]] = {
 }
 
 
-def validate_metrics(snapshot: dict[str, Any]) -> list[str]:
-    """Check a metrics snapshot against :data:`METRICS_SCHEMA`.
+def validate_metrics(
+    snapshot: dict[str, Any],
+    schema: dict[str, tuple[str, ...]] = METRICS_SCHEMA,
+) -> list[str]:
+    """Check a metrics snapshot against a pinned schema.
 
-    Returns a list of human-readable problems (empty = valid).  Extra
-    metrics beyond the schema are fine -- the schema pins a floor, not a
-    ceiling.
+    Defaults to the serve :data:`METRICS_SCHEMA`; the fleet coordinator
+    validates its aggregated snapshot against the wider
+    :data:`repro.fleet.protocol.FLEET_METRICS_SCHEMA` instead.  Returns
+    a list of human-readable problems (empty = valid).  Extra metrics
+    beyond the schema are fine -- a schema pins a floor, not a ceiling.
     """
     problems: list[str] = []
     counters = snapshot.get("counters")
@@ -301,14 +306,14 @@ def validate_metrics(snapshot: dict[str, Any]) -> list[str]:
     if not isinstance(histograms, dict):
         return ["snapshot has no 'histograms' object"]
 
-    for name in METRICS_SCHEMA["counters"]:
+    for name in schema["counters"]:
         value = counters.get(name)
         if value is None:
             problems.append(f"missing counter {name}")
         elif not isinstance(value, int) or isinstance(value, bool) or value < 0:
             problems.append(f"counter {name} must be a non-negative int, got {value!r}")
 
-    for name in METRICS_SCHEMA["histograms"]:
+    for name in schema["histograms"]:
         facets = histograms.get(name)
         if not isinstance(facets, dict):
             problems.append(f"missing histogram {name}")

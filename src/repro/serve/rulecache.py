@@ -170,6 +170,30 @@ class SharedRuleCache:
                 del self._entries[site]
             self._cond.notify_all()
 
+    def install(self, site: str, rule: ExtractionRule | None) -> bool:
+        """Adopt a rule replicated from elsewhere in the fleet.
+
+        Unlike :meth:`publish` this is not the completion of a local
+        learn: a LEARNING entry is left alone (the local learner's
+        publication will supersede the replica anyway), and the site is
+        *not* marked dirty -- persistence belongs to the node that
+        learned the rule, not to every replica holding a copy.  Returns
+        True when the replica was installed.
+        """
+        with self._cond:
+            entry = self._entries.get(site)
+            if entry is not None and entry.state == _LEARNING:
+                return False
+            self._entries[site] = _Entry(_READY, rule)
+            self._entries.move_to_end(site)
+            if rule is not None:
+                self.store.put(rule)
+            else:
+                self.store.invalidate(site)
+            self._evict_excess()
+            self._cond.notify_all()
+            return True
+
     def offer(self, site: str, rule: ExtractionRule) -> bool:
         """Upgrade a cached abstention with a rule a later page yielded."""
         with self._cond:

@@ -54,7 +54,7 @@ import math
 import queue
 import threading
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, Protocol
 
 from repro.core.rules import ExtractionRule, RuleStore, StaleRuleError
 from repro.core.stages.config import ExtractorConfig
@@ -91,7 +91,41 @@ from repro.tree.incremental import try_incremental_parse
 from repro.tree.node import TagNode
 from repro.tree.paths import path_of
 
-__all__ = ["ExtractionCore", "PendingRequest", "ServeConfig", "ServeRuntime"]
+__all__ = [
+    "ExtractionCore",
+    "PendingRequest",
+    "RuleRegistryClient",
+    "ServeConfig",
+    "ServeRuntime",
+]
+
+
+class RuleRegistryClient(Protocol):
+    """What a core needs from a fleet-wide rule registry.
+
+    The seam :mod:`repro.fleet.registry` plugs into.  The serve tier
+    defines the protocol (rather than importing the fleet tier) so a
+    standalone runtime carries no fleet dependency: with no registry the
+    single-flight election stays process-local, exactly as before.
+    """
+
+    def acquire(self, site: str, node_id: str) -> bool:
+        """Try to take the fleet-wide learn lease for ``site``."""
+        ...  # pragma: no cover - protocol
+
+    def release(self, site: str, node_id: str) -> None:
+        """Give the lease back without publishing (the learn failed)."""
+        ...  # pragma: no cover - protocol
+
+    def publish(
+        self, site: str, rule: ExtractionRule | None, node_id: str
+    ) -> int:
+        """Publish a learned rule fleet-wide; returns its new version."""
+        ...  # pragma: no cover - protocol
+
+    def lookup(self, site: str) -> tuple[ExtractionRule | None, int] | None:
+        """The fleet's current ``(rule, version)`` for ``site``, if any."""
+        ...  # pragma: no cover - protocol
 
 
 @dataclass(frozen=True)
@@ -156,8 +190,16 @@ class ExtractionCore:
         metrics: MetricsRegistry | None = None,
         tracer: Tracer | None = None,
         extractor_config: ExtractorConfig | None = None,
+        node_id: str = "node-0",
+        registry: RuleRegistryClient | None = None,
     ) -> None:
         self.config = config
+        self.node_id = node_id
+        self.registry = registry
+        #: Fleet rule version last adopted per site, so a replication
+        #: push is applied exactly once and a node never "adopts" its
+        #: own publication back.
+        self._fleet_versions: dict[str, int] = {}
         self.clock: Clock = clock if clock is not None else SystemClock()
         self.fetcher = fetcher
         self.metrics = metrics if metrics is not None else MetricsRegistry()
@@ -356,6 +398,9 @@ class ExtractionCore:
             self.engine.run_plan(discovery_plan(), ctx)
             return ctx.to_result()
 
+        if self.registry is not None:
+            self._adopt_published(site)
+
         # Bounded retries: each loop iteration either returns or has
         # observed a staleness lost to another thread's learn, which can
         # only happen a bounded number of times before the fresh rule
@@ -387,16 +432,69 @@ class ExtractionCore:
         return ctx.to_result()
 
     def _learn(self, ctx: ExtractionContext, site: str) -> ExtractionResult:
-        """Run discovery as the site's elected learner and publish."""
+        """Run discovery as the site's elected learner and publish.
+
+        With a fleet registry attached, the process-local election is
+        only a *candidacy*: the node must also win the fleet-wide lease
+        before its publication propagates.  A node denied the lease
+        (another node is already learning the site) still runs discovery
+        for its own page and publishes *locally* -- that wakes this
+        process's waiters without fighting the fleet learner; the
+        fleet's eventual publication supersedes the local rule via
+        :meth:`_adopt_published` / :meth:`adopt_rule`.
+        """
+        granted = (
+            self.registry.acquire(site, self.node_id)
+            if self.registry is not None
+            else True
+        )
         try:
             self.engine.run_plan(discovery_plan(), ctx)
         except BaseException:
             self.rules.abort(site)  # wake waiters; one of them re-elects
+            if granted and self.registry is not None:
+                self.registry.release(site, self.node_id)
             raise
         learned = self._rule_from(ctx, site)
+        if granted and self.registry is not None:
+            self._fleet_versions[site] = self.registry.publish(
+                site, learned, self.node_id
+            )
         self.rules.publish(site, learned)
         ctx.rule = learned
         return ctx.to_result()
+
+    # -- fleet seam ----------------------------------------------------------
+
+    def adopt_rule(
+        self, site: str, rule: ExtractionRule | None, version: int
+    ) -> bool:
+        """Install a rule replicated from the fleet registry.
+
+        The push side of replication: the registry calls this on every
+        ring replica of ``site`` after a publish.  Thread-safe, and a
+        no-op while a local learn is in flight (the local publication
+        wins the cache; version bookkeeping still advances so the next
+        :meth:`_adopt_published` converges).
+        """
+        self._fleet_versions[site] = version
+        return self.rules.install(site, rule)
+
+    def _adopt_published(self, site: str) -> None:
+        """Pull-side adoption: converge on the fleet's current rule.
+
+        Covers replicas that joined after the push (or missed it): if
+        the fleet holds a version this core has not seen, install it
+        before leasing so the request applies the fleet rule instead of
+        relearning or serving a stale local one.
+        """
+        assert self.registry is not None
+        published = self.registry.lookup(site)
+        if published is None:
+            return
+        rule, version = published
+        if self._fleet_versions.get(site) != version:
+            self.adopt_rule(site, rule, version)
 
     @staticmethod
     def _rule_from(ctx: ExtractionContext, site: str) -> ExtractionRule | None:
@@ -432,6 +530,8 @@ class ServeRuntime:
         metrics: MetricsRegistry | None = None,
         tracer: Tracer | None = None,
         extractor_config: ExtractorConfig | None = None,
+        node_id: str = "node-0",
+        registry: RuleRegistryClient | None = None,
     ) -> None:
         self.config = config if config is not None else ServeConfig()
         self.core = ExtractionCore(
@@ -444,6 +544,8 @@ class ServeRuntime:
             metrics=metrics,
             tracer=tracer,
             extractor_config=extractor_config,
+            node_id=node_id,
+            registry=registry,
         )
         # The core owns the machinery; re-expose it so callers (and the
         # existing tests) keep one obvious handle per component.

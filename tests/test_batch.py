@@ -8,7 +8,9 @@ from repro.core.batch import (
     FailedExtraction,
     PageTask,
     parallel_map,
+    shard_tasks,
 )
+from repro.core.shard import shard_index
 from repro.core.rules import RuleStore
 from repro.core.stages import ExtractorConfig
 from repro.corpus import CorpusGenerator, TEST_SITES
@@ -178,6 +180,50 @@ class TestProcessExecutor:
     def test_unknown_executor_rejected(self):
         with pytest.raises(ValueError, match="unknown executor"):
             BatchExtractor(executor="fiber")
+
+
+class TestShardStability:
+    """Process-mode tasks route by site hash, like procpool and the fleet."""
+
+    def test_same_site_never_splits_across_shards(self):
+        tasks = [
+            PageTask(source="<html/>", site=f"site-{n % 5}.example", page_id=str(n))
+            for n in range(40)
+        ]
+        for shards in (2, 3, 4, 8):
+            chunks = shard_tasks(tasks, shards)
+            owner: dict[str, int] = {}
+            for shard, chunk in enumerate(chunks):
+                for _, task in chunk:
+                    assert owner.setdefault(task.site, shard) == shard
+
+    def test_shard_assignment_matches_crc32_and_is_stable(self):
+        tasks = [PageTask(source="<html/>", site=s) for s in ("a.com", "b.com")]
+        first = shard_tasks(tasks, 4)
+        again = shard_tasks(tasks, 4)
+        assert [
+            [(i, t.site) for i, t in chunk] for chunk in first
+        ] == [[(i, t.site) for i, t in chunk] for chunk in again]
+        for shard, chunk in enumerate(first):
+            for _, task in chunk:
+                assert shard == shard_index(task.site, 4)
+
+    def test_siteless_tasks_key_on_label(self):
+        tasks = [PageTask(source="<html/>") for _ in range(6)]
+        chunks = shard_tasks(tasks, 3)
+        indices = sorted(i for chunk in chunks for i, _ in chunk)
+        assert indices == list(range(6))
+        for shard, chunk in enumerate(chunks):
+            for index, task in chunk:
+                assert shard == shard_index(task.label(index), 3)
+
+    def test_sharded_process_results_keep_input_order(self, corpus_pages):
+        tasks = [
+            PageTask(source=p.html, site=p.site, page_id=f"p{i}")
+            for i, p in enumerate(corpus_pages)
+        ]
+        outcome = BatchExtractor(executor="process").extract_many(tasks, workers=3)
+        assert [r.page for r in outcome.results] == [t.page_id for t in tasks]
 
 
 class TestConfigPlumbsThrough:

@@ -1,0 +1,39 @@
+"""The committed BENCH_fleet.json in-process section must reproduce exactly.
+
+The section is a pure function of the code (crc32 ring + FakeClock
+counters), so any drift means either the report is stale or routing/
+arbitration behaviour changed without anyone noticing -- both are worth
+failing the build over.  The subprocess section is timed on real
+processes and is *not* pinned; only ``cpu_count``-honest throughput.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).parent.parent
+
+
+def _load_loadtest_module():
+    path = ROOT / "benchmarks" / "run_fleet_loadtest.py"
+    spec = importlib.util.spec_from_file_location("run_fleet_loadtest", path)
+    assert spec is not None and spec.loader is not None
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.slow
+def test_committed_bench_fleet_in_process_section_reproduces():
+    committed = ROOT / "BENCH_fleet.json"
+    assert committed.exists(), "BENCH_fleet.json must be committed at repo root"
+    recorded = json.loads(committed.read_text())["in_process"]
+    fresh = _load_loadtest_module().deterministic_section()
+    assert fresh == recorded, (
+        "BENCH_fleet.json in_process section is stale; regenerate with "
+        "python benchmarks/run_fleet_loadtest.py"
+    )

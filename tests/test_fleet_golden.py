@@ -1,0 +1,151 @@
+"""Golden snapshots of the coordinator's wire behaviour, one per scenario.
+
+Each file under ``tests/golden/fleet/`` pins exactly what a client of the
+fleet front sees -- HTTP status, routing headers (``X-Fleet-Node``,
+``X-Fleet-Attempts``), and the passed-through node envelope -- for the
+four canonical scenarios: routed success, node-down failover,
+all-replicas-saturated 429, and fleet 503 while draining.
+
+Refreshing after an intentional protocol change::
+
+    PYTHONPATH=src python -m pytest tests/test_fleet_golden.py --update-golden
+
+Stage timings come from ``time.perf_counter`` (deliberately outside the
+Clock seam), so ``timings_ms``/``elapsed_ms`` are zeroed like the serve
+goldens; everything else -- including which node answers, pinned by the
+deterministic crc32 ring -- is byte-stable.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from pathlib import Path
+from typing import Any
+
+import pytest
+
+from repro.fetch.base import FakeClock, FetchResult
+from repro.fleet.harness import InProcessFleet
+from repro.serve.protocol import ExtractRequest, ServeResponse
+from repro.serve.runtime import ServeConfig
+
+GOLDEN_DIR = Path(__file__).parent / "golden" / "fleet"
+
+LIST_HTML = (
+    "<html><body><ul>"
+    + "".join(f"<li>item {i} alpha beta</li>" for i in range(4))
+    + "</ul></body></html>"
+)
+
+SITE = "golden-fleet.test"
+
+
+def _normalize(response: ServeResponse) -> dict[str, Any]:
+    payload = json.loads(response.body())  # round-trip: what the client sees
+    if "timings_ms" in payload:
+        payload["timings_ms"] = {key: 0.0 for key in payload["timings_ms"]}
+    if "elapsed_ms" in payload:
+        payload["elapsed_ms"] = 0.0
+    return {
+        "http_status": response.status,
+        "headers": dict(sorted(response.headers.items())),
+        "payload": payload,
+    }
+
+
+def _request_body() -> dict[str, Any]:
+    return {"html": LIST_HTML, "site": SITE}
+
+
+def _request() -> ExtractRequest:
+    return ExtractRequest(html=LIST_HTML, site=SITE)
+
+
+def _scenario_routed_success() -> tuple[dict[str, Any], ServeResponse]:
+    fleet = InProcessFleet(3, clock=FakeClock()).start()
+    response = fleet.handle(_request())
+    fleet.drain()
+    return _request_body(), response
+
+
+def _scenario_node_down_failover() -> tuple[dict[str, Any], ServeResponse]:
+    fleet = InProcessFleet(3, clock=FakeClock()).start()
+    owner = fleet.owner(SITE)
+    assert owner is not None
+    fleet.kill(owner)
+    response = fleet.handle(_request())
+    fleet.drain()
+    return _request_body(), response
+
+
+def _scenario_saturated_429() -> tuple[dict[str, Any], ServeResponse]:
+    fleet = InProcessFleet(
+        3,
+        clock=FakeClock(),
+        config=ServeConfig(workers=1, queue_limit=1, retry_after=1.0),
+    ).start()
+    gate = threading.Event()
+    entered = threading.Semaphore(0)
+
+    class GateFetcher:
+        def fetch(self, url: str, *, site: str | None = None) -> FetchResult:
+            entered.release()
+            assert gate.wait(timeout=30)
+            return FetchResult.of(url, LIST_HTML, site=site)
+
+    tickets = []
+    # Saturate both replicas of the site: worker blocked + queue full.
+    for node_id in fleet.ring.replicas(SITE, 2):
+        runtime = fleet.nodes[node_id]
+        runtime.core.fetcher = GateFetcher()
+        url_request = ExtractRequest(url=f"http://{SITE}/p.html", site=SITE)
+        blocker = runtime.submit(url_request)
+        tickets.append((runtime, blocker))
+        assert entered.acquire(timeout=30)
+        queued = runtime.submit(url_request)
+        tickets.append((runtime, queued))
+    response = fleet.handle(_request())
+    gate.set()
+    for runtime, ticket in tickets:
+        runtime.wait(ticket, timeout=30)
+    fleet.drain()
+    return _request_body(), response
+
+
+def _scenario_draining_503() -> tuple[dict[str, Any], ServeResponse]:
+    fleet = InProcessFleet(3, clock=FakeClock()).start()
+    fleet.drain()
+    response = fleet.handle(_request())
+    return _request_body(), response
+
+
+SCENARIOS = {
+    "routed_success": _scenario_routed_success,
+    "node_down_failover": _scenario_node_down_failover,
+    "saturated_429": _scenario_saturated_429,
+    "draining_503": _scenario_draining_503,
+}
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_golden_fleet_protocol(name, update_golden):
+    request_body, response = SCENARIOS[name]()
+    actual = {"request": request_body, "response": _normalize(response)}
+    path = GOLDEN_DIR / f"{name}.json"
+    if update_golden:
+        GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(actual, indent=2, sort_keys=True) + "\n")
+        return
+    assert path.exists(), (
+        f"no golden snapshot for fleet scenario {name!r}; generate with "
+        "pytest tests/test_fleet_golden.py --update-golden"
+    )
+    expected = json.loads(path.read_text())
+    assert expected == actual, f"fleet protocol diverged from {path.name}"
+
+
+def test_golden_fleet_files_cover_every_scenario():
+    expected = {f"{name}.json" for name in SCENARIOS}
+    present = {p.name for p in GOLDEN_DIR.glob("*.json")}
+    assert present == expected

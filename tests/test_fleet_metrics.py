@@ -1,0 +1,106 @@
+"""The fleet metrics family: schema extension, pre-registration, merging."""
+
+from __future__ import annotations
+
+from repro.fleet.coordinator import FleetCoordinator
+from repro.fleet.protocol import (
+    FLEET_COUNTERS,
+    FLEET_HISTOGRAMS,
+    FLEET_METRICS_SCHEMA,
+)
+from repro.observe.metrics import MetricsRegistry, merge_snapshots
+from repro.serve.protocol import METRICS_SCHEMA, validate_metrics
+
+
+class TestSchemaExtension:
+    def test_fleet_schema_is_a_strict_superset_of_serve(self):
+        assert set(METRICS_SCHEMA["counters"]) < set(
+            FLEET_METRICS_SCHEMA["counters"]
+        )
+        assert set(METRICS_SCHEMA["histograms"]) < set(
+            FLEET_METRICS_SCHEMA["histograms"]
+        )
+
+    def test_fleet_family_names(self):
+        # The pinned fleet family; renaming any of these is a breaking
+        # dashboard change and must show up here.
+        assert FLEET_COUNTERS == (
+            "fleet.routed",
+            "fleet.failover",
+            "fleet.lease.elections",
+            "fleet.lease.stolen",
+            "fleet.replication.pushed",
+            "fleet.replication.invalidated",
+            "fleet.node.evicted",
+        )
+        assert FLEET_HISTOGRAMS == ("fleet.request.seconds",)
+
+    def test_no_name_collisions_between_families(self):
+        assert len(FLEET_METRICS_SCHEMA["counters"]) == len(
+            set(FLEET_METRICS_SCHEMA["counters"])
+        )
+        assert len(FLEET_METRICS_SCHEMA["histograms"]) == len(
+            set(FLEET_METRICS_SCHEMA["histograms"])
+        )
+
+    def test_serve_snapshot_does_not_satisfy_fleet_schema(self):
+        registry = MetricsRegistry()
+        for name in METRICS_SCHEMA["counters"]:
+            registry.counter(name)
+        for name in METRICS_SCHEMA["histograms"]:
+            registry.histogram(name)
+        snapshot = registry.snapshot()
+        assert validate_metrics(snapshot) == []  # serve floor: fine
+        problems = validate_metrics(snapshot, FLEET_METRICS_SCHEMA)
+        assert any("fleet.routed" in problem for problem in problems)
+
+
+class TestPreRegistration:
+    def test_coordinator_preregisters_the_full_fleet_family(self):
+        coordinator = FleetCoordinator()
+        snapshot = coordinator.metrics.snapshot()
+        for name in FLEET_COUNTERS:
+            assert snapshot["counters"][name] == 0
+        for name in FLEET_HISTOGRAMS:
+            assert snapshot["histograms"][name]["count"] == 0
+
+    def test_empty_fleet_merged_snapshot_validates(self):
+        # No members attached, no traffic: the very first aggregated
+        # scrape must already satisfy the pinned fleet schema.
+        coordinator = FleetCoordinator()
+        merged = coordinator.fleet_metrics().snapshot()
+        assert validate_metrics(merged, FLEET_METRICS_SCHEMA) == []
+
+
+class TestMergeSnapshots:
+    def test_counters_add_and_histograms_fold(self):
+        a = MetricsRegistry()
+        a.counter("serve.accepted").inc(3)
+        a.histogram("serve.request.seconds").observe(0.01)
+        b = MetricsRegistry()
+        b.counter("serve.accepted").inc(2)
+        b.counter("serve.errors").inc(1)
+        b.histogram("serve.request.seconds").observe(0.2)
+        merged = merge_snapshots([a.snapshot(), b.snapshot()]).snapshot()
+        assert merged["counters"]["serve.accepted"] == 5
+        assert merged["counters"]["serve.errors"] == 1
+        folded = merged["histograms"]["serve.request.seconds"]
+        assert folded["count"] == 2
+        assert folded["min"] == 0.01
+        assert folded["max"] == 0.2
+
+    def test_seed_registry_keeps_preregistered_zeroes(self):
+        seeded = MetricsRegistry()
+        seeded.counter("fleet.routed")
+        source = MetricsRegistry()
+        source.counter("serve.accepted").inc(1)
+        merged = merge_snapshots([source.snapshot()], registry=seeded)
+        snapshot = merged.snapshot()
+        # absorb skips zero counters, so the zero survives only because
+        # the seed pre-registered it -- the property fleet_metrics leans on.
+        assert snapshot["counters"]["fleet.routed"] == 0
+        assert snapshot["counters"]["serve.accepted"] == 1
+
+    def test_merge_of_nothing_is_empty(self):
+        merged = merge_snapshots([]).snapshot()
+        assert merged == {"counters": {}, "histograms": {}}

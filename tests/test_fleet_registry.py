@@ -1,0 +1,188 @@
+"""Deterministic tests for fleet-wide rule arbitration (repro.fleet.registry)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.rules import ExtractionRule
+from repro.fetch.base import FakeClock
+from repro.fleet.registry import FleetRuleRegistry
+from repro.fleet.ring import HashRing
+from repro.observe.metrics import MetricsRegistry
+
+
+def rule_for(site: str, separator: str = "li") -> ExtractionRule:
+    return ExtractionRule(
+        site=site, subtree_path="html[1].body[2]", separator=separator
+    )
+
+
+@pytest.fixture()
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture()
+def metrics():
+    return MetricsRegistry()
+
+
+@pytest.fixture()
+def registry(clock, metrics):
+    ring = HashRing()
+    for index in range(3):
+        ring.add(f"node-{index}")
+    return FleetRuleRegistry(
+        ring, clock=clock, metrics=metrics, lease_ttl=30.0, replication=2
+    )
+
+
+class TestLeaseArbitration:
+    def test_exactly_one_acquire_wins(self, registry, metrics):
+        assert registry.acquire("s.example", "node-0") is True
+        assert registry.acquire("s.example", "node-1") is False
+        assert registry.acquire("s.example", "node-2") is False
+        assert metrics.counter("fleet.lease.elections").value == 1
+        assert registry.current_learner("s.example") == "node-0"
+
+    def test_holder_reacquires_and_extends(self, registry, clock):
+        assert registry.acquire("s.example", "node-0")
+        clock.advance(20.0)
+        assert registry.acquire("s.example", "node-0")
+        clock.advance(20.0)  # 40s after first acquire, 20s after renewal
+        assert registry.acquire("s.example", "node-1") is False
+
+    def test_release_frees_the_lease(self, registry, metrics):
+        registry.acquire("s.example", "node-0")
+        registry.release("s.example", "node-0")
+        assert registry.acquire("s.example", "node-1") is True
+        assert metrics.counter("fleet.lease.stolen").value == 0
+
+    def test_non_holder_release_is_a_noop(self, registry):
+        registry.acquire("s.example", "node-0")
+        registry.release("s.example", "node-1")
+        assert registry.current_learner("s.example") == "node-0"
+
+    def test_expired_lease_is_stolen(self, registry, clock, metrics):
+        registry.acquire("s.example", "node-0")
+        clock.advance(31.0)
+        assert registry.current_learner("s.example") is None
+        assert registry.acquire("s.example", "node-1") is True
+        assert metrics.counter("fleet.lease.stolen").value == 1
+        assert metrics.counter("fleet.lease.elections").value == 2
+        assert registry.current_learner("s.example") == "node-1"
+
+    def test_publish_releases_the_lease(self, registry):
+        registry.acquire("s.example", "node-0")
+        registry.publish("s.example", rule_for("s.example"), "node-0")
+        assert registry.current_learner("s.example") is None
+        assert registry.acquire("s.example", "node-1") is True
+
+
+def leased_publish(registry, site, rule, node_id):
+    """Acquire-then-publish, the way a real learner does."""
+    assert registry.acquire(site, node_id)
+    return registry.publish(site, rule, node_id)
+
+
+class TestVersionsAndInvalidation:
+    def test_versions_are_monotone_across_sites(self, registry):
+        v1 = leased_publish(registry, "a.example", rule_for("a.example"), "node-0")
+        v2 = leased_publish(registry, "b.example", rule_for("b.example"), "node-1")
+        v3 = leased_publish(
+            registry, "a.example", rule_for("a.example", "tr"), "node-0"
+        )
+        assert v1 < v2 < v3
+        looked = registry.lookup("a.example")
+        assert looked is not None and looked[1] == v3
+
+    def test_lookup_unknown_site(self, registry):
+        assert registry.lookup("never.example") is None
+
+    def test_invalidate_requires_current_version(self, registry):
+        v1 = leased_publish(registry, "a.example", rule_for("a.example"), "node-0")
+        v2 = leased_publish(
+            registry, "a.example", rule_for("a.example", "tr"), "node-0"
+        )
+        assert registry.invalidate("a.example", v1) is False  # stale CAS loses
+        assert registry.lookup("a.example") is not None
+        assert registry.invalidate("a.example", v2) is True
+        assert registry.lookup("a.example") is None
+
+    def test_abstention_publishes_as_none(self, registry):
+        version = leased_publish(registry, "a.example", None, "node-0")
+        looked = registry.lookup("a.example")
+        assert looked == (None, version)
+
+
+class TestPublishFencing:
+    def test_publish_without_lease_is_discarded(self, registry):
+        version = registry.publish("a.example", rule_for("a.example"), "node-0")
+        assert version == 0
+        assert registry.lookup("a.example") is None
+
+    def test_zombie_learner_cannot_clobber_the_stolen_rule(
+        self, registry, clock, metrics
+    ):
+        site = "zombie.example"
+        assert registry.acquire(site, "node-0")  # learner dies mid-learn
+        clock.advance(31.0)
+        assert registry.acquire(site, "node-1")  # steal
+        fresh = rule_for(site, "tr")
+        fresh_version = registry.publish(site, fresh, "node-1")
+        # The zombie wakes up and tries to publish its stale discovery.
+        stale_version = registry.publish(site, rule_for(site, "li"), "node-0")
+        assert stale_version == fresh_version  # told the truth, changed nothing
+        assert registry.lookup(site) == (fresh, fresh_version)
+        assert metrics.counter("fleet.lease.stolen").value == 1
+
+
+class TestReplication:
+    def test_publish_pushes_to_ring_replicas_except_publisher(
+        self, registry, metrics
+    ):
+        site = "push.example"
+        installed: dict[str, tuple] = {}
+        for node in registry.ring.nodes():
+            registry.register_installer(
+                node,
+                lambda s, r, v, node=node: installed.setdefault(node, (s, r, v))
+                is not None,
+            )
+        replicas = registry.ring.replicas(site, 2)
+        publisher = replicas[0]
+        rule = rule_for(site)
+        assert registry.acquire(site, publisher)
+        version = registry.publish(site, rule, publisher)
+        assert set(installed) == set(replicas[1:])
+        assert installed[replicas[1]] == (site, rule, version)
+        assert metrics.counter("fleet.replication.pushed").value == 1
+        assert metrics.counter("fleet.replication.invalidated").value == 0
+
+    def test_republish_counts_invalidated_replicas(self, registry, metrics):
+        site = "push.example"
+        for node in registry.ring.nodes():
+            registry.register_installer(node, lambda s, r, v: True)
+        publisher = registry.ring.owner(site)
+        assert registry.acquire(site, publisher)
+        registry.publish(site, rule_for(site), publisher)
+        assert registry.acquire(site, publisher)
+        registry.publish(site, rule_for(site, "tr"), publisher)
+        assert metrics.counter("fleet.replication.pushed").value == 2
+        assert metrics.counter("fleet.replication.invalidated").value == 1
+
+    def test_unregistered_node_is_skipped(self, registry, metrics):
+        site = "push.example"
+        publisher = registry.ring.owner(site)
+        assert registry.acquire(site, publisher)
+        registry.publish(site, rule_for(site), publisher)  # nobody registered
+        assert metrics.counter("fleet.replication.pushed").value == 0
+
+
+class TestValidation:
+    def test_bad_knobs_rejected(self):
+        ring = HashRing()
+        with pytest.raises(ValueError):
+            FleetRuleRegistry(ring, lease_ttl=0.0)
+        with pytest.raises(ValueError):
+            FleetRuleRegistry(ring, replication=0)

@@ -484,6 +484,75 @@ class TestRep009:
         assert result.ok
 
 
+class TestRep010:
+    FLEET = "src/repro/fleet/coordinator.py"
+
+    def test_urllib_request_import_in_fleet_is_flagged(self, tmp_path):
+        result = lint(
+            tmp_path,
+            "import urllib.request\n",
+            rel=self.FLEET,
+        )
+        assert rule_ids(result) == ["REP010"]
+        assert "transport.py" in result.findings[0].message
+
+    def test_socket_import_and_dial_are_flagged(self, tmp_path):
+        result = lint(
+            tmp_path,
+            """\
+            import socket
+            conn = socket.create_connection(("node", 80))
+            """,
+            rel=self.FLEET,
+        )
+        assert rule_ids(result) == ["REP010", "REP010"]  # import + call
+
+    def test_from_urllib_import_request_is_flagged(self, tmp_path):
+        result = lint(
+            tmp_path,
+            "from urllib import request, error\n",
+            rel=self.FLEET,
+        )
+        assert rule_ids(result) == ["REP010", "REP010"]
+
+    def test_from_urllib_request_import_is_flagged(self, tmp_path):
+        result = lint(
+            tmp_path,
+            "from urllib.request import urlopen\n",
+            rel=self.FLEET,
+        )
+        assert rule_ids(result) == ["REP010"]
+
+    def test_transport_module_is_the_sanctioned_seam(self, tmp_path):
+        result = lint(
+            tmp_path,
+            """\
+            import socket
+            import urllib.request
+            from urllib.error import URLError
+            """,
+            rel="src/repro/fleet/transport.py",
+        )
+        assert result.ok
+
+    def test_urllib_parse_and_http_server_stay_allowed(self, tmp_path):
+        result = lint(
+            tmp_path,
+            """\
+            from http.server import ThreadingHTTPServer
+            from urllib.parse import urlsplit
+
+            parts = urlsplit("http://node:80/metrics")
+            """,
+            rel="src/repro/fleet/http.py",
+        )
+        assert result.ok
+
+    def test_modules_outside_fleet_are_out_of_scope(self, tmp_path):
+        result = lint(tmp_path, "import urllib.request\nimport socket\n")
+        assert result.ok
+
+
 # -- suppressions -------------------------------------------------------------
 
 
