@@ -24,7 +24,7 @@ import argparse
 import sys
 import threading
 
-from repro.fleet.coordinator import FleetCoordinator, NodeUnavailable
+from repro.fleet.coordinator import FleetCoordinator, NodeClient, NodeUnavailable
 from repro.fleet.harness import SubprocessFleet
 from repro.fleet.http import FleetHTTPServer
 from repro.fleet.membership import Membership
@@ -74,18 +74,53 @@ def add_fleet_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _probe_member(
+    coordinator: FleetCoordinator, node_id: str, client: NodeClient
+) -> None:
+    """Probe one member, heartbeating it the instant it answers."""
+    try:
+        client.healthz()
+    except NodeUnavailable:
+        return
+    coordinator.membership.heartbeat(node_id)
+
+
+def _probe_round(coordinator: FleetCoordinator, budget: float) -> None:
+    """One probe round: fan out to every member in parallel, wait at
+    most ``budget`` seconds for the stragglers, then sweep the lapsed.
+
+    Probes must not run serially: one black-holed member (packets
+    dropped, not refused -- its transport burns the full timeout) would
+    stall a serial loop long enough to age every *healthy* member's
+    heartbeat past ``heartbeat_timeout``, and the sweep would then evict
+    the whole fleet.  Concurrent probes heartbeat each healthy member as
+    soon as it answers, and a straggler blocks only its own daemon
+    thread (reaped when its transport times out), never the round.
+    """
+    probes = [
+        threading.Thread(
+            target=_probe_member,
+            args=(coordinator, node_id, client),
+            name=f"fleet-probe-{node_id}",
+            daemon=True,
+        )
+        for node_id, client in coordinator.clients().items()
+    ]
+    for probe in probes:
+        probe.start()
+    clock = coordinator.clock
+    deadline = clock.monotonic() + budget
+    for probe in probes:
+        probe.join(timeout=max(0.0, deadline - clock.monotonic()))
+    coordinator.membership.sweep()
+
+
 def _heartbeat_loop(
     coordinator: FleetCoordinator, interval: float, stop: threading.Event
 ) -> None:
     """Probe every attached member; heartbeat the reachable, sweep the rest."""
     while not stop.wait(timeout=interval):
-        for node_id, client in coordinator.clients().items():
-            try:
-                client.healthz()
-            except NodeUnavailable:
-                continue
-            coordinator.membership.heartbeat(node_id)
-        coordinator.membership.sweep()
+        _probe_round(coordinator, interval)
 
 
 def run(args: argparse.Namespace) -> int:

@@ -123,9 +123,14 @@ class FleetCoordinator:
         self.membership.join(node_id)
 
     def detach(self, node_id: str) -> None:
-        """Remove ``node_id`` entirely (administrative leave)."""
+        """Remove ``node_id`` entirely (administrative leave).
+
+        Routes through :meth:`Membership.leave`, not
+        :meth:`~Membership.report_failure`: a planned removal must not
+        count ``fleet.node.evicted``.
+        """
         self._clients.pop(node_id, None)
-        self.membership.report_failure(node_id)
+        self.membership.leave(node_id)
 
     def clients(self) -> dict[str, NodeClient]:
         return dict(self._clients)

@@ -17,9 +17,12 @@ property) re-routes *only that node's sites* to their next replicas --
 whose caches are warm if replication already pushed the rules there.  A
 later heartbeat from an evicted node readmits it.
 
-Each eviction counts ``fleet.node.evicted``.  Readmission is not a
-counter: the heartbeat path is periodic and its rate is a property of
-the prober, not of fleet health.
+Each eviction counts ``fleet.node.evicted``.  Planned removals go
+through :meth:`Membership.leave` instead, which takes the node off the
+ring *without* counting an eviction -- the counter means failure
+detection fired, nothing else.  Readmission is not a counter: the
+heartbeat path is periodic and its rate is a property of the prober,
+not of fleet health.
 """
 
 from __future__ import annotations
@@ -90,6 +93,23 @@ class Membership:
             if node_id not in self._beats:
                 return False
             self._evict(node_id)
+            return True
+
+    # -- planned removal -----------------------------------------------------
+
+    def leave(self, node_id: str) -> bool:
+        """Remove ``node_id`` deliberately (administrative leave).
+
+        Same ring effect as an eviction, but *not* counted as one:
+        ``fleet.node.evicted`` means failure detection fired, and a
+        planned removal polluting it would make the chaos tests' exact
+        eviction counts meaningless.
+        """
+        with self._lock:
+            if node_id not in self._beats:
+                return False
+            del self._beats[node_id]
+            self.ring.remove(node_id)
             return True
 
     def _evict(self, node_id: str) -> None:

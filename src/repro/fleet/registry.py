@@ -137,7 +137,7 @@ class FleetRuleRegistry:
 
     def publish(
         self, site: str, rule: ExtractionRule | None, node_id: str
-    ) -> int:
+    ) -> int | None:
         """Record ``rule`` as the site's fleet truth and replicate it.
 
         Returns the new monotone version.  Publishing releases the
@@ -151,16 +151,18 @@ class FleetRuleRegistry:
         learner that stalled past its TTL and was stolen from (the
         zombie-learner case: a SIGKILLed node's thread somehow limps on,
         or a livelocked learner wakes up late) finds its lease gone and
-        its publication *discarded* -- the stealing learner's fresher
-        rule stands.  The discarded caller gets the current fleet
-        version back (0 when none), which never matches a future
-        :meth:`lookup`, so pull-side adoption converges it anyway.
+        its publication *discarded*, signalled by a ``None`` return --
+        the stealing learner's fresher rule stands.  ``None`` is
+        deliberately not a version: the caller must record nothing and
+        re-adopt the fleet's current rule, otherwise a steal whose
+        publish landed *first* would hand the zombie a version that
+        matches a future :meth:`lookup` and freeze its stale rule in
+        place.
         """
         with self._lock:
             lease = self._leases.get(site)
             if lease is None or lease.node_id != node_id:
-                published = self._published.get(site)
-                return published.version if published is not None else 0
+                return None
             self._versions += 1
             version = self._versions
             superseded = site in self._published

@@ -16,8 +16,15 @@ nodes clockwise.  Two properties the fleet leans on, both pinned by
   rest of the fleet keeps its sites, so rule caches stay warm through
   membership churn.
 
-Not thread-safe by itself: :class:`~repro.fleet.membership.Membership`
-owns all mutation and serializes it.
+Single-writer, multi-reader: :class:`~repro.fleet.membership.Membership`
+owns all mutation and serializes it under its lock, while routing reads
+(:meth:`HashRing.replicas` from coordinator request threads, replication
+fan-out) may run concurrently with an eviction.  Mutations therefore
+never edit the live structures in place -- :meth:`add`/:meth:`remove`
+build a fresh points list / node set and swap the attribute reference
+atomically, and readers grab one local snapshot up front, so a read
+racing a membership change sees either the old ring or the new one,
+never a half-updated chain.
 """
 
 from __future__ import annotations
@@ -44,8 +51,10 @@ class HashRing:
         #: Sorted ``(point, node_id)`` pairs; ties break by node id, so
         #: even a crc32 collision between two nodes' vnodes is ordered
         #: deterministically.
+        #: Copy-on-write: replaced wholesale on mutation, never edited
+        #: in place, so concurrent readers see a consistent snapshot.
         self._points: list[tuple[int, str]] = []
-        self._nodes: set[str] = set()
+        self._nodes: frozenset[str] = frozenset()
 
     # -- membership ---------------------------------------------------------
 
@@ -53,16 +62,18 @@ class HashRing:
         """Project ``node_id``'s vnodes onto the ring (idempotent)."""
         if node_id in self._nodes:
             return
-        self._nodes.add(node_id)
+        points = list(self._points)
         for point in self._node_points(node_id):
-            insort(self._points, (point, node_id))
+            insort(points, (point, node_id))
+        self._points = points
+        self._nodes = self._nodes | {node_id}
 
     def remove(self, node_id: str) -> None:
         """Withdraw ``node_id``'s vnodes (idempotent)."""
         if node_id not in self._nodes:
             return
-        self._nodes.discard(node_id)
         self._points = [entry for entry in self._points if entry[1] != node_id]
+        self._nodes = self._nodes - {node_id}
 
     def __contains__(self, node_id: str) -> bool:
         return node_id in self._nodes
@@ -88,16 +99,19 @@ class HashRing:
         chain in deterministic ring order.  Fewer than ``count`` members
         returns them all.
         """
-        if not self._points or count < 1:
+        # One snapshot up front: the walk must not mix two generations
+        # of the copy-on-write points list mid-chain.
+        points = self._points
+        if not points or count < 1:
             return []
         # First node point at or after the key's hash, wrapping.
-        start = bisect_left(self._points, (stable_hash(key), ""))
+        start = bisect_left(points, (stable_hash(key), ""))
         chain: list[str] = []
-        for offset in range(len(self._points)):
-            node = self._points[(start + offset) % len(self._points)][1]
+        for offset in range(len(points)):
+            node = points[(start + offset) % len(points)][1]
             if node not in chain:
                 chain.append(node)
-                if len(chain) == count or len(chain) == len(self._nodes):
+                if len(chain) == count:
                     break
         return chain
 

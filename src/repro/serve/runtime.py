@@ -119,8 +119,9 @@ class RuleRegistryClient(Protocol):
 
     def publish(
         self, site: str, rule: ExtractionRule | None, node_id: str
-    ) -> int:
-        """Publish a learned rule fleet-wide; returns its new version."""
+    ) -> int | None:
+        """Publish a learned rule fleet-wide; returns its new version,
+        or None when the publish was fenced off (lease lost/stolen)."""
         ...  # pragma: no cover - protocol
 
     def lookup(self, site: str) -> tuple[ExtractionRule | None, int] | None:
@@ -456,12 +457,22 @@ class ExtractionCore:
                 self.registry.release(site, self.node_id)
             raise
         learned = self._rule_from(ctx, site)
+        fenced = False
         if granted and self.registry is not None:
-            self._fleet_versions[site] = self.registry.publish(
-                site, learned, self.node_id
-            )
+            version = self.registry.publish(site, learned, self.node_id)
+            if version is None:
+                # Fenced: the lease was stolen mid-learn and the
+                # stealer's publication stands.  Forget any recorded
+                # fleet version so adoption below force-installs the
+                # fleet truth instead of keeping our discarded rule.
+                self._fleet_versions.pop(site, None)
+                fenced = True
+            else:
+                self._fleet_versions[site] = version
         self.rules.publish(site, learned)
         ctx.rule = learned
+        if fenced:
+            self._adopt_published(site)
         return ctx.to_result()
 
     # -- fleet seam ----------------------------------------------------------
@@ -474,11 +485,15 @@ class ExtractionCore:
         The push side of replication: the registry calls this on every
         ring replica of ``site`` after a publish.  Thread-safe, and a
         no-op while a local learn is in flight (the local publication
-        wins the cache; version bookkeeping still advances so the next
-        :meth:`_adopt_published` converges).
+        wins the cache).  The version is recorded only when the install
+        actually lands -- a refused install must leave the bookkeeping
+        behind the fleet, so the next :meth:`_adopt_published` sees the
+        mismatch and retries once the local learn has completed.
         """
-        self._fleet_versions[site] = version
-        return self.rules.install(site, rule)
+        installed = self.rules.install(site, rule)
+        if installed:
+            self._fleet_versions[site] = version
+        return installed
 
     def _adopt_published(self, site: str) -> None:
         """Pull-side adoption: converge on the fleet's current rule.

@@ -103,6 +103,13 @@ class TestChaosInProcess:
             assert fleet.counter("fleet.lease.elections") == 2
             assert fleet.registry.current_learner(site) is None
 
+            # Fenced-publish convergence: the discard returned None, so
+            # the zombie recorded no version and re-adopted the fleet
+            # truth.  (Were the steal's version returned instead, the
+            # zombie would see it "already adopted" and serve its
+            # discarded rule forever.)
+            assert owner_runtime.core._fleet_versions[site] == stolen_version
+
             # Zero dropped requests: the in-flight request was answered
             # too (the process "died" for the fleet, but an honest kill
             # leaves the already-accepted work to finish locally).

@@ -197,6 +197,27 @@ class TestSingleLearnerFleetWide:
         assert response.payload["used_cached_rule"] is True
         assert fleet.counter("fleet.lease.elections") == 1
 
+    def test_refused_install_leaves_version_unrecorded(self, fleet):
+        site = "refused.example"
+        fleet.handle(table_request(site))  # publish the site fleet-wide
+        published = fleet.registry.lookup(site)
+        assert published is not None
+        rule, version = published
+        outsider = fleet.nodes[fleet.ring.replicas(site, 3)[-1]].core
+        # A local learn is in flight on the outsider when the push
+        # arrives: install is refused, and the version must NOT be
+        # recorded -- recording it would make _adopt_published treat the
+        # fleet rule as already adopted and never install it.
+        lease = outsider.rules.lease(site)
+        assert lease.learner
+        assert outsider.adopt_rule(site, rule, version) is False
+        assert site not in outsider._fleet_versions
+        # Once the local learn completes, pull-side adoption converges.
+        outsider.rules.publish(site, None)  # local discovery abstained
+        outsider._adopt_published(site)
+        assert outsider._fleet_versions[site] == version
+        assert outsider.rules.lease(site).rule == rule
+
 
 class TestAggregation:
     def test_fleet_healthz_reports_every_member(self, fleet):
@@ -231,3 +252,72 @@ class TestAggregation:
             assert validate_metrics(merged, FLEET_METRICS_SCHEMA) == []
         finally:
             fleet.drain()
+
+
+class TestAdministrativeLeave:
+    def test_detach_leaves_without_counting_eviction(self, fleet):
+        fleet.coordinator.detach("node-1")
+        assert "node-1" not in fleet.membership.members()
+        assert "node-1" not in fleet.ring.nodes()
+        # A planned removal is not failure detection.
+        assert fleet.counter("fleet.node.evicted") == 0
+        response = fleet.handle(table_request("after-leave.example"))
+        assert response.status == 200
+
+    def test_leave_unknown_member_is_a_noop(self, fleet):
+        assert fleet.membership.leave("node-9") is False
+        assert fleet.counter("fleet.node.evicted") == 0
+
+
+class TestHeartbeatProbing:
+    """The prober must fan out: one black-holed member (packets dropped,
+    its probe burning the whole transport timeout) must neither stall
+    the round nor age healthy members' heartbeats into a mass eviction.
+
+    Real threads and real time (small budgets), since the probe round is
+    the one fleet path that exists only for the wall-clock world.
+    """
+
+    def test_blackholed_member_does_not_stall_the_round(self):
+        import threading
+        import time
+
+        from repro.fleet.__main__ import _probe_round
+        from repro.fleet.coordinator import FleetCoordinator, NodeUnavailable
+        from repro.fleet.membership import Membership
+        from repro.fleet.ring import HashRing
+        from repro.observe.metrics import MetricsRegistry
+
+        release = threading.Event()
+
+        class Healthy:
+            def healthz(self):
+                return {"status": "alive"}
+
+        class BlackHole:
+            def healthz(self):
+                release.wait(timeout=30.0)  # a hung transport
+                raise NodeUnavailable("node-hole", "timed out")
+
+        metrics = MetricsRegistry()
+        ring = HashRing()
+        membership = Membership(ring, metrics=metrics, heartbeat_timeout=5.0)
+        coordinator = FleetCoordinator(
+            ring=ring, membership=membership, metrics=metrics
+        )
+        coordinator.attach("node-ok", Healthy())
+        coordinator.attach("node-hole", BlackHole())
+        try:
+            started = time.monotonic()
+            _probe_round(coordinator, budget=0.2)
+            elapsed = time.monotonic() - started
+            # The round ended on its own budget, not the hung probe's
+            # transport timeout...
+            assert elapsed < 5.0
+            # ...the healthy member was heartbeated by its own probe,
+            # and nobody was swept.
+            assert membership.alive("node-ok")
+            assert membership.alive("node-hole")
+            assert metrics.counter("fleet.node.evicted").value == 0
+        finally:
+            release.set()

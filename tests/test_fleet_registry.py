@@ -118,7 +118,7 @@ class TestVersionsAndInvalidation:
 class TestPublishFencing:
     def test_publish_without_lease_is_discarded(self, registry):
         version = registry.publish("a.example", rule_for("a.example"), "node-0")
-        assert version == 0
+        assert version is None
         assert registry.lookup("a.example") is None
 
     def test_zombie_learner_cannot_clobber_the_stolen_rule(
@@ -131,8 +131,11 @@ class TestPublishFencing:
         fresh = rule_for(site, "tr")
         fresh_version = registry.publish(site, fresh, "node-1")
         # The zombie wakes up and tries to publish its stale discovery.
+        # The discard must NOT hand back a usable version: were it the
+        # steal's (current) version, the zombie would record it, see it
+        # match every future lookup, and freeze its stale rule in place.
         stale_version = registry.publish(site, rule_for(site, "li"), "node-0")
-        assert stale_version == fresh_version  # told the truth, changed nothing
+        assert stale_version is None
         assert registry.lookup(site) == (fresh, fresh_version)
         assert metrics.counter("fleet.lease.stolen").value == 1
 

@@ -129,6 +129,32 @@ class TestMonotoneRemap:
         assert len(ring) == 3
 
 
+class TestCopyOnWriteReads:
+    """Mutations swap fresh structures in; a reader's snapshot never
+    changes under it, so routing reads from request threads can run
+    concurrently with a heartbeat-thread eviction."""
+
+    def test_mutation_leaves_a_readers_snapshot_untouched(self):
+        ring = fleet_ring(3)
+        points = ring._points
+        nodes = ring._nodes
+        generation = list(points)
+        ring.remove("node-1")
+        ring.add("node-3")
+        assert points == generation  # old generation never edited in place
+        assert nodes == frozenset({"node-0", "node-1", "node-2"})
+        assert ring.nodes() == ["node-0", "node-2", "node-3"]
+
+    def test_every_mutation_replaces_the_points_reference(self):
+        ring = fleet_ring(2)
+        before = ring._points
+        ring.add("node-2")
+        assert ring._points is not before
+        between = ring._points
+        ring.remove("node-0")
+        assert ring._points is not between
+
+
 class TestValidation:
     def test_vnodes_must_be_positive(self):
         with pytest.raises(ValueError):
